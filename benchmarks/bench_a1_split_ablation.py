@@ -1,0 +1,10 @@
+"""A1 — ablation: the √k bundle-size split of Algorithm 1."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_a1_split_ablation
+
+
+def test_a1_split_ablation(benchmark):
+    out = run_and_record(benchmark, run_a1_split_ablation, "a1")
+    assert out.summary["split"] > 0 and out.summary["no_split"] > 0

@@ -1,0 +1,11 @@
+"""A2 — ablation: conflict resolution vs survivors or tentative bundles."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_a2_resolution_ablation
+
+
+def test_a2_resolution_ablation(benchmark):
+    out = run_and_record(benchmark, run_a2_resolution_ablation, "a2")
+    # Survivors-based resolution can only keep more vertices.
+    assert out.summary["survivors"] >= out.summary["tentative"] - 1e-9

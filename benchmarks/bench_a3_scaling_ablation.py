@@ -1,0 +1,10 @@
+"""A3 — ablation: rounding scale (paper: 2√kρ) vs smaller multipliers."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_a3_scaling_ablation
+
+
+def test_a3_scaling_ablation(benchmark):
+    out = run_and_record(benchmark, run_a3_scaling_ablation, "a3")
+    assert all(v >= 0 for v in out.summary.values())

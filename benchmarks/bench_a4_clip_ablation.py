@@ -1,0 +1,10 @@
+"""A4 — ablation: Theorem 17 weights raw vs clipped at 1."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_a4_clip_ablation
+
+
+def test_a4_clip_ablation(benchmark):
+    out = run_and_record(benchmark, run_a4_clip_ablation, "a4")
+    assert out.summary["clipped"]["rho"] <= out.summary["raw"]["rho"]

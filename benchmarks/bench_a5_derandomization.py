@@ -1,0 +1,12 @@
+"""A5 — derandomization strategies compared."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_a5_derandomization_comparison
+
+
+def test_a5_derandomization(benchmark):
+    out = run_and_record(benchmark, run_a5_derandomization_comparison, "a5")
+    # Both deterministic methods beat the randomized mean on these sizes.
+    assert out.summary["conditional"] >= out.summary["randomized_mean"]
+    assert out.summary["pairwise"] >= out.summary["randomized_mean"]

@@ -1,0 +1,12 @@
+"""A6 — ordering-quality sensitivity of the full pipeline."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_a6_ordering_sensitivity
+
+
+def test_a6_ordering(benchmark):
+    out = run_and_record(benchmark, run_a6_ordering_sensitivity, "a6")
+    # The exact-optimal ordering never has larger rho than any heuristic.
+    exact_rho = out.summary["exact-optimal"]["rho"]
+    assert all(entry["rho"] >= exact_rho for entry in out.summary.values())

@@ -1,0 +1,10 @@
+"""E1 — Theorem 3: Algorithm 1 achieves b*/(8√k ρ); ratio scales ~√k."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e1
+
+
+def test_e1_unweighted_rounding(benchmark):
+    out = run_and_record(benchmark, run_e1, "e01")
+    assert out.summary["all_bounds_met"]

@@ -1,0 +1,10 @@
+"""E2 — Proposition 9: disk graphs have inductive independence ≤ 5."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e2
+
+
+def test_e2_disk_rho(benchmark):
+    out = run_and_record(benchmark, run_e2, "e02")
+    assert out.summary["worst_measured"] <= out.summary["bound"]

@@ -1,0 +1,10 @@
+"""E3 — Proposition 13: protocol-model ρ within ⌈π/arcsin(Δ/2(Δ+1))⌉ − 1."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e3
+
+
+def test_e3_protocol_rho(benchmark):
+    out = run_and_record(benchmark, run_e3, "e03")
+    assert out.summary["all_within_bound"]

@@ -1,0 +1,10 @@
+"""E4 — Propositions 11/12: distance-2 coloring ρ = O(1) / (4r/s+2)²."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e4
+
+
+def test_e4_distance2_rho(benchmark):
+    out = run_and_record(benchmark, run_e4, "e04")
+    assert out.summary["all_within_bound"]

@@ -1,0 +1,11 @@
+"""E5 — Proposition 15: fixed-power physical model has ρ = O(log n)."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e5
+
+
+def test_e5_physical_rho(benchmark):
+    out = run_and_record(benchmark, run_e5, "e05")
+    # O(log n) shape: rho normalized by log2(n) stays below a small constant.
+    assert out.summary["max_rho_over_log2n"] <= 3.0

@@ -1,0 +1,11 @@
+"""E6 — Lemmas 7+8: Algorithm 2 + Algorithm 3 meet 16√kρ·⌈log n⌉."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e6
+
+
+def test_e6_weighted_rounding(benchmark):
+    out = run_and_record(benchmark, run_e6, "e06")
+    assert out.summary["all_bounds_met"]
+    assert out.summary["rounds_within_log"]

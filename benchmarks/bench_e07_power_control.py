@@ -1,0 +1,10 @@
+"""E7 — Theorem 17: power-control pipeline outputs SINR-feasible sets."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e7
+
+
+def test_e7_power_control(benchmark):
+    out = run_and_record(benchmark, run_e7, "e07")
+    assert out.summary["sinr_always_feasible"]

@@ -1,0 +1,12 @@
+"""E8 — Section 5: Lavi–Swamy decomposition exact; truthful in expectation."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e8
+
+
+def test_e8_mechanism(benchmark):
+    out = run_and_record(benchmark, run_e8, "e08")
+    assert out.summary["mass_error"] <= 1e-7
+    assert out.summary["welfare_error"] <= 1e-7
+    assert out.summary["max_misreport_gain"] <= 1e-6

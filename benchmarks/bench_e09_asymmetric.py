@@ -1,0 +1,10 @@
+"""E9 — Theorem 18 / Section 6: asymmetric channels at O(kρ)."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e9
+
+
+def test_e9_asymmetric(benchmark):
+    out = run_and_record(benchmark, run_e9, "e09")
+    assert out.summary["all_bounds_met"]

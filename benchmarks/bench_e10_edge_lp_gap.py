@@ -1,0 +1,10 @@
+"""E10 — Section 2.1: edge LP gap n/2 on cliques; inductive LP bounded."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e10
+
+
+def test_e10_edge_lp_gap(benchmark):
+    out = run_and_record(benchmark, run_e10, "e10")
+    assert out.summary["max_inductive_gap"] <= 2.0 + 1e-9

@@ -1,0 +1,11 @@
+"""E12 — Section 2.2: demand-oracle column generation solves the LP."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e12
+
+
+def test_e12_column_generation(benchmark):
+    out = run_and_record(benchmark, run_e12, "e12")
+    assert out.summary["values_agree"]
+    assert out.summary["max_iterations"] >= 2  # pricing actually iterates

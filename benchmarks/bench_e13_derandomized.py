@@ -1,0 +1,10 @@
+"""E13 — derandomized rounding meets Theorem 3 deterministically."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e13
+
+
+def test_e13_derandomized(benchmark):
+    out = run_and_record(benchmark, run_e13, "e13")
+    assert out.summary["all_bounds_met"]

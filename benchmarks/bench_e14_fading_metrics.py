@@ -1,0 +1,14 @@
+"""E14 — Theorem 17's fading-metric hypothesis via path-loss exponents."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e14
+
+
+def test_e14_fading_metrics(benchmark):
+    out = run_and_record(benchmark, run_e14, "e14")
+    # Fading exponents must enable at least as much spatial reuse.
+    assert (
+        out.summary["mean_parallelism_fading"]
+        >= out.summary["mean_parallelism_nonfading"]
+    )

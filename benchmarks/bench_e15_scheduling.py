@@ -1,0 +1,10 @@
+"""E15 — scheduling extension: channels needed to serve all bidders."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e15
+
+
+def test_e15_scheduling(benchmark):
+    out = run_and_record(benchmark, run_e15, "e15")
+    assert out.summary["all_valid"]

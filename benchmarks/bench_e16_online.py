@@ -1,0 +1,10 @@
+"""E16 — online greedy baseline vs offline exact optimum (extension)."""
+
+from conftest import run_and_record
+
+from repro.experiments import run_e16
+
+
+def test_e16_online(benchmark):
+    out = run_and_record(benchmark, run_e16, "e16")
+    assert 0 < out.summary["mean_competitive_ratio"] <= 1.0 + 1e-9

@@ -1,0 +1,66 @@
+"""Component performance benchmarks (proper multi-round timing).
+
+Unlike the experiment benches (single-shot pedantic runs of whole
+experiments), these time the hot components of the pipeline with
+pytest-benchmark's statistical machinery, so regressions in the LP
+assembly, the solver, the rounding, or the rho computation show up as
+timing shifts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.auction_lp import AuctionLP
+from repro.core.derandomize import derandomize_rounding
+from repro.core.rounding import round_unweighted
+from repro.experiments.workloads import physical_auction, protocol_auction
+from repro.graphs.inductive import inductive_independence_number
+from repro.geometry.disks import random_disk_instance
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return protocol_auction(40, 8, seed=900)
+
+
+@pytest.fixture(scope="module")
+def lp_solution(problem):
+    return AuctionLP(problem).solve()
+
+
+def test_perf_lp_build(benchmark, problem):
+    lp = AuctionLP(problem)
+    benchmark(lp.build)
+
+
+def test_perf_lp_solve(benchmark, problem):
+    lp = AuctionLP(problem)
+    benchmark(lp.solve)
+
+
+def test_perf_rounding(benchmark, problem, lp_solution):
+    rng = np.random.default_rng(901)
+    benchmark(lambda: round_unweighted(problem, lp_solution, rng))
+
+
+def test_perf_derandomize(benchmark, problem, lp_solution):
+    benchmark(lambda: derandomize_rounding(problem, lp_solution))
+
+
+def test_perf_exact_rho_disk(benchmark):
+    inst = random_disk_instance(60, seed=902)
+    benchmark(lambda: inductive_independence_number(inst.graph))
+
+
+def test_perf_weighted_lp_pipeline(benchmark):
+    problem = physical_auction(25, 4, seed=903)
+
+    def pipeline():
+        from repro.core.conflict_resolution import make_fully_feasible
+        from repro.core.rounding import round_weighted
+
+        lp = AuctionLP(problem).solve()
+        partly, _ = round_weighted(problem, lp, np.random.default_rng(904))
+        return make_fully_feasible(problem, partly)
+
+    benchmark(pipeline)

@@ -1,0 +1,20 @@
+"""Shared benchmark plumbing: run an experiment once under timing, print
+its table, and persist it under benchmarks/results/ for EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_and_record(benchmark, experiment_fn, name: str, **kwargs):
+    """Time one execution of ``experiment_fn`` and persist its table."""
+    output = benchmark.pedantic(
+        lambda: experiment_fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = output.render() + "\nsummary: " + repr(output.summary) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return output

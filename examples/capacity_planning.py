@@ -1,0 +1,64 @@
+"""Capacity planning: how many channels does this market need?
+
+A regulator question the paper's machinery answers from both sides:
+
+* **scheduling** (serve *everyone*): greedy peeling over the conflict
+  structure gives an upper bound on the channels required to grant every
+  request — the "no scarcity" operating point;
+* **auction** (k fixed): sweeping k through the auction shows how welfare
+  approaches the no-scarcity total, i.e. where additional spectrum stops
+  buying welfare.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    AuctionProblem,
+    SpectrumAuctionSolver,
+    protocol_model,
+    random_links,
+)
+from repro.core.scheduling import schedule_all
+from repro.util.tables import Table
+from repro.valuations.generators import random_unit_demand_valuations
+
+
+def main() -> None:
+    n = 40
+    links = random_links(n, seed=21, length_range=(0.02, 0.08))
+    structure = protocol_model(links, delta=1.0)
+
+    schedule = schedule_all(structure)
+    assert schedule.validate(structure.graph)
+    k_all = schedule.num_channels
+    print(f"{n} bidders; serving everyone needs {k_all} channels (greedy peeling)")
+    for j, cls in enumerate(schedule.classes):
+        print(f"  channel {j}: {len(cls)} links")
+
+    # Unit-demand bidders: each wants one channel.  The per-bidder value is
+    # fixed across the k sweep (their best-channel value at k_max), so
+    # "fraction of no-scarcity" is comparable between rows.
+    k_max = k_all + 1
+    base_vals = random_unit_demand_valuations(n, k_max, seed=22)
+    no_scarcity = sum(v.max_value() for v in base_vals)
+    table = Table(["k", "welfare", "winners", "fraction_of_no_scarcity"])
+    for k in range(1, k_max + 1):
+        from repro.valuations.additive import UnitDemandValuation
+
+        vals = [UnitDemandValuation(v.per_channel[:k]) for v in base_vals]
+        problem = AuctionProblem(structure, k, vals)
+        result = SpectrumAuctionSolver(problem).solve(seed=23, derandomize=True)
+        assert result.feasible
+        winners = len([v for v, s in result.allocation.items() if s])
+        table.add_row(k, result.welfare, winners, result.welfare / no_scarcity)
+    print()
+    print(table.render())
+    print(
+        f"\nwelfare saturates around k = {k_all} — the scheduler's channel"
+        "\ncount marks where artificial scarcity ends, the paper's Section 1"
+        "\nmotivation quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

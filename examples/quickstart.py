@@ -1,0 +1,62 @@
+"""Quickstart: a secondary spectrum auction in the protocol model.
+
+Builds 30 random wireless links in the unit square, derives the protocol
+model's conflict graph with its certified inductive independence number,
+runs the paper's LP + rounding pipeline for 4 channels, and reports welfare
+against the LP upper bound and Theorem 3's guarantee.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AuctionProblem,
+    SpectrumAuctionSolver,
+    protocol_model,
+    random_links,
+    random_xor_valuations,
+    rho_of_ordering,
+)
+
+
+def main() -> None:
+    # 1. Geometry: 30 sender→receiver links in the unit square.
+    links = random_links(30, seed=7, length_range=(0.02, 0.08))
+
+    # 2. Interference: protocol model with guard-zone parameter Δ = 1.
+    #    The structure carries the conflict graph, the decreasing-length
+    #    ordering π, and Proposition 13's certified ρ.
+    structure = protocol_model(links, delta=1.0)
+    print(f"conflict graph: n={structure.graph.n}, m={structure.graph.m}")
+    print(f"certified rho = {structure.rho}  ({structure.rho_source})")
+    print(f"measured rho(pi) = {rho_of_ordering(structure.graph, structure.ordering)}")
+
+    # 3. Bidders: XOR valuations over bundles of k = 4 channels.
+    k = 4
+    valuations = random_xor_valuations(30, k, seed=11)
+    problem = AuctionProblem(structure, k, valuations)
+
+    # 4. Solve: LP (1) + Algorithm 1 (best of 5 randomized roundings).
+    solver = SpectrumAuctionSolver(problem)
+    result = solver.solve(seed=13, rounding_attempts=5)
+
+    print(f"\nLP optimum (fractional upper bound): {result.lp_value:.1f}")
+    print(f"achieved welfare:                    {result.welfare:.1f}")
+    print(f"feasible (re-validated):             {result.feasible}")
+    print(f"Theorem 3 guarantee factor 8√kρ:     {result.guarantee:.1f}")
+    print(f"empirical LP/welfare ratio:          {result.lp_ratio:.2f}")
+
+    # 5. The deterministic variant meets the bound with certainty — and is
+    #    much stronger in practice (the randomized scale 2√kρ is built for
+    #    the worst case; see ablation A3).
+    det = solver.solve(derandomize=True)
+    print(f"\nderandomized welfare: {det.welfare:.1f} (deterministic)")
+    assert det.meets_guarantee()
+
+    winners = {v: sorted(s) for v, s in det.allocation.items() if s}
+    print(f"{len(winners)} winners (derandomized):")
+    for v, channels in sorted(winners.items()):
+        print(f"  bidder {v:2d} <- channels {channels}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables
+`python setup.py develop` / legacy editable installs offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""Core library: the paper's LP relaxation, rounding, and solvers."""
+
+from repro.core.asymmetric import (
+    AsymmetricAuctionLP,
+    AsymmetricAuctionProblem,
+    round_asymmetric,
+    solve_asymmetric_with_column_generation,
+)
+from repro.core.asymmetric_weighted import (
+    WeightedAsymmetricLP,
+    WeightedAsymmetricProblem,
+    complete_weighted_asymmetric,
+    round_weighted_asymmetric,
+)
+from repro.core.online import OnlineResult, online_greedy
+from repro.core.scheduling import Schedule, schedule_all
+from repro.core.auction import Allocation, AuctionProblem, social_welfare
+from repro.core.auction_lp import (
+    AuctionLP,
+    AuctionLPSolution,
+    Column,
+    allocation_to_lp_vector,
+)
+from repro.core.baselines import (
+    edge_lp_value,
+    greedy_channel_allocation,
+    local_ratio_independent_set,
+    round_edge_lp,
+)
+from repro.core.column_generation import (
+    ColumnGenerationResult,
+    bidder_prices,
+    solve_with_column_generation,
+)
+from repro.core.conflict_resolution import (
+    FullResolutionResult,
+    check_condition5,
+    make_fully_feasible,
+)
+from repro.core.derandomize import DerandomizedResult, derandomize_rounding
+from repro.core.pairwise import (
+    PairwiseRoundingResult,
+    pairwise_derandomize,
+    smallest_prime_at_least,
+)
+from repro.core.exact import ExactResult, solve_exact
+from repro.core.lp import LPSolution, solve_packing_lp
+from repro.core.rounding import (
+    RoundingReport,
+    default_scale,
+    round_unweighted,
+    round_weighted,
+)
+from repro.core.solver import SolverResult, SpectrumAuctionSolver
+
+__all__ = [
+    "AuctionProblem",
+    "Allocation",
+    "social_welfare",
+    "AuctionLP",
+    "AuctionLPSolution",
+    "Column",
+    "allocation_to_lp_vector",
+    "solve_packing_lp",
+    "LPSolution",
+    "solve_with_column_generation",
+    "ColumnGenerationResult",
+    "bidder_prices",
+    "round_unweighted",
+    "round_weighted",
+    "RoundingReport",
+    "default_scale",
+    "make_fully_feasible",
+    "FullResolutionResult",
+    "check_condition5",
+    "derandomize_rounding",
+    "DerandomizedResult",
+    "pairwise_derandomize",
+    "PairwiseRoundingResult",
+    "smallest_prime_at_least",
+    "solve_exact",
+    "ExactResult",
+    "edge_lp_value",
+    "round_edge_lp",
+    "local_ratio_independent_set",
+    "greedy_channel_allocation",
+    "AsymmetricAuctionProblem",
+    "AsymmetricAuctionLP",
+    "round_asymmetric",
+    "WeightedAsymmetricProblem",
+    "WeightedAsymmetricLP",
+    "round_weighted_asymmetric",
+    "complete_weighted_asymmetric",
+    "Schedule",
+    "schedule_all",
+    "OnlineResult",
+    "online_greedy",
+    "solve_asymmetric_with_column_generation",
+    "SpectrumAuctionSolver",
+    "SolverResult",
+]

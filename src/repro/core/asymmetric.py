@@ -1,0 +1,221 @@
+"""Asymmetric channels (Section 6): a different conflict graph per channel.
+
+The LP swaps the single interference coefficient κ(u, v) for per-channel
+coefficients κ_j(u, v) in rows (v, j); the rounding scales probabilities by
+``2kρ`` (unweighted) / ``4kρ`` (weighted) instead of 2√kρ — the proof of
+Lemma 4 then goes through *without* the symmetry of channels or the √k
+bundle split, at the cost of an O(kρ) instead of O(√kρ) factor.  Theorem 18
+shows this is essentially optimal; its instance construction lives in
+:func:`repro.graphs.generators.theorem18_edge_partition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.auction import Allocation
+from repro.core.auction_lp import AuctionLPSolution, Column
+from repro.core.lp import solve_packing_lp
+from repro.core.rounding import sample_tentative
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.util.rng import ensure_rng
+from repro.valuations.base import Valuation, enumerate_bundles
+
+__all__ = [
+    "AsymmetricAuctionProblem",
+    "AsymmetricAuctionLP",
+    "round_asymmetric",
+    "solve_asymmetric_with_column_generation",
+]
+
+
+@dataclass
+class AsymmetricAuctionProblem:
+    """Problem 1 with per-channel conflict graphs (unweighted)."""
+
+    graphs: list[ConflictGraph]
+    ordering: VertexOrdering
+    rho: float
+    valuations: list[Valuation]
+
+    def __post_init__(self) -> None:
+        if not self.graphs:
+            raise ValueError("need at least one channel graph")
+        n = self.graphs[0].n
+        if any(g.n != n for g in self.graphs):
+            raise ValueError("all channel graphs must share the vertex set")
+        if self.ordering.n != n:
+            raise ValueError("ordering does not match vertex count")
+        if len(self.valuations) != n:
+            raise ValueError("one valuation per vertex required")
+        if any(v.k != self.k for v in self.valuations):
+            raise ValueError("valuations disagree with channel count")
+
+    @property
+    def k(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def n(self) -> int:
+        return self.graphs[0].n
+
+    def welfare(self, allocation: Allocation) -> float:
+        return float(
+            sum(self.valuations[v].value(s) for v, s in allocation.items() if s)
+        )
+
+    def is_feasible(self, allocation: Allocation) -> bool:
+        """Channel j's holders must be independent in graph j."""
+        for j, graph in enumerate(self.graphs):
+            holders = [v for v, s in allocation.items() if j in s]
+            if not graph.is_independent(holders):
+                return False
+        return True
+
+
+class AsymmetricAuctionLP:
+    """LP (1) with per-channel backward neighborhoods."""
+
+    def __init__(
+        self,
+        problem: AsymmetricAuctionProblem,
+        columns: list[Column] | None = None,
+        enumeration_limit: int = 2048,
+    ) -> None:
+        self.problem = problem
+        if columns is None:
+            columns = []
+            for v, valuation in enumerate(problem.valuations):
+                supp = valuation.support()
+                if supp is None:
+                    if 2**problem.k > enumeration_limit:
+                        raise ValueError(
+                            "no finite support and k too large to enumerate"
+                        )
+                    supp = [b for b in enumerate_bundles(problem.k) if b]
+                for bundle in supp:
+                    value = valuation.value(bundle)
+                    if bundle and value > 0:
+                        columns.append(Column(v, frozenset(bundle), float(value)))
+        self.columns = columns
+
+    def solve(self) -> AuctionLPSolution:
+        problem = self.problem
+        n, k = problem.n, problem.k
+        pos = problem.ordering.pos
+        rows, cols, data = [], [], []
+        for ci, col in enumerate(self.columns):
+            u = col.vertex
+            for j in col.bundle:
+                adj = problem.graphs[j].adjacency[u]
+                forward = np.flatnonzero(adj & (pos > pos[u]))
+                for v in forward.tolist():
+                    rows.append(v * k + j)
+                    cols.append(ci)
+                    data.append(1.0)
+            rows.append(n * k + u)
+            cols.append(ci)
+            data.append(1.0)
+        a = sp.coo_matrix((data, (rows, cols)), shape=(n * k + n, len(self.columns))).tocsr()
+        b = np.concatenate([np.full(n * k, float(problem.rho)), np.ones(n)])
+        c = np.array([col.value for col in self.columns])
+        sol = solve_packing_lp(c, a, b)
+        return AuctionLPSolution(
+            columns=list(self.columns),
+            x=sol.x,
+            value=sol.value,
+            y=sol.duals[: n * k].reshape(n, k),
+            z=sol.duals[n * k :],
+        )
+
+
+def solve_asymmetric_with_column_generation(
+    problem: AsymmetricAuctionProblem,
+    max_iterations: int = 200,
+    tolerance: float = 1e-7,
+) -> tuple[AuctionLPSolution, int, bool]:
+    """Demand-oracle solving of the asymmetric LP (Section 6 + Section 2.2).
+
+    Identical master/pricing loop as the symmetric case; the bidder-specific
+    prices use each channel's own backward relation:
+
+        p_{v,j} = Σ_{u : {u,v} ∈ E_j, π(u) > π(v)} y_{u,j}.
+
+    Returns ``(solution, iterations, converged)``.
+    """
+    pos = problem.ordering.pos
+    n, k = problem.n, problem.k
+    lp = AsymmetricAuctionLP(problem, columns=[])
+    seen: set[tuple[int, frozenset[int]]] = set()
+
+    def add_column(v: int, bundle: frozenset[int]) -> bool:
+        key = (v, bundle)
+        if not bundle or key in seen:
+            return False
+        value = problem.valuations[v].value(bundle)
+        if value <= 0:
+            return False
+        seen.add(key)
+        lp.columns.append(Column(v, bundle, float(value)))
+        return True
+
+    zero = np.zeros(k)
+    for v, valuation in enumerate(problem.valuations):
+        bundle, _ = valuation.demand(zero)
+        add_column(v, bundle)
+
+    solution = lp.solve()
+    for iteration in range(1, max_iterations + 1):
+        # prices[v, j] from per-channel forward neighborhoods.
+        prices = np.zeros((n, k))
+        for j in range(k):
+            adj = problem.graphs[j].adjacency
+            later = pos[:, None] < pos[None, :]
+            prices[:, j] = (adj & later).astype(float) @ solution.y[:, j]
+        added = 0
+        for v, valuation in enumerate(problem.valuations):
+            bundle, util = valuation.demand(prices[v])
+            if bundle and util > solution.z[v] + tolerance:
+                if add_column(v, bundle):
+                    added += 1
+        if added == 0:
+            return solution, iteration, True
+        solution = lp.solve()
+    return solution, max_iterations, False
+
+
+def round_asymmetric(
+    problem: AsymmetricAuctionProblem,
+    solution: AuctionLPSolution,
+    rng=None,
+    scale: float | None = None,
+) -> tuple[Allocation, dict]:
+    """Section 6 rounding: probability x/(2kρ), conflict resolution per
+    channel's own graph, no bundle-size split."""
+    rng = ensure_rng(rng)
+    eff_scale = (
+        2.0 * problem.k * max(problem.rho, 1.0) if scale is None else float(scale)
+    )
+    tentative = sample_tentative(solution.per_vertex(), eff_scale, rng)
+    pos = problem.ordering.pos
+    final: Allocation = {}
+    removed = 0
+    for v in sorted(tentative, key=lambda u: pos[u]):
+        bundle = tentative[v]
+        conflict = False
+        for u, other in final.items():
+            shared = bundle & other
+            if not shared:
+                continue
+            if any(problem.graphs[j].has_edge(u, v) for j in shared):
+                conflict = True
+                break
+        if conflict:
+            removed += 1
+        else:
+            final[v] = bundle
+    info = {"scale": eff_scale, "tentative": len(tentative), "removed": removed}
+    return final, info

@@ -1,0 +1,89 @@
+"""Problem statement objects: combinatorial auctions with conflict graphs.
+
+An :class:`AuctionProblem` bundles everything Problem 1 needs — a conflict
+structure (graph + ordering + ρ), the channel count ``k``, and one valuation
+per vertex.  Allocations are ``dict[vertex, frozenset[channel]]``; vertices
+absent from the dict hold the empty bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.interference.base import ConflictStructure, WeightedConflictStructure
+from repro.util.validation import check_allocation_feasible
+from repro.valuations.base import Valuation
+
+__all__ = ["AuctionProblem", "Allocation", "social_welfare"]
+
+Allocation = dict[int, frozenset[int]]
+
+Structure = Union[ConflictStructure, WeightedConflictStructure]
+
+
+def social_welfare(valuations: list[Valuation], allocation: Allocation) -> float:
+    """Σ_v b_v(S(v)) — the objective of Problem 1."""
+    return float(
+        sum(valuations[v].value(bundle) for v, bundle in allocation.items() if bundle)
+    )
+
+
+@dataclass
+class AuctionProblem:
+    """A combinatorial auction with conflict graph (Problem 1)."""
+
+    structure: Structure
+    k: int
+    valuations: list[Valuation]
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("need at least one channel")
+        if len(self.valuations) != self.structure.n:
+            raise ValueError(
+                f"{self.structure.n} vertices but {len(self.valuations)} valuations"
+            )
+        bad = [i for i, v in enumerate(self.valuations) if v.k != self.k]
+        if bad:
+            raise ValueError(f"valuations {bad} disagree with k={self.k}")
+
+    @property
+    def n(self) -> int:
+        return self.structure.n
+
+    @property
+    def is_weighted(self) -> bool:
+        return isinstance(self.structure, WeightedConflictStructure)
+
+    @property
+    def graph(self):
+        return self.structure.graph
+
+    @property
+    def ordering(self):
+        return self.structure.ordering
+
+    @property
+    def rho(self) -> float:
+        return self.structure.rho
+
+    def welfare(self, allocation: Allocation) -> float:
+        return social_welfare(self.valuations, allocation)
+
+    def is_feasible(self, allocation: Allocation) -> bool:
+        """Re-validate per-channel independence against the conflict graph."""
+        return check_allocation_feasible(self.graph, allocation, self.k)
+
+    def approximation_bound(self) -> float:
+        """The paper's guarantee for this problem class.
+
+        Theorem 3 for unweighted graphs (8√k·ρ); Lemmas 7+8 for weighted
+        graphs (16√k·ρ·⌈log₂ n⌉).
+        """
+        import math
+
+        base = 8.0 * math.sqrt(self.k) * self.rho
+        if self.is_weighted:
+            return 2.0 * base * max(1, math.ceil(math.log2(max(2, self.n))))
+        return base

@@ -1,0 +1,196 @@
+"""The paper's LP relaxations — LP (1) (unweighted) and LP (4) (weighted).
+
+Variables are indexed by *columns* ``(v, T)``: vertex ``v`` receiving
+bundle ``T``.  Rows:
+
+* one packing row per (vertex v, channel j):
+    Σ_{u ∈ Γ_π(v)} Σ_{T ∋ j} κ(u, v) · x_{u,T} ≤ ρ
+  with κ = 1 on backward edges (LP 1b) or κ = w̄(u, v) over all earlier
+  vertices (LP 4b);
+* one row per vertex: Σ_T x_{v,T} ≤ 1 (LP 1c/4c).
+
+The builder enumerates columns from each valuation's finite support (or all
+bundles when k is small); bidders available only through demand oracles are
+handled by :mod:`repro.core.column_generation`, which grows the column set
+of this same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.auction import AuctionProblem
+from repro.core.lp import LPSolution, solve_packing_lp
+from repro.valuations.base import enumerate_bundles
+
+__all__ = ["Column", "AuctionLP", "AuctionLPSolution", "allocation_to_lp_vector"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One LP variable: vertex ``v`` gets bundle ``T`` at value b_v(T)."""
+
+    vertex: int
+    bundle: frozenset[int]
+    value: float
+
+
+@dataclass
+class AuctionLPSolution:
+    """Fractional LP solution plus the duals the paper's Section 2.2 uses."""
+
+    columns: list[Column]
+    x: np.ndarray
+    value: float
+    y: np.ndarray  # shape (n, k): duals of the packing rows (v, j)
+    z: np.ndarray  # shape (n,):  duals of the one-bundle-per-vertex rows
+    iterations: int = 1
+
+    def support(self, tolerance: float = 1e-9) -> list[tuple[Column, float]]:
+        """Columns with positive mass."""
+        return [
+            (col, float(xv))
+            for col, xv in zip(self.columns, self.x)
+            if xv > tolerance
+        ]
+
+    def per_vertex(self, tolerance: float = 1e-9) -> dict[int, list[tuple[frozenset[int], float, float]]]:
+        """Group the support by vertex: v → [(bundle, x, value), ...]."""
+        out: dict[int, list[tuple[frozenset[int], float, float]]] = {}
+        for col, xv in self.support(tolerance):
+            out.setdefault(col.vertex, []).append((col.bundle, xv, col.value))
+        return out
+
+
+class AuctionLP:
+    """LP (1)/(4) over an explicit, growable column set."""
+
+    def __init__(self, problem: AuctionProblem, columns: list[Column] | None = None) -> None:
+        self.problem = problem
+        self.columns: list[Column] = []
+        self._column_keys: set[tuple[int, frozenset[int]]] = set()
+        if columns is None:
+            columns = self.default_columns(problem)
+        for col in columns:
+            self.add_column(col)
+
+    # ------------------------------------------------------------------
+    # column management
+    # ------------------------------------------------------------------
+    @staticmethod
+    def default_columns(problem: AuctionProblem, enumeration_limit: int = 2048) -> list[Column]:
+        """Columns from valuation supports; full enumeration for small k.
+
+        Raises ``ValueError`` when a bidder has no finite support and k is
+        too large to enumerate — use column generation for those.
+        """
+        cols: list[Column] = []
+        for v, valuation in enumerate(problem.valuations):
+            supp = valuation.support()
+            if supp is None:
+                if 2**problem.k > enumeration_limit:
+                    raise ValueError(
+                        f"bidder {v} has no finite support and k={problem.k} is "
+                        "too large to enumerate; use solve_with_column_generation"
+                    )
+                supp = [b for b in enumerate_bundles(problem.k) if b]
+            for bundle in supp:
+                if not bundle:
+                    continue
+                value = valuation.value(bundle)
+                if value > 0:
+                    cols.append(Column(v, frozenset(bundle), float(value)))
+        return cols
+
+    def has_column(self, vertex: int, bundle: frozenset[int]) -> bool:
+        return (vertex, frozenset(bundle)) in self._column_keys
+
+    def add_column(self, col: Column) -> bool:
+        """Add a column if absent; returns True when actually added."""
+        key = (col.vertex, frozenset(col.bundle))
+        if not col.bundle:
+            raise ValueError("the empty bundle is never an LP column")
+        if key in self._column_keys:
+            return False
+        if not 0 <= col.vertex < self.problem.n:
+            raise ValueError(f"vertex {col.vertex} out of range")
+        self._column_keys.add(key)
+        self.columns.append(col)
+        return True
+
+    # ------------------------------------------------------------------
+    # matrix assembly
+    # ------------------------------------------------------------------
+    def _interference_coefficients(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vertices v with π(v) > π(u) affected by u, and the coefficient
+        κ(u, v) each contributes to row (v, j)."""
+        problem = self.problem
+        ordering = problem.ordering
+        later = ~ordering.earlier_mask(u)
+        later[u] = False
+        if problem.is_weighted:
+            wbar = problem.graph.wbar_matrix[u]
+            affected = np.flatnonzero(later & (wbar > 0))
+            return affected, wbar[affected]
+        adj = problem.graph.adjacency[u]
+        affected = np.flatnonzero(later & adj)
+        return affected, np.ones(affected.size)
+
+    def build(self) -> tuple[sp.csr_matrix, np.ndarray, np.ndarray]:
+        """Assemble (A, b, c) for the current column set."""
+        n, k = self.problem.n, self.problem.k
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for ci, col in enumerate(self.columns):
+            affected, coeff = self._interference_coefficients(col.vertex)
+            for j in col.bundle:
+                for v, w in zip(affected.tolist(), coeff.tolist()):
+                    rows.append(v * k + j)
+                    cols.append(ci)
+                    data.append(w)
+            rows.append(n * k + col.vertex)
+            cols.append(ci)
+            data.append(1.0)
+        a = sp.coo_matrix(
+            (data, (rows, cols)), shape=(n * k + n, len(self.columns))
+        ).tocsr()
+        b = np.concatenate([np.full(n * k, float(self.problem.rho)), np.ones(n)])
+        c = np.array([col.value for col in self.columns])
+        return a, b, c
+
+    def solve(self) -> AuctionLPSolution:
+        """Solve the LP over the current columns."""
+        if not self.columns:
+            n, k = self.problem.n, self.problem.k
+            return AuctionLPSolution(
+                columns=[], x=np.zeros(0), value=0.0, y=np.zeros((n, k)), z=np.zeros(n)
+            )
+        a, b, c = self.build()
+        sol: LPSolution = solve_packing_lp(c, a, b)
+        n, k = self.problem.n, self.problem.k
+        y = sol.duals[: n * k].reshape(n, k)
+        z = sol.duals[n * k :]
+        return AuctionLPSolution(
+            columns=list(self.columns), x=sol.x, value=sol.value, y=y, z=z
+        )
+
+
+def allocation_to_lp_vector(
+    lp: AuctionLP, allocation: dict[int, frozenset[int]]
+) -> np.ndarray:
+    """Lemma 1's embedding: the 0/1 LP vector of a feasible allocation
+    (columns must already exist for every allocated bundle)."""
+    x = np.zeros(len(lp.columns))
+    index = {(c.vertex, c.bundle): i for i, c in enumerate(lp.columns)}
+    for v, bundle in allocation.items():
+        if not bundle:
+            continue
+        key = (v, frozenset(bundle))
+        if key not in index:
+            raise KeyError(f"no LP column for vertex {v}, bundle {sorted(bundle)}")
+        x[index[key]] = 1.0
+    return x

@@ -1,0 +1,123 @@
+"""Baseline algorithms the paper compares against or builds upon.
+
+* :func:`edge_lp_value` — the "intuitive" edge-based LP of Section 2.1
+  (x_u + x_v ≤ 1 per edge).  Its integrality gap is n/2 on cliques, the
+  motivating failure that the inductive LP avoids (experiment E10).
+* :func:`local_ratio_independent_set` — the ρ-approximation of Akcoglu et
+  al. [1] / Ye–Borodin [32] for a single channel: a stack-based local-ratio
+  scan along the inductive ordering.  The paper cites it as prior work that
+  does not extend to multiple channels or truthfulness.
+* :func:`greedy_channel_allocation` — a natural marginal-value greedy over
+  channels; no worst-case guarantee, used as an empirical baseline (E11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.auction import Allocation, AuctionProblem
+from repro.core.lp import solve_packing_lp
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+
+__all__ = [
+    "edge_lp_value",
+    "round_edge_lp",
+    "local_ratio_independent_set",
+    "greedy_channel_allocation",
+]
+
+
+def edge_lp_value(graph: ConflictGraph, profits: np.ndarray) -> tuple[np.ndarray, float]:
+    """Solve the edge-based LP: max Σ b_v x_v s.t. x_u + x_v ≤ 1, x ∈ [0,1]."""
+    import scipy.sparse as sp
+
+    p = np.asarray(profits, dtype=float)
+    edges = list(graph.edges())
+    rows, cols, data = [], [], []
+    for r, (u, v) in enumerate(edges):
+        rows += [r, r]
+        cols += [u, v]
+        data += [1.0, 1.0]
+    a = sp.coo_matrix((data, (rows, cols)), shape=(len(edges), graph.n)).tocsr()
+    sol = solve_packing_lp(p, a, np.ones(len(edges)), upper_bounds=np.ones(graph.n))
+    return sol.x, sol.value
+
+
+def round_edge_lp(graph: ConflictGraph, profits: np.ndarray) -> tuple[list[int], float]:
+    """Greedy rounding of the edge LP: scan by decreasing fractional mass."""
+    x, _ = edge_lp_value(graph, profits)
+    p = np.asarray(profits, dtype=float)
+    order = np.argsort(-(x * p), kind="stable")
+    adjacency = graph.adjacency
+    blocked = np.zeros(graph.n, dtype=bool)
+    chosen: list[int] = []
+    total = 0.0
+    for v in order:
+        v = int(v)
+        if x[v] <= 1e-12 or p[v] <= 0 or blocked[v]:
+            continue
+        chosen.append(v)
+        total += p[v]
+        blocked |= adjacency[v]
+    return sorted(chosen), float(total)
+
+
+def local_ratio_independent_set(
+    graph: ConflictGraph,
+    ordering: VertexOrdering,
+    profits: np.ndarray,
+) -> tuple[list[int], float]:
+    """Stack-based local-ratio MWIS — a ρ-approximation (Akcoglu et al.).
+
+    Phase 1 scans vertices by *decreasing* π: a vertex with positive
+    residual profit is pushed and its residual is subtracted from itself
+    and its backward neighbors (exactly the set whose independent subsets
+    the inductive independence number bounds).  Phase 2 pops the stack and
+    keeps every vertex compatible with the current selection.
+    """
+    p = np.asarray(profits, dtype=float).copy()
+    adjacency = graph.adjacency
+    pos = ordering.pos
+    stack: list[int] = []
+    for v in sorted(range(graph.n), key=lambda u: pos[u], reverse=True):
+        if p[v] <= 1e-12:
+            continue
+        delta = p[v]
+        stack.append(v)
+        back = np.flatnonzero(adjacency[v] & (pos < pos[v]))
+        p[v] = 0.0
+        p[back] -= delta
+    chosen: list[int] = []
+    blocked = np.zeros(graph.n, dtype=bool)
+    for v in reversed(stack):
+        if not blocked[v]:
+            chosen.append(v)
+            blocked |= adjacency[v]
+    total = float(np.asarray(profits, dtype=float)[chosen].sum())
+    return sorted(chosen), total
+
+
+def greedy_channel_allocation(problem: AuctionProblem) -> Allocation:
+    """Channel-by-channel greedy on marginal values.
+
+    For each channel in turn, scan vertices by decreasing marginal value of
+    adding the channel to their current bundle and grant it when the
+    channel's holder set stays independent (unweighted or weighted notion).
+    """
+    allocation: Allocation = {v: frozenset() for v in range(problem.n)}
+    graph = problem.graph
+    for j in range(problem.k):
+        holders: list[int] = []
+        gains = []
+        for v in range(problem.n):
+            current = allocation[v]
+            gain = problem.valuations[v].value(current | {j}) - problem.valuations[v].value(current)
+            gains.append(gain)
+        for v in np.argsort(-np.asarray(gains), kind="stable"):
+            v = int(v)
+            if gains[v] <= 1e-12:
+                break
+            if graph.is_independent(holders + [v]):
+                holders.append(v)
+                allocation[v] = allocation[v] | {j}
+    return {v: s for v, s in allocation.items() if s}

@@ -1,0 +1,85 @@
+"""Thin LP layer over scipy's HiGHS with consistent dual extraction.
+
+Everything here is phrased as a *maximization* packing LP
+
+    max c·x   s.t.   A x ≤ b,   x ≥ 0,
+
+which covers LP (1), LP (4), the dual-decomposition master of Lavi–Swamy,
+and the edge-based baseline LP.  SciPy solves minimizations and reports
+marginals with minimization signs; :func:`solve_packing_lp` normalizes so
+that the returned duals ``y ≥ 0`` satisfy complementary slackness and
+strong duality ``c·x* = b·y*`` for feasible bounded problems (verified in
+tests against hand-solved programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+__all__ = ["LPSolution", "solve_packing_lp"]
+
+
+@dataclass
+class LPSolution:
+    """Primal/dual solution of a packing LP."""
+
+    x: np.ndarray
+    value: float
+    duals: np.ndarray
+    status: int
+    message: str
+
+    @property
+    def optimal(self) -> bool:
+        return self.status == 0
+
+
+def solve_packing_lp(
+    c: np.ndarray,
+    a_ub: sp.spmatrix | np.ndarray,
+    b_ub: np.ndarray,
+    upper_bounds: np.ndarray | None = None,
+) -> LPSolution:
+    """Solve ``max c·x s.t. a_ub x ≤ b_ub, 0 ≤ x ≤ upper_bounds``.
+
+    ``upper_bounds=None`` leaves variables unbounded above (the packing
+    rows are expected to bound them).  Raises ``RuntimeError`` when HiGHS
+    does not return an optimal solution — callers always expect feasible
+    bounded programs.
+    """
+    c = np.asarray(c, dtype=float)
+    b_ub = np.asarray(b_ub, dtype=float)
+    a = sp.csr_matrix(a_ub)
+    if a.shape != (b_ub.shape[0], c.shape[0]):
+        raise ValueError(
+            f"A has shape {a.shape}, expected ({b_ub.shape[0]}, {c.shape[0]})"
+        )
+    bounds = (
+        (0, None)
+        if upper_bounds is None
+        else [(0.0, float(u)) for u in np.asarray(upper_bounds, dtype=float)]
+    )
+    res = linprog(
+        -c,
+        A_ub=a,
+        b_ub=b_ub,
+        bounds=bounds,
+        method="highs",
+    )
+    if res.status != 0:
+        raise RuntimeError(f"LP solve failed (status {res.status}): {res.message}")
+    # For min −c·x with A x ≤ b, HiGHS marginals are ≤ 0; negating yields
+    # the usual y ≥ 0 of the maximization dual (min b·y, Aᵀy ≥ c).
+    duals = -np.asarray(res.ineqlin.marginals, dtype=float)
+    duals[duals < 0] = 0.0  # clip numerical noise
+    return LPSolution(
+        x=np.asarray(res.x, dtype=float),
+        value=float(-res.fun),
+        duals=duals,
+        status=int(res.status),
+        message=str(res.message),
+    )

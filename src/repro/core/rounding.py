@@ -1,0 +1,235 @@
+"""Randomized LP rounding — Algorithm 1 (unweighted) and Algorithm 2 (weighted).
+
+Both algorithms share the same skeleton:
+
+1. **decompose** the LP solution by bundle size: x⁽¹⁾ keeps bundles with
+   |T| ≤ √k, x⁽²⁾ the rest (line 1 of both algorithms);
+2. **rounding stage** — every vertex independently picks bundle T with
+   probability ``x_{v,T} / scale`` (scale = 2√kρ unweighted, 4√kρ weighted)
+   and otherwise the empty bundle;
+3. **conflict resolution** — vertices are scanned in increasing π and lose
+   their bundle when their backward conflicts are too heavy: any shared
+   channel with a backward neighbor (Algorithm 1), or shared-channel
+   symmetric weight ≥ 1/2 (Algorithm 2, Condition (5));
+4. the better of the two candidate allocations is returned.
+
+Algorithm 1's output is immediately feasible; Algorithm 2's output is only
+*partly feasible* and is finished by Algorithm 3
+(:mod:`repro.core.conflict_resolution`).
+
+Two paper-faithful knobs are exposed for the ablation benches: ``split``
+(disable the √k decomposition, A1) and ``resolve`` (resolve conflicts
+against tentative bundles instead of surviving ones, A2 — the proof of
+Lemma 4 upper-bounds removals with tentative bundles, so the "survivors"
+default only keeps more).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.auction import Allocation, AuctionProblem
+from repro.core.auction_lp import AuctionLPSolution
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "RoundingReport",
+    "default_scale",
+    "sample_tentative",
+    "resolve_unweighted",
+    "resolve_weighted_partial",
+    "round_unweighted",
+    "round_weighted",
+]
+
+
+@dataclass
+class RoundingReport:
+    """What happened inside one rounding run (for tests and experiments)."""
+
+    scale: float
+    split: bool
+    class_values: list[float] = field(default_factory=list)
+    chosen_class: int = -1
+    tentative_sizes: list[int] = field(default_factory=list)
+    removed_counts: list[int] = field(default_factory=list)
+
+
+def default_scale(problem: AuctionProblem) -> float:
+    """2√kρ for unweighted graphs, 4√kρ for weighted (Algorithms 1/2)."""
+    base = 2.0 * math.sqrt(problem.k) * max(problem.rho, 1.0)
+    return 2.0 * base if problem.is_weighted else base
+
+
+def _split_classes(
+    solution: AuctionLPSolution, k: int, split: bool
+) -> list[dict[int, list[tuple[frozenset[int], float, float]]]]:
+    """Decompose the LP support into the |T| ≤ √k and |T| > √k classes."""
+    per_vertex = solution.per_vertex()
+    if not split:
+        return [per_vertex]
+    threshold = math.sqrt(k)
+    small: dict[int, list] = {}
+    large: dict[int, list] = {}
+    for v, entries in per_vertex.items():
+        for bundle, x, value in entries:
+            target = small if len(bundle) <= threshold else large
+            target.setdefault(v, []).append((bundle, x, value))
+    return [small, large]
+
+
+def sample_tentative(
+    per_vertex: dict[int, list[tuple[frozenset[int], float, float]]],
+    scale: float,
+    rng: np.random.Generator,
+) -> Allocation:
+    """Rounding stage: pick each vertex's bundle independently with
+    probability x/scale (empty otherwise)."""
+    if scale < 1.0:
+        raise ValueError("scale must be at least 1 for valid probabilities")
+    tentative: Allocation = {}
+    for v, entries in per_vertex.items():
+        u = rng.random()
+        acc = 0.0
+        for bundle, x, _value in entries:
+            acc += x / scale
+            if u < acc:
+                tentative[v] = bundle
+                break
+    return tentative
+
+
+def resolve_unweighted(
+    problem: AuctionProblem,
+    tentative: Allocation,
+    resolve: str = "survivors",
+) -> tuple[Allocation, int]:
+    """Algorithm 1's conflict resolution: scan in increasing π; a vertex
+    loses its bundle when a backward neighbor shares a channel.
+
+    ``resolve="survivors"`` checks against bundles still alive (keeps more,
+    still covered by the proof); ``"tentative"`` checks against the raw
+    rounded bundles (the literal pessimistic reading).  Returns the feasible
+    allocation and the number of removed vertices.
+    """
+    if resolve not in ("survivors", "tentative"):
+        raise ValueError(f"unknown resolve mode {resolve!r}")
+    adjacency = problem.graph.adjacency
+    pos = problem.ordering.pos
+    order = sorted(tentative, key=lambda v: pos[v])
+    final: Allocation = {}
+    removed = 0
+    reference = tentative if resolve == "tentative" else final
+    for v in order:
+        bundle = tentative[v]
+        conflict = False
+        for u in order:
+            if pos[u] >= pos[v]:
+                break
+            if not adjacency[u, v]:
+                continue
+            other = reference.get(u)
+            if other and other & bundle:
+                conflict = True
+                break
+        if conflict:
+            removed += 1
+        else:
+            final[v] = bundle
+    return final, removed
+
+
+def resolve_weighted_partial(
+    problem: AuctionProblem,
+    tentative: Allocation,
+    resolve: str = "survivors",
+) -> tuple[Allocation, int]:
+    """Algorithm 2's partial resolution: a vertex is dropped when the
+    symmetric weight to earlier shared-channel vertices reaches 1/2.
+
+    With the default "survivors" reference the output satisfies Condition
+    (5) by construction; the "tentative" variant (the proof's pessimistic
+    estimate) is kept for the ablation bench and *also* satisfies (5),
+    since surviving earlier bundles are a subset of tentative ones.
+    """
+    if resolve not in ("survivors", "tentative"):
+        raise ValueError(f"unknown resolve mode {resolve!r}")
+    wbar = problem.graph.wbar_matrix
+    pos = problem.ordering.pos
+    order = sorted(tentative, key=lambda v: pos[v])
+    final: Allocation = {}
+    removed = 0
+    reference = tentative if resolve == "tentative" else final
+    for v in order:
+        bundle = tentative[v]
+        total = 0.0
+        for u in order:
+            if pos[u] >= pos[v]:
+                break
+            other = reference.get(u)
+            if other and other & bundle:
+                total += wbar[u, v]
+        if total >= 0.5:
+            removed += 1
+        else:
+            final[v] = bundle
+    return final, removed
+
+
+def _run(
+    problem: AuctionProblem,
+    solution: AuctionLPSolution,
+    rng,
+    scale: float | None,
+    split: bool,
+    resolve: str,
+    resolver,
+) -> tuple[Allocation, RoundingReport]:
+    rng = ensure_rng(rng)
+    eff_scale = default_scale(problem) if scale is None else float(scale)
+    report = RoundingReport(scale=eff_scale, split=split)
+    best: Allocation = {}
+    best_value = -1.0
+    for cls, per_vertex in enumerate(_split_classes(solution, problem.k, split)):
+        tentative = sample_tentative(per_vertex, eff_scale, rng)
+        allocation, removed = resolver(problem, tentative, resolve)
+        value = problem.welfare(allocation)
+        report.class_values.append(value)
+        report.tentative_sizes.append(len(tentative))
+        report.removed_counts.append(removed)
+        if value > best_value:
+            best, best_value = allocation, value
+            report.chosen_class = cls
+    return best, report
+
+
+def round_unweighted(
+    problem: AuctionProblem,
+    solution: AuctionLPSolution,
+    rng=None,
+    scale: float | None = None,
+    split: bool = True,
+    resolve: str = "survivors",
+) -> tuple[Allocation, RoundingReport]:
+    """Algorithm 1.  Returns a feasible allocation and a report."""
+    if problem.is_weighted:
+        raise ValueError("round_unweighted requires an unweighted conflict graph")
+    return _run(problem, solution, rng, scale, split, resolve, resolve_unweighted)
+
+
+def round_weighted(
+    problem: AuctionProblem,
+    solution: AuctionLPSolution,
+    rng=None,
+    scale: float | None = None,
+    split: bool = True,
+    resolve: str = "survivors",
+) -> tuple[Allocation, RoundingReport]:
+    """Algorithm 2.  Returns a *partly feasible* allocation (Condition (5));
+    finish with :func:`repro.core.conflict_resolution.make_fully_feasible`."""
+    if not problem.is_weighted:
+        raise ValueError("round_weighted requires a weighted conflict graph")
+    return _run(problem, solution, rng, scale, split, resolve, resolve_weighted_partial)

@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` — run the experiment suite."""
+
+import sys
+
+from repro.experiments.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Run the whole experiment suite and render a single report.
+
+Programmatic:
+
+    from repro.experiments.report import run_all, render_report
+    outputs = run_all()
+    print(render_report(outputs))
+
+Command line:
+
+    python -m repro.experiments                 # run everything
+    python -m repro.experiments E1 E10 A3       # run a subset
+    python -m repro.experiments --list          # show available ids
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.harness import ExperimentOutput
+
+__all__ = ["run_all", "render_report", "main"]
+
+
+def run_all(ids: list[str] | None = None) -> dict[str, tuple[ExperimentOutput, float]]:
+    """Run the selected experiments (all by default); returns
+    id → (output, wall seconds)."""
+    selected = list(ALL_EXPERIMENTS) if not ids else ids
+    unknown = [i for i in selected if i not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+    results: dict[str, tuple[ExperimentOutput, float]] = {}
+    for exp_id in selected:
+        start = time.perf_counter()
+        output = ALL_EXPERIMENTS[exp_id]()
+        results[exp_id] = (output, time.perf_counter() - start)
+    return results
+
+
+def render_report(results: dict[str, tuple[ExperimentOutput, float]]) -> str:
+    """One text block per experiment, plus a timing footer."""
+    blocks = []
+    for exp_id, (output, seconds) in results.items():
+        blocks.append(f"{output.render()}\n[{exp_id}: {seconds:.2f}s]")
+    total = sum(seconds for _, seconds in results.values())
+    blocks.append(f"total: {len(results)} experiments in {total:.1f}s")
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if "--list" in args:
+        print("available experiments:", ", ".join(ALL_EXPERIMENTS))
+        return 0
+    ids = [a for a in args if not a.startswith("-")] or None
+    try:
+        results = run_all(ids)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render_report(results))
+    return 0

@@ -1,0 +1,108 @@
+"""Workload builders for the experiment suite (E1–E13, A1–A4).
+
+Each builder returns fully-specified problem instances from a seed, so
+benchmarks and EXPERIMENTS.md numbers are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.core.auction import AuctionProblem
+from repro.core.asymmetric import AsymmetricAuctionProblem
+from repro.geometry.disks import random_disk_instance
+from repro.geometry.links import random_links
+from repro.graphs.conflict_graph import VertexOrdering
+from repro.graphs.generators import random_regular_graph, theorem18_edge_partition
+from repro.interference.disk import disk_transmitter_model
+from repro.interference.physical import (
+    linear_power,
+    mean_power,
+    physical_model_structure,
+    uniform_power,
+)
+from repro.interference.power_control import power_control_structure
+from repro.interference.protocol import protocol_model
+from repro.util.rng import ensure_rng
+from repro.valuations.generators import (
+    all_or_nothing_valuations,
+    random_xor_valuations,
+)
+
+__all__ = [
+    "protocol_auction",
+    "disk_auction",
+    "physical_auction",
+    "power_control_auction",
+    "theorem18_auction",
+]
+
+DEFAULT_LENGTHS = (0.02, 0.08)
+
+
+def protocol_auction(
+    n: int,
+    k: int,
+    seed,
+    delta: float = 1.0,
+    bids_per_bidder: int = 4,
+    extent: float = 1.0,
+) -> AuctionProblem:
+    """Protocol-model auction with XOR bidders (E1, E11, E13, A1–A3)."""
+    rng = ensure_rng(seed)
+    links = random_links(n, extent=extent, length_range=DEFAULT_LENGTHS, seed=rng)
+    structure = protocol_model(links, delta)
+    vals = random_xor_valuations(n, k, bids_per_bidder=bids_per_bidder, seed=rng)
+    return AuctionProblem(structure, k, vals)
+
+
+def disk_auction(n: int, k: int, seed) -> AuctionProblem:
+    """Disk-graph transmitter auction (E2 companion, E11)."""
+    rng = ensure_rng(seed)
+    inst = random_disk_instance(n, seed=rng)
+    structure = disk_transmitter_model(inst)
+    vals = random_xor_valuations(n, k, seed=rng)
+    return AuctionProblem(structure, k, vals)
+
+
+def physical_auction(
+    n: int,
+    k: int,
+    seed,
+    scheme: str = "linear",
+    alpha: float = 3.0,
+    beta: float = 1.5,
+) -> AuctionProblem:
+    """Fixed-power physical-model auction (E5 companion, E6)."""
+    rng = ensure_rng(seed)
+    links = random_links(n, length_range=DEFAULT_LENGTHS, seed=rng)
+    power = {
+        "uniform": lambda: uniform_power(links),
+        "linear": lambda: linear_power(links, alpha),
+        "mean": lambda: mean_power(links, alpha),
+    }[scheme]()
+    structure = physical_model_structure(links, power, alpha, beta)
+    vals = random_xor_valuations(n, k, seed=rng)
+    return AuctionProblem(structure, k, vals)
+
+
+def power_control_auction(
+    n: int, k: int, seed, alpha: float = 3.0, beta: float = 1.5
+) -> AuctionProblem:
+    """Power-control auction (E7)."""
+    rng = ensure_rng(seed)
+    links = random_links(n, length_range=DEFAULT_LENGTHS, seed=rng)
+    structure = power_control_structure(links, alpha, beta)
+    vals = random_xor_valuations(n, k, seed=rng)
+    return AuctionProblem(structure, k, vals)
+
+
+def theorem18_auction(
+    n: int, d: int, k: int, seed
+) -> tuple[AsymmetricAuctionProblem, object]:
+    """Theorem 18 hardness instance: edge-partitioned regular graph with
+    all-or-nothing bidders (E9).  Returns (problem, base graph)."""
+    base = random_regular_graph(n, d, seed=seed)
+    ordering = VertexOrdering.identity(n)
+    graphs = theorem18_edge_partition(base, k, ordering)
+    rho = max(1, -(-d // k))  # ⌈d/k⌉
+    vals = all_or_nothing_valuations(n, k)
+    return AsymmetricAuctionProblem(graphs, ordering, rho, vals), base

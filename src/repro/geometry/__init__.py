@@ -1,0 +1,49 @@
+"""Geometric substrate: points, metrics, disks, and links."""
+
+from repro.geometry.disks import (
+    DiskInstance,
+    disk_graph,
+    radius_ordering,
+    random_disk_instance,
+    unit_disk_graph,
+)
+from repro.geometry.links import (
+    LinkSet,
+    length_ordering,
+    links_from_arrays,
+    random_links,
+    random_metric_links,
+)
+from repro.geometry.metric import (
+    EuclideanMetric,
+    MatrixMetric,
+    MetricSpace,
+    random_shortest_path_metric,
+)
+from repro.geometry.points import (
+    cross_distances,
+    pairwise_distances,
+    sample_clustered_points,
+    sample_uniform_points,
+)
+
+__all__ = [
+    "DiskInstance",
+    "disk_graph",
+    "unit_disk_graph",
+    "radius_ordering",
+    "random_disk_instance",
+    "LinkSet",
+    "length_ordering",
+    "random_links",
+    "random_metric_links",
+    "links_from_arrays",
+    "MetricSpace",
+    "EuclideanMetric",
+    "MatrixMetric",
+    "random_shortest_path_metric",
+    "sample_uniform_points",
+    "sample_clustered_points",
+    "pairwise_distances",
+    "cross_distances",
+]

@@ -1,0 +1,83 @@
+"""Disk graphs for transmitter scenarios (Section 4.1).
+
+Each transmitter ``i`` sits at a point with transmission radius ``r_i``; two
+transmitters conflict when their disks intersect (``d(i, j) ≤ r_i + r_j``).
+Proposition 9 certifies ρ ≤ 5 for the *decreasing-radius* ordering, which
+:func:`radius_ordering` produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import pairwise_distances, sample_uniform_points
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "disk_graph",
+    "unit_disk_graph",
+    "radius_ordering",
+    "random_disk_instance",
+    "DiskInstance",
+]
+
+
+def disk_graph(points: np.ndarray, radii: np.ndarray) -> ConflictGraph:
+    """Disk intersection graph: edge iff ``d(i, j) ≤ r_i + r_j``."""
+    pts = np.asarray(points, dtype=float)
+    r = np.asarray(radii, dtype=float)
+    if r.shape != (pts.shape[0],):
+        raise ValueError("radii must have one entry per point")
+    if (r <= 0).any():
+        raise ValueError("radii must be positive")
+    dist = pairwise_distances(pts)
+    adj = dist <= (r[:, None] + r[None, :])
+    np.fill_diagonal(adj, False)
+    return ConflictGraph.from_adjacency(adj)
+
+
+def unit_disk_graph(points: np.ndarray, radius: float) -> ConflictGraph:
+    """Unit-disk graph: edge iff ``d(i, j) ≤ 2 · radius``."""
+    n = np.asarray(points).shape[0]
+    return disk_graph(points, np.full(n, float(radius)))
+
+
+def radius_ordering(radii: np.ndarray) -> VertexOrdering:
+    """Decreasing-radius ordering π (Proposition 9's certificate).
+
+    The π-smallest vertex has the largest disk, so every backward neighbor
+    of ``v`` has radius ≥ r_v; at most 5 pairwise non-intersecting such
+    disks can touch v's disk.
+    """
+    return VertexOrdering.by_key(np.asarray(radii, dtype=float), descending=True)
+
+
+class DiskInstance:
+    """A sampled disk-graph instance bundling geometry, graph, and ordering."""
+
+    def __init__(self, points: np.ndarray, radii: np.ndarray) -> None:
+        self.points = np.asarray(points, dtype=float)
+        self.radii = np.asarray(radii, dtype=float)
+        self.graph = disk_graph(self.points, self.radii)
+        self.ordering = radius_ordering(self.radii)
+
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+
+def random_disk_instance(
+    n: int,
+    extent: float = 1.0,
+    radius_range: tuple[float, float] = (0.05, 0.15),
+    seed=None,
+) -> DiskInstance:
+    """Uniform points with i.i.d. uniform radii in ``radius_range``."""
+    lo, hi = radius_range
+    if not 0 < lo <= hi:
+        raise ValueError("radius_range must satisfy 0 < lo <= hi")
+    rng = ensure_rng(seed)
+    points = sample_uniform_points(n, extent, rng)
+    radii = rng.uniform(lo, hi, size=n)
+    return DiskInstance(points, radii)

@@ -1,0 +1,138 @@
+"""Sender–receiver links for link-based scenarios (Sections 4.2–4.3).
+
+A :class:`LinkSet` holds ``n`` links inside a :class:`MetricSpace`; link
+``i`` transmits from sender point ``s_i`` to receiver point ``r_i``.  All
+distance queries the interference models need are exposed as dense matrices
+computed in one vectorized call:
+
+* ``sender_receiver_matrix()[i, j] = d(s_i, r_j)`` — the signal (diagonal)
+  and interference (off-diagonal) distances of the SINR model;
+* ``lengths[i] = d(s_i, r_i)`` — the link length, the key ordering of both
+  the protocol model and Theorem 17.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.metric import EuclideanMetric, MetricSpace
+from repro.graphs.conflict_graph import VertexOrdering
+from repro.util.rng import ensure_rng
+
+__all__ = ["LinkSet", "random_links", "random_metric_links", "length_ordering"]
+
+
+class LinkSet:
+    """``n`` directed links embedded in a metric space."""
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        sender_idx: np.ndarray,
+        receiver_idx: np.ndarray,
+    ) -> None:
+        s = np.asarray(sender_idx, dtype=np.intp)
+        r = np.asarray(receiver_idx, dtype=np.intp)
+        if s.shape != r.shape or s.ndim != 1:
+            raise ValueError("sender/receiver index arrays must be equal-length 1-D")
+        if s.size and (max(s.max(), r.max()) >= metric.size or min(s.min(), r.min()) < 0):
+            raise ValueError("link endpoints out of range for the metric space")
+        if (s == r).any():
+            raise ValueError("links must have distinct sender and receiver points")
+        self.metric = metric
+        self.sender_idx = s
+        self.receiver_idx = r
+        self._sr: np.ndarray | None = None
+
+    @property
+    def n(self) -> int:
+        return self.sender_idx.shape[0]
+
+    def sender_receiver_matrix(self) -> np.ndarray:
+        """``out[i, j] = d(s_i, r_j)`` (cached)."""
+        if self._sr is None:
+            self._sr = self.metric.distance_submatrix(self.sender_idx, self.receiver_idx)
+        return self._sr
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """``d(s_i, r_i)`` for every link."""
+        return np.diagonal(self.sender_receiver_matrix()).copy()
+
+    def sender_sender_matrix(self) -> np.ndarray:
+        return self.metric.distance_submatrix(self.sender_idx, self.sender_idx)
+
+    def receiver_receiver_matrix(self) -> np.ndarray:
+        return self.metric.distance_submatrix(self.receiver_idx, self.receiver_idx)
+
+    def subset(self, link_ids: np.ndarray) -> "LinkSet":
+        idx = np.asarray(link_ids, dtype=np.intp)
+        return LinkSet(self.metric, self.sender_idx[idx], self.receiver_idx[idx])
+
+
+def length_ordering(links: LinkSet, descending: bool = True) -> VertexOrdering:
+    """Order links by length.
+
+    Theorem 17 and the weighted machinery use *decreasing* length (longest
+    link first = π-smallest); monotone power schemes of Proposition 15 use
+    the same direction.
+    """
+    return VertexOrdering.by_key(links.lengths, descending=descending)
+
+
+def random_links(
+    n: int,
+    extent: float = 1.0,
+    length_range: tuple[float, float] = (0.01, 0.1),
+    seed=None,
+) -> LinkSet:
+    """Random planar links: uniform senders, receivers at a uniform-length
+    random angle (clipped into the extent square by resampling)."""
+    lo, hi = length_range
+    if not 0 < lo <= hi:
+        raise ValueError("length_range must satisfy 0 < lo <= hi")
+    rng = ensure_rng(seed)
+    senders = np.empty((n, 2))
+    receivers = np.empty((n, 2))
+    for i in range(n):
+        while True:
+            s = rng.random(2) * extent
+            ang = rng.uniform(0.0, 2.0 * np.pi)
+            ln = rng.uniform(lo, hi)
+            r = s + ln * np.array([np.cos(ang), np.sin(ang)])
+            if 0.0 <= r[0] <= extent and 0.0 <= r[1] <= extent:
+                senders[i] = s
+                receivers[i] = r
+                break
+    coords = np.vstack([senders, receivers])
+    metric = EuclideanMetric(coords)
+    return LinkSet(metric, np.arange(n), np.arange(n, 2 * n))
+
+
+def random_metric_links(n: int, seed=None, edge_probability: float = 0.25) -> LinkSet:
+    """Links in a random shortest-path metric (general-metrics variant).
+
+    Samples a metric on ``2n`` points and pairs point ``2i`` with ``2i+1``
+    (re-pairing if sender equals receiver cannot happen: points are
+    distinct indices).
+    """
+    from repro.geometry.metric import random_shortest_path_metric
+
+    rng = ensure_rng(seed)
+    metric = random_shortest_path_metric(2 * n, edge_probability, rng)
+    perm = rng.permutation(2 * n)
+    return LinkSet(metric, perm[:n], perm[n:])
+
+
+def links_from_arrays(senders: np.ndarray, receivers: np.ndarray) -> LinkSet:
+    """Build a Euclidean LinkSet directly from coordinate arrays."""
+    s = np.asarray(senders, dtype=float)
+    r = np.asarray(receivers, dtype=float)
+    if s.shape != r.shape or s.ndim != 2 or s.shape[1] != 2:
+        raise ValueError("senders/receivers must both have shape (n, 2)")
+    n = s.shape[0]
+    metric = EuclideanMetric(np.vstack([s, r]))
+    return LinkSet(metric, np.arange(n), np.arange(n, 2 * n))
+
+
+__all__.append("links_from_arrays")

@@ -1,0 +1,128 @@
+"""Metric spaces backing the physical (SINR) model.
+
+The physical model (Section 4.3) places network nodes in a metric space.
+Two concrete metrics are provided:
+
+* :class:`EuclideanMetric` — points in the plane; with path-loss exponent
+  α > 2 this is a *fading metric* (doubling dimension 2 < α), the setting
+  of Theorem 17's O(√k log n) bound.
+* :class:`MatrixMetric` — an arbitrary finite metric given by a distance
+  matrix; used for the "general metrics" variant (O(√k log² n)).
+  :func:`random_shortest_path_metric` builds such metrics with high
+  doubling dimension from random-graph shortest paths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.geometry.points import cross_distances
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "MetricSpace",
+    "EuclideanMetric",
+    "MatrixMetric",
+    "random_shortest_path_metric",
+]
+
+
+class MetricSpace(ABC):
+    """A finite metric on points indexed ``0..size-1``."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of points."""
+
+    @abstractmethod
+    def distance_submatrix(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Dense matrix ``out[a, b] = d(rows[a], cols[b])``."""
+
+    def d(self, i: int, j: int) -> float:
+        rows = np.asarray([i], dtype=np.intp)
+        cols = np.asarray([j], dtype=np.intp)
+        return float(self.distance_submatrix(rows, cols)[0, 0])
+
+    def check_triangle_inequality(self, tolerance: float = 1e-9) -> bool:
+        """Exhaustive triangle-inequality check (tests / small spaces only)."""
+        idx = np.arange(self.size, dtype=np.intp)
+        full = self.distance_submatrix(idx, idx)
+        for m in range(self.size):
+            via = full[:, m][:, None] + full[m, :][None, :]
+            if (full > via + tolerance).any():
+                return False
+        return True
+
+
+class EuclideanMetric(MetricSpace):
+    """Points in R², distances computed on demand (vectorized)."""
+
+    def __init__(self, coords: np.ndarray) -> None:
+        arr = np.asarray(coords, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("coords must have shape (m, 2)")
+        self.coords = arr
+
+    @property
+    def size(self) -> int:
+        return self.coords.shape[0]
+
+    def distance_submatrix(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return cross_distances(self.coords[rows], self.coords[cols])
+
+
+class MatrixMetric(MetricSpace):
+    """A metric given explicitly by a symmetric distance matrix."""
+
+    def __init__(self, matrix: np.ndarray, validate: bool = True) -> None:
+        d = np.asarray(matrix, dtype=float)
+        if d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise ValueError("distance matrix must be square")
+        if validate:
+            if (d < 0).any():
+                raise ValueError("distances must be non-negative")
+            if not np.allclose(d, d.T):
+                raise ValueError("distance matrix must be symmetric")
+            if not np.allclose(np.diagonal(d), 0.0):
+                raise ValueError("self-distances must be zero")
+        self.matrix = d
+
+    @property
+    def size(self) -> int:
+        return self.matrix.shape[0]
+
+    def distance_submatrix(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self.matrix[np.ix_(np.asarray(rows), np.asarray(cols))]
+
+
+def random_shortest_path_metric(
+    m: int,
+    edge_probability: float = 0.3,
+    seed=None,
+) -> MatrixMetric:
+    """Shortest-path metric of a connected G(m, p) with uniform edge lengths.
+
+    Shortest-path metrics of sparse random graphs have large doubling
+    dimension, exercising the "general metrics" branch of Theorem 17.
+    """
+    import networkx as nx
+
+    rng = ensure_rng(seed)
+    for _ in range(100):
+        g = nx.gnp_random_graph(m, edge_probability, seed=int(rng.integers(2**31)))
+        if nx.is_connected(g):
+            break
+    else:  # pragma: no cover - p large enough in practice
+        raise RuntimeError("failed to sample a connected graph")
+    for u, v in g.edges():
+        g[u][v]["weight"] = float(rng.uniform(0.5, 1.5))
+    lengths = dict(nx.all_pairs_dijkstra_path_length(g))
+    matrix = np.zeros((m, m))
+    for i in range(m):
+        for j in range(m):
+            matrix[i, j] = lengths[i][j]
+    matrix = (matrix + matrix.T) / 2.0
+    return MatrixMetric(matrix)

@@ -1,0 +1,65 @@
+"""Point sampling and vectorized distance kernels.
+
+All geometric models in Section 4 place transmitters or link endpoints in
+the plane; these helpers generate seeded point sets and compute dense
+pairwise-distance matrices with NumPy broadcasting (no Python loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "sample_uniform_points",
+    "sample_clustered_points",
+    "pairwise_distances",
+    "cross_distances",
+]
+
+
+def sample_uniform_points(n: int, extent: float = 1.0, seed=None) -> np.ndarray:
+    """``n`` points uniform in the square ``[0, extent]²`` (shape (n, 2))."""
+    if extent <= 0:
+        raise ValueError("extent must be positive")
+    rng = ensure_rng(seed)
+    return rng.random((n, 2)) * extent
+
+
+def sample_clustered_points(
+    n: int,
+    clusters: int = 4,
+    extent: float = 1.0,
+    spread: float = 0.05,
+    seed=None,
+) -> np.ndarray:
+    """Points around ``clusters`` uniformly placed Gaussian cluster centers.
+
+    Models hot-spot demand (the paper's motivation: localized overload of
+    licensed bands).  Points are clipped back into the extent square.
+    """
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    rng = ensure_rng(seed)
+    centers = rng.random((clusters, 2)) * extent
+    assign = rng.integers(0, clusters, size=n)
+    pts = centers[assign] + rng.normal(scale=spread * extent, size=(n, 2))
+    return np.clip(pts, 0.0, extent)
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense symmetric Euclidean distance matrix (shape (n, n))."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError("points must be a 2-D array of coordinates")
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def cross_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Distances between two point sets: ``out[i, j] = d(a_i, b_j)``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))

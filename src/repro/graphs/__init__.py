@@ -1,0 +1,42 @@
+"""Conflict-graph substrate: graphs, orderings, independence, generators."""
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.independence import (
+    greedy_independent_set,
+    greedy_weighted_independent_set,
+    max_independent_set_size,
+    max_profit_weighted_independent_set,
+    max_weight_independent_set,
+)
+from repro.graphs.inductive import (
+    WeightedRhoBounds,
+    inductive_independence_number,
+    rho_of_ordering,
+    weighted_rho_of_ordering,
+)
+from repro.graphs.orderings import (
+    degeneracy_ordering,
+    max_degree_first_ordering,
+    ordering_quality,
+    random_ordering,
+)
+from repro.graphs.weighted_graph import WeightedConflictGraph
+
+__all__ = [
+    "ConflictGraph",
+    "VertexOrdering",
+    "WeightedConflictGraph",
+    "max_weight_independent_set",
+    "max_independent_set_size",
+    "greedy_independent_set",
+    "max_profit_weighted_independent_set",
+    "greedy_weighted_independent_set",
+    "rho_of_ordering",
+    "inductive_independence_number",
+    "weighted_rho_of_ordering",
+    "WeightedRhoBounds",
+    "degeneracy_ordering",
+    "max_degree_first_ordering",
+    "random_ordering",
+    "ordering_quality",
+]

@@ -1,0 +1,180 @@
+"""Unweighted conflict graphs and vertex orderings.
+
+The conflict graph (Problem 1 of the paper) has one vertex per bidder and an
+edge between two bidders that may never share a channel.  A *vertex ordering*
+π is the certificate behind the inductive independence number (Definition 1):
+for every vertex ``v`` the paper's algorithms only inspect the *backward
+neighborhood* ``Γ_π(v)`` — the neighbors of ``v`` placed before it by π.
+
+Graphs are stored as dense boolean adjacency matrices: every instance in the
+paper's models has at most a few hundred vertices, where dense NumPy kernels
+beat sparse bookkeeping (see the HPC guide notes in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["ConflictGraph", "VertexOrdering"]
+
+
+class VertexOrdering:
+    """A total order π on vertices ``0..n-1``.
+
+    ``perm[i]`` is the vertex occupying position ``i`` (position 0 is the
+    π-smallest vertex); ``pos[v]`` is the position of vertex ``v``.
+    """
+
+    def __init__(self, perm: Sequence[int]) -> None:
+        perm_arr = np.asarray(perm, dtype=np.intp)
+        n = perm_arr.shape[0]
+        if sorted(perm_arr.tolist()) != list(range(n)):
+            raise ValueError("perm must be a permutation of 0..n-1")
+        self.perm = perm_arr
+        self.pos = np.empty(n, dtype=np.intp)
+        self.pos[perm_arr] = np.arange(n, dtype=np.intp)
+
+    @classmethod
+    def identity(cls, n: int) -> "VertexOrdering":
+        return cls(np.arange(n, dtype=np.intp))
+
+    @classmethod
+    def by_key(cls, keys: Sequence[float], descending: bool = False) -> "VertexOrdering":
+        """Order vertices by ``keys`` (stable); ``descending=True`` puts the
+        largest key first (used for radius orderings, Proposition 9)."""
+        keys_arr = np.asarray(keys, dtype=float)
+        perm = np.argsort(-keys_arr if descending else keys_arr, kind="stable")
+        return cls(perm)
+
+    @property
+    def n(self) -> int:
+        return int(self.perm.shape[0])
+
+    def position(self, v: int) -> int:
+        return int(self.pos[v])
+
+    def vertices(self) -> np.ndarray:
+        """Vertices from π-smallest to π-largest (a copy)."""
+        return self.perm.copy()
+
+    def precedes(self, u: int, v: int) -> bool:
+        """True iff π(u) < π(v)."""
+        return bool(self.pos[u] < self.pos[v])
+
+    def earlier_mask(self, v: int) -> np.ndarray:
+        """Boolean mask of vertices strictly before ``v`` in π."""
+        return self.pos < self.pos[v]
+
+    def reversed(self) -> "VertexOrdering":
+        return VertexOrdering(self.perm[::-1].copy())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VertexOrdering) and np.array_equal(self.perm, other.perm)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VertexOrdering({self.perm.tolist()})"
+
+
+class ConflictGraph:
+    """Undirected, unweighted conflict graph on vertices ``0..n-1``."""
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._adj = np.zeros((n, n), dtype=bool)
+        for u, v in edges:
+            self._add_edge(u, v)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: np.ndarray) -> "ConflictGraph":
+        adj = np.asarray(adjacency, dtype=bool)
+        if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+            raise ValueError("adjacency must be a square matrix")
+        if not np.array_equal(adj, adj.T):
+            raise ValueError("adjacency must be symmetric")
+        if adj.diagonal().any():
+            raise ValueError("self-loops are not allowed")
+        g = cls(adj.shape[0])
+        g._adj = adj.copy()
+        return g
+
+    def _add_edge(self, u: int, v: int) -> None:
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u}")
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u},{v}) out of range for n={self.n}")
+        self._adj[u, v] = True
+        self._adj[v, u] = True
+
+    @property
+    def n(self) -> int:
+        return self._adj.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return int(self._adj.sum()) // 2
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """The boolean adjacency matrix (do not mutate)."""
+        return self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(self._adj[u, v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return np.flatnonzero(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        return int(self._adj[v].sum())
+
+    def max_degree(self) -> int:
+        return int(self._adj.sum(axis=1).max(initial=0))
+
+    def average_degree(self) -> float:
+        return float(self._adj.sum()) / self.n if self.n else 0.0
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        us, vs = np.nonzero(np.triu(self._adj))
+        yield from zip(us.tolist(), vs.tolist())
+
+    def is_independent(self, vertices: Iterable[int]) -> bool:
+        """True iff no two vertices of the set are adjacent."""
+        idx = np.fromiter(vertices, dtype=np.intp)
+        if idx.size <= 1:
+            return True
+        if len(set(idx.tolist())) != idx.size:
+            raise ValueError("vertex set contains duplicates")
+        return not self._adj[np.ix_(idx, idx)].any()
+
+    def backward_neighbors(self, v: int, ordering: VertexOrdering) -> np.ndarray:
+        """``Γ_π(v)``: neighbors of ``v`` that precede it in the ordering."""
+        return np.flatnonzero(self._adj[v] & ordering.earlier_mask(v))
+
+    def subgraph(self, vertices: Sequence[int]) -> tuple["ConflictGraph", np.ndarray]:
+        """Induced subgraph; returns (graph, original-vertex array) where the
+        new vertex ``i`` corresponds to ``original[i]``."""
+        idx = np.asarray(vertices, dtype=np.intp)
+        sub = ConflictGraph(idx.size)
+        sub._adj = self._adj[np.ix_(idx, idx)].copy()
+        return sub, idx
+
+    def complement(self) -> "ConflictGraph":
+        comp = ~self._adj
+        np.fill_diagonal(comp, False)
+        return ConflictGraph.from_adjacency(comp)
+
+    def to_networkx(self):
+        """Export to :mod:`networkx` (lazy import; used in tests/examples)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConflictGraph(n={self.n}, m={self.m})"

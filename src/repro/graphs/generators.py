@@ -1,0 +1,104 @@
+"""Graph generators, including the paper's hardness constructions.
+
+Besides standard random/structured graphs used by tests and experiments,
+this module implements the two constructions behind the paper's lower
+bounds as *instance generators*:
+
+* :func:`clique` — on cliques the edge-based LP of Section 2.1 has
+  integrality gap ``n/2`` while the inductive LP (ρ = 1) does not (E10).
+* :func:`theorem18_edge_partition` — splits the edges of a bounded-degree
+  graph into ``k`` per-channel conflict graphs such that each channel graph
+  has inductive independence ≤ ⌈d/k⌉ yet the only valuable bundles are the
+  full channel set; allocations of value b correspond to independent sets
+  of size b in the original graph (Theorem 18, Section 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "empty_graph",
+    "clique",
+    "path",
+    "cycle",
+    "star",
+    "gnp_random_graph",
+    "random_regular_graph",
+    "theorem18_edge_partition",
+]
+
+
+def empty_graph(n: int) -> ConflictGraph:
+    return ConflictGraph(n)
+
+
+def clique(n: int) -> ConflictGraph:
+    adj = np.ones((n, n), dtype=bool)
+    np.fill_diagonal(adj, False)
+    return ConflictGraph.from_adjacency(adj)
+
+
+def path(n: int) -> ConflictGraph:
+    return ConflictGraph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle(n: int) -> ConflictGraph:
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    return ConflictGraph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star(n: int) -> ConflictGraph:
+    """Star with center 0 and ``n - 1`` leaves."""
+    return ConflictGraph(n, [(0, i) for i in range(1, n)])
+
+
+def gnp_random_graph(n: int, p: float, seed=None) -> ConflictGraph:
+    """Erdős–Rényi G(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    rng = ensure_rng(seed)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    return ConflictGraph.from_adjacency(upper | upper.T)
+
+
+def random_regular_graph(n: int, d: int, seed=None) -> ConflictGraph:
+    """Random d-regular graph (configuration model via networkx)."""
+    import networkx as nx
+
+    rng = ensure_rng(seed)
+    g = nx.random_regular_graph(d, n, seed=int(rng.integers(2**31)))
+    return ConflictGraph(n, list(g.edges()))
+
+
+def theorem18_edge_partition(
+    graph: ConflictGraph,
+    k: int,
+    ordering: VertexOrdering | None = None,
+) -> list[ConflictGraph]:
+    """Theorem 18 construction: split edges into ``k`` channel graphs.
+
+    Processing vertices in the given ordering (identity by default), the
+    edges from each vertex to its *earlier* neighbors are dealt round-robin
+    to the ``k`` channels, so each channel graph gives every vertex at most
+    ``⌈backdeg/k⌉`` backward edges — hence inductive independence at most
+    ``⌈d/k⌉`` for a degree-``d`` input under the same ordering.
+
+    Combined with all-or-nothing valuations (bidders value only the full
+    bundle ``[k]``), feasible allocations of welfare ``b`` correspond
+    exactly to independent sets of size ``b`` in ``graph``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    n = graph.n
+    pi = ordering if ordering is not None else VertexOrdering.identity(n)
+    edge_lists: list[list[tuple[int, int]]] = [[] for _ in range(k)]
+    for v in pi.vertices():
+        back = graph.backward_neighbors(int(v), pi)
+        for idx, u in enumerate(back.tolist()):
+            edge_lists[idx % k].append((u, int(v)))
+    return [ConflictGraph(n, edges) for edges in edge_lists]

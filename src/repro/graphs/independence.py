@@ -1,0 +1,188 @@
+"""Independent-set computations used throughout the library.
+
+Provides exact maximum-weight independent set (MWIS) solvers for both the
+unweighted-graph and weighted-graph notions of independence, plus greedy
+heuristics.  Exact solvers are branch-and-bound with a remaining-profit
+bound; they are meant for the small vertex sets the library feeds them
+(backward neighborhoods, small experiment instances), not for large graphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.graphs.conflict_graph import ConflictGraph
+from repro.graphs.weighted_graph import WeightedConflictGraph
+
+__all__ = [
+    "max_weight_independent_set",
+    "max_independent_set_size",
+    "greedy_independent_set",
+    "max_profit_weighted_independent_set",
+    "greedy_weighted_independent_set",
+]
+
+
+def max_weight_independent_set(
+    graph: ConflictGraph,
+    profits: Sequence[float] | None = None,
+) -> tuple[list[int], float]:
+    """Exact MWIS in an unweighted conflict graph.
+
+    Branch and bound over vertices sorted by decreasing profit.  ``profits``
+    defaults to all-ones (maximum independent set).  Returns
+    ``(sorted vertex list, total profit)``.  Vertices with non-positive
+    profit are never selected (they cannot help a maximization).
+    """
+    n = graph.n
+    p = np.ones(n) if profits is None else np.asarray(profits, dtype=float)
+    if p.shape != (n,):
+        raise ValueError("profits must have one entry per vertex")
+    candidates = np.flatnonzero(p > 0)
+    order = candidates[np.argsort(-p[candidates], kind="stable")]
+    adj = graph.adjacency
+    suffix = np.concatenate([np.cumsum(p[order][::-1])[::-1], [0.0]])
+
+    best_set: list[int] = []
+    best_val = 0.0
+
+    def recurse(i: int, chosen: list[int], value: float, blocked: np.ndarray) -> None:
+        nonlocal best_set, best_val
+        if value > best_val:
+            best_val = value
+            best_set = chosen.copy()
+        if i >= order.size or value + suffix[i] <= best_val:
+            return
+        v = int(order[i])
+        if not blocked[v]:
+            chosen.append(v)
+            recurse(i + 1, chosen, value + p[v], blocked | adj[v])
+            chosen.pop()
+        recurse(i + 1, chosen, value, blocked)
+
+    recurse(0, [], 0.0, np.zeros(n, dtype=bool))
+    return sorted(best_set), float(best_val)
+
+
+def max_independent_set_size(graph: ConflictGraph) -> int:
+    """α(G): size of a maximum independent set (exact, small graphs only)."""
+    _, value = max_weight_independent_set(graph)
+    return int(round(value))
+
+
+def greedy_independent_set(
+    graph: ConflictGraph,
+    profits: Sequence[float] | None = None,
+    by_ratio: bool = False,
+) -> tuple[list[int], float]:
+    """Greedy MWIS: scan vertices by decreasing profit (or profit/(deg+1)
+    ratio) and keep those not adjacent to anything kept so far."""
+    n = graph.n
+    p = np.ones(n) if profits is None else np.asarray(profits, dtype=float)
+    keys = p / (graph.adjacency.sum(axis=1) + 1.0) if by_ratio else p
+    order = np.argsort(-keys, kind="stable")
+    adj = graph.adjacency
+    blocked = np.zeros(n, dtype=bool)
+    chosen: list[int] = []
+    total = 0.0
+    for v in order:
+        v = int(v)
+        if p[v] <= 0 or blocked[v]:
+            continue
+        chosen.append(v)
+        total += p[v]
+        blocked |= adj[v]
+    return sorted(chosen), float(total)
+
+
+def max_profit_weighted_independent_set(
+    graph: WeightedConflictGraph,
+    profits: Sequence[float],
+    candidates: Sequence[int] | None = None,
+    node_limit: int = 2_000_000,
+) -> tuple[list[int], float]:
+    """Exact max-profit *weighted-independent* set (Section 3 independence).
+
+    Finds ``M ⊆ candidates`` maximizing ``Σ profits[v]`` subject to every
+    member receiving incoming weight < 1 from the others.  Because weights
+    are non-negative, partial incoming sums only grow, so any prefix whose
+    members already violate the bound can be pruned.
+
+    ``node_limit`` caps the branch-and-bound tree; exceeding it raises
+    ``RuntimeError`` rather than silently returning a non-optimal answer.
+    """
+    p_all = np.asarray(profits, dtype=float)
+    if p_all.shape != (graph.n,):
+        raise ValueError("profits must have one entry per vertex")
+    cand = (
+        np.flatnonzero(p_all > 0)
+        if candidates is None
+        else np.asarray(candidates, dtype=np.intp)
+    )
+    cand = cand[p_all[cand] > 0]
+    order = cand[np.argsort(-p_all[cand], kind="stable")]
+    w = graph.weights
+    suffix = np.concatenate([np.cumsum(p_all[order][::-1])[::-1], [0.0]])
+
+    best_set: list[int] = []
+    best_val = 0.0
+    nodes = 0
+
+    def recurse(i: int, chosen: list[int], value: float, incoming: np.ndarray) -> None:
+        nonlocal best_set, best_val, nodes
+        nodes += 1
+        if nodes > node_limit:
+            raise RuntimeError(
+                f"branch-and-bound exceeded node limit {node_limit}"
+            )
+        if value > best_val:
+            best_val = value
+            best_set = chosen.copy()
+        if i >= order.size or value + suffix[i] <= best_val:
+            return
+        v = int(order[i])
+        # Include v if it keeps every member (and v itself) under the bound.
+        if incoming[v] < 1.0:
+            # incoming[] tracks weight from chosen members; adding v sends
+            # w[v, u] to each member u and receives incoming[v] (checked).
+            if all(incoming[u] + w[v, u] < 1.0 for u in chosen):
+                new_incoming = incoming + w[v]
+                chosen.append(v)
+                recurse(i + 1, chosen, value + p_all[v], new_incoming)
+                chosen.pop()
+        recurse(i + 1, chosen, value, incoming)
+
+    recurse(0, [], 0.0, np.zeros(graph.n))
+    return sorted(best_set), float(best_val)
+
+
+def greedy_weighted_independent_set(
+    graph: WeightedConflictGraph,
+    profits: Sequence[float],
+    candidates: Sequence[int] | None = None,
+) -> tuple[list[int], float]:
+    """Greedy packing by decreasing profit under weighted independence."""
+    p_all = np.asarray(profits, dtype=float)
+    cand = (
+        np.flatnonzero(p_all > 0)
+        if candidates is None
+        else np.asarray(candidates, dtype=np.intp)
+    )
+    cand = cand[p_all[cand] > 0]
+    order = cand[np.argsort(-p_all[cand], kind="stable")]
+    w = graph.weights
+    chosen: list[int] = []
+    incoming = np.zeros(graph.n)
+    total = 0.0
+    for v in order:
+        v = int(v)
+        if incoming[v] >= 1.0:
+            continue
+        if any(incoming[u] + w[v, u] >= 1.0 for u in chosen):
+            continue
+        chosen.append(v)
+        total += p_all[v]
+        incoming = incoming + w[v]
+    return sorted(chosen), float(total)

@@ -1,0 +1,108 @@
+"""Edge-weighted conflict graphs (Section 3 of the paper).
+
+A weighted conflict graph assigns a non-negative weight ``w(u, v)`` to every
+*ordered* pair of vertices.  A set ``M`` is independent when every member
+receives total incoming weight below 1 from the other members:
+
+    Σ_{u ∈ M, u ≠ v} w(u, v) < 1   for all v ∈ M.
+
+Since weights need not be symmetric, the paper works with the symmetrized
+weights ``w̄(u, v) = w(u, v) + w(v, u)`` in Definition 2 and in Algorithms
+2/3; :meth:`WeightedConflictGraph.wbar_matrix` exposes them.
+
+Setting ``w(u, v) = w(v, u) = 1`` for each edge of an unweighted conflict
+graph recovers exactly the unweighted notion of independence, which is how
+:meth:`WeightedConflictGraph.from_conflict_graph` embeds binary models into
+the weighted machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+
+__all__ = ["WeightedConflictGraph"]
+
+
+class WeightedConflictGraph:
+    """Directed edge-weighted conflict graph on vertices ``0..n-1``."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        w = np.array(weights, dtype=float)
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise ValueError("weights must be a square matrix")
+        if (w < 0).any():
+            raise ValueError("edge weights must be non-negative")
+        if not np.isfinite(w).all():
+            raise ValueError("edge weights must be finite")
+        np.fill_diagonal(w, 0.0)
+        self._w = w
+        self._wbar = w + w.T
+
+    @classmethod
+    def from_conflict_graph(cls, graph: ConflictGraph) -> "WeightedConflictGraph":
+        """Embed an unweighted graph: weight 1 per directed edge.
+
+        Independence coincides with the unweighted definition because a
+        single incoming edge already contributes weight 1 ≥ 1.
+        """
+        return cls(graph.adjacency.astype(float))
+
+    @property
+    def n(self) -> int:
+        return self._w.shape[0]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Directed weight matrix ``w[u, v] = w(u → v)`` (do not mutate)."""
+        return self._w
+
+    @property
+    def wbar_matrix(self) -> np.ndarray:
+        """Symmetrized weights ``w̄ = w + wᵀ`` (do not mutate)."""
+        return self._wbar
+
+    def w(self, u: int, v: int) -> float:
+        return float(self._w[u, v])
+
+    def wbar(self, u: int, v: int) -> float:
+        return float(self._wbar[u, v])
+
+    def is_independent(self, vertices: Iterable[int]) -> bool:
+        """Check the weighted independence condition for the vertex set."""
+        idx = np.fromiter(vertices, dtype=np.intp)
+        if idx.size <= 1:
+            return True
+        if len(set(idx.tolist())) != idx.size:
+            raise ValueError("vertex set contains duplicates")
+        incoming = self._w[np.ix_(idx, idx)].sum(axis=0)
+        return bool((incoming < 1.0).all())
+
+    def incoming_weight(self, members: Sequence[int], v: int) -> float:
+        """Σ_{u ∈ members} w(u, v) — interference received by ``v``."""
+        idx = np.asarray(members, dtype=np.intp)
+        return float(self._w[idx, v].sum()) if idx.size else 0.0
+
+    def backward_wbar(self, v: int, ordering: VertexOrdering) -> np.ndarray:
+        """Vector of ``w̄(u, v)`` restricted to vertices before ``v`` in π
+        (zero elsewhere)."""
+        out = np.where(ordering.earlier_mask(v), self._wbar[:, v], 0.0)
+        return out
+
+    def threshold_graph(self, threshold: float = 1.0) -> ConflictGraph:
+        """Binary graph keeping pairs whose symmetric weight reaches
+        ``threshold`` — pairs that can never coexist."""
+        adj = self._wbar >= threshold
+        np.fill_diagonal(adj, False)
+        return ConflictGraph.from_adjacency(adj)
+
+    def subgraph(self, vertices: Sequence[int]) -> tuple["WeightedConflictGraph", np.ndarray]:
+        idx = np.asarray(vertices, dtype=np.intp)
+        return WeightedConflictGraph(self._w[np.ix_(idx, idx)]), idx
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nnz = int(np.count_nonzero(self._w))
+        return f"WeightedConflictGraph(n={self.n}, nonzero_weights={nnz})"

@@ -1,0 +1,84 @@
+"""Interference models: every Section 4 model as a conflict structure."""
+
+from repro.interference.base import ConflictStructure, WeightedConflictStructure
+from repro.interference.civilized import (
+    CivilizedInstance,
+    civilized_distance2_model,
+    civilized_graph,
+    civilized_rho_bound,
+    sample_separated_points,
+)
+from repro.interference.disk import (
+    DISK_RHO_BOUND,
+    DISTANCE2_DISK_RHO_BOUND,
+    disk_structure_from_arrays,
+    disk_transmitter_model,
+    distance2_coloring_graph,
+    distance2_coloring_model,
+    graph_square,
+)
+from repro.interference.distance2 import (
+    DISTANCE2_MATCHING_RHO_BOUND,
+    distance2_matching_graph,
+    distance2_matching_model,
+)
+from repro.interference.physical import (
+    PhysicalModel,
+    is_monotone_power,
+    linear_power,
+    mean_power,
+    physical_model_structure,
+    uniform_power,
+)
+from repro.interference.power_control import (
+    kesselheim_power_assignment,
+    min_power_assignment,
+    power_control_structure,
+    tau_constant,
+    theorem17_weight_matrix,
+)
+from repro.interference.protocol import (
+    IEEE80211_RHO_BOUND,
+    ieee80211_conflict_graph,
+    ieee80211_model,
+    protocol_conflict_graph,
+    protocol_model,
+    protocol_rho_bound,
+)
+
+__all__ = [
+    "ConflictStructure",
+    "WeightedConflictStructure",
+    "protocol_conflict_graph",
+    "protocol_rho_bound",
+    "protocol_model",
+    "ieee80211_conflict_graph",
+    "ieee80211_model",
+    "IEEE80211_RHO_BOUND",
+    "disk_transmitter_model",
+    "disk_structure_from_arrays",
+    "distance2_coloring_graph",
+    "distance2_coloring_model",
+    "graph_square",
+    "DISK_RHO_BOUND",
+    "DISTANCE2_DISK_RHO_BOUND",
+    "CivilizedInstance",
+    "civilized_distance2_model",
+    "civilized_graph",
+    "civilized_rho_bound",
+    "sample_separated_points",
+    "distance2_matching_graph",
+    "distance2_matching_model",
+    "DISTANCE2_MATCHING_RHO_BOUND",
+    "PhysicalModel",
+    "uniform_power",
+    "linear_power",
+    "mean_power",
+    "is_monotone_power",
+    "physical_model_structure",
+    "tau_constant",
+    "theorem17_weight_matrix",
+    "power_control_structure",
+    "kesselheim_power_assignment",
+    "min_power_assignment",
+]

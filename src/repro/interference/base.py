@@ -1,0 +1,63 @@
+"""Common interface for interference models.
+
+Every model turns a geometric scenario into either an unweighted or an
+edge-weighted conflict graph *plus* a certified vertex ordering π and a ρ
+value to plug into the LP.  The dataclasses here are what the core solver
+consumes, decoupling it from any particular wireless model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.weighted_graph import WeightedConflictGraph
+
+__all__ = ["ConflictStructure", "WeightedConflictStructure"]
+
+
+@dataclass
+class ConflictStructure:
+    """An unweighted conflict graph with its ordering certificate.
+
+    ``rho`` is the value used on the right-hand side of LP constraint (1b);
+    models set it to their *proven* bound (e.g. 5 for disk graphs) so the LP
+    matches the paper.  ``rho_source`` records where the number came from.
+    """
+
+    graph: ConflictGraph
+    ordering: VertexOrdering
+    rho: float
+    rho_source: str = "certified"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.graph.n != self.ordering.n:
+            raise ValueError("graph and ordering disagree on vertex count")
+        if self.rho < 0:
+            raise ValueError("rho must be non-negative")
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+
+@dataclass
+class WeightedConflictStructure:
+    """An edge-weighted conflict graph with its ordering certificate."""
+
+    graph: WeightedConflictGraph
+    ordering: VertexOrdering
+    rho: float
+    rho_source: str = "certified"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.graph.n != self.ordering.n:
+            raise ValueError("graph and ordering disagree on vertex count")
+        if self.rho < 0:
+            raise ValueError("rho must be non-negative")
+
+    @property
+    def n(self) -> int:
+        return self.graph.n

@@ -1,0 +1,205 @@
+"""The physical (SINR) interference model (Section 4.3, Proposition 15).
+
+Links transmit at powers ``p``; receiver ``r_i`` decodes successfully when
+
+    p_i / d(s_i, r_i)^α  ≥  β ( Σ_{j ∈ M\\{i}} p_j / d(s_j, r_i)^α + ν ).
+
+For *fixed* powers the paper encodes these constraints as an edge-weighted
+conflict graph (Proposition 15): the weight of ``ℓ' → ℓ`` is the clipped,
+normalized interference of ``ℓ'`` at ``ℓ``'s receiver,
+
+    w(ℓ', ℓ) = min{ 1,  β'·I(ℓ', ℓ) / (S(ℓ) − β'·ν) },   β' = β/(1+ε),
+
+so that a set is SINR-feasible iff it is independent in the weighted graph
+(the (1+ε) factor converts the SINR "≥" into the independence "<"; ε is the
+paper's instance-dependent constant).  For power assignments satisfying the
+monotonicity conditions (uniform, linear, and the intermediate "mean" or
+square-root scheme), the decreasing-length ordering certifies ρ = O(log n)
+via Lemma 16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.links import LinkSet, length_ordering
+from repro.graphs.inductive import weighted_rho_of_ordering
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.interference.base import WeightedConflictStructure
+
+__all__ = [
+    "PhysicalModel",
+    "uniform_power",
+    "linear_power",
+    "mean_power",
+    "is_monotone_power",
+    "physical_model_structure",
+]
+
+
+def uniform_power(links: LinkSet) -> np.ndarray:
+    """All links transmit at power 1."""
+    return np.ones(links.n)
+
+
+def linear_power(links: LinkSet, alpha: float) -> np.ndarray:
+    """p(ℓ) = d(ℓ)^α — every receiver sees the same signal strength."""
+    return links.lengths**alpha
+
+
+def mean_power(links: LinkSet, alpha: float) -> np.ndarray:
+    """p(ℓ) = d(ℓ)^(α/2) — the square-root scheme between uniform/linear."""
+    return links.lengths ** (alpha / 2.0)
+
+
+def is_monotone_power(links: LinkSet, power: np.ndarray, alpha: float, tol: float = 1e-9) -> bool:
+    """Check the paper's monotonicity: longer links get at least as much
+    power but at most the same signal strength ``p/d^α``."""
+    lengths = links.lengths
+    order = np.argsort(lengths, kind="stable")
+    p = np.asarray(power, dtype=float)[order]
+    d = lengths[order]
+    signal = p / d**alpha
+    return bool(
+        (np.diff(p) >= -tol * np.maximum(p[:-1], 1e-300)).all()
+        and (np.diff(signal) <= tol * np.maximum(signal[:-1], 1e-300)).all()
+    )
+
+
+class PhysicalModel:
+    """SINR model for a fixed link set and parameters (α, β, ν)."""
+
+    def __init__(
+        self,
+        links: LinkSet,
+        alpha: float = 3.0,
+        beta: float = 1.5,
+        noise: float = 0.0,
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError("path-loss exponent α must be positive")
+        if beta <= 0:
+            raise ValueError("SINR threshold β must be positive")
+        if noise < 0:
+            raise ValueError("noise ν must be non-negative")
+        self.links = links
+        self.alpha = alpha
+        self.beta = beta
+        self.noise = noise
+        # gain[j, i] = 1 / d(s_j, r_i)^α : channel gain from sender j to
+        # receiver i; the diagonal is the signal gain of each link.
+        sr = links.sender_receiver_matrix()
+        if (np.diagonal(sr) <= 0).any():
+            raise ValueError("zero-length link")
+        if (sr <= 0).any():
+            raise ValueError("a sender coincides with another link's receiver")
+        self._gain = sr**-alpha
+
+    @property
+    def gain(self) -> np.ndarray:
+        """``gain[j, i] = d(s_j, r_i)^{-α}``; the diagonal is signal gain."""
+        return self._gain
+
+    def signal(self, power: np.ndarray) -> np.ndarray:
+        """Received signal strength of each link: p_i·gain[i, i]."""
+        g = self.gain
+        return np.asarray(power, dtype=float) * np.diagonal(g)
+
+    def interference(self, members: np.ndarray, power: np.ndarray) -> np.ndarray:
+        """For each member ``i``: Σ_{j ∈ members, j≠i} p_j · gain[j, i]."""
+        idx = np.asarray(members, dtype=np.intp)
+        g = self.gain
+        p = np.asarray(power, dtype=float)
+        received = p[idx, None] * g[np.ix_(idx, idx)]
+        np.fill_diagonal(received, 0.0)
+        return received.sum(axis=0)
+
+    def sinr(self, members: np.ndarray, power: np.ndarray) -> np.ndarray:
+        """SINR of each member; +inf for an interference-free link at ν = 0."""
+        idx = np.asarray(members, dtype=np.intp)
+        sig = self.signal(power)[idx]
+        inter = self.interference(idx, power)
+        with np.errstate(divide="ignore"):
+            return sig / (inter + self.noise)
+
+    def is_feasible(self, members, power: np.ndarray, tol: float = 1e-9) -> bool:
+        """Can all members transmit simultaneously at the given powers?"""
+        idx = np.asarray(list(members), dtype=np.intp)
+        if idx.size == 0:
+            return True
+        if self.noise > 0 or idx.size > 1:
+            return bool((self.sinr(idx, power) >= self.beta * (1.0 - tol)).all())
+        return True  # single link, no noise: always feasible
+
+    def epsilon(self, power: np.ndarray) -> float:
+        """The paper's ε = (β/2)·min over link pairs of (d(ℓ)/d(s', r))^α."""
+        n = self.links.n
+        if n < 2:
+            return 0.0
+        sr = self.links.sender_receiver_matrix()
+        lengths = np.diagonal(sr)
+        # ratio[j, i] = (d_i / d(s_j, r_i))^α for j ≠ i.
+        ratio = (lengths[None, :] / sr) ** self.alpha
+        mask = ~np.eye(n, dtype=bool)
+        return float(self.beta / 2.0 * ratio[mask].min())
+
+    def weight_matrix(self, power: np.ndarray) -> np.ndarray:
+        """Proposition 15's weights: w[j, i] is the clipped normalized
+        interference of link j at link i."""
+        p = np.asarray(power, dtype=float)
+        if (p <= 0).any():
+            raise ValueError("powers must be positive")
+        g = self.gain
+        beta_eff = self.beta / (1.0 + self.epsilon(p))
+        signal = p * np.diagonal(g)
+        denom = signal - beta_eff * self.noise  # per receiver i
+        received = p[:, None] * g  # [j, i]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            w = beta_eff * received / denom[None, :]
+        w = np.where(denom[None, :] > 0, w, np.inf)
+        w = np.minimum(w, 1.0)
+        np.fill_diagonal(w, 0.0)
+        return w
+
+    def weighted_graph(self, power: np.ndarray) -> WeightedConflictGraph:
+        return WeightedConflictGraph(self.weight_matrix(power))
+
+
+def physical_model_structure(
+    links: LinkSet,
+    power: np.ndarray,
+    alpha: float = 3.0,
+    beta: float = 1.5,
+    noise: float = 0.0,
+    rho: float | None = None,
+) -> WeightedConflictStructure:
+    """Weighted conflict structure for the fixed-power physical model.
+
+    ``rho`` defaults to the *measured certified upper bound* on ρ(π) for the
+    decreasing-length ordering (the paper guarantees O(log n) but gives no
+    constant; the LP needs a concrete feasible right-hand side).
+    """
+    model = PhysicalModel(links, alpha, beta, noise)
+    graph = model.weighted_graph(power)
+    ordering = length_ordering(links, descending=True)
+    if rho is None:
+        bounds = weighted_rho_of_ordering(graph, ordering)
+        rho_val = max(bounds.upper, 1.0)
+        source = "measured upper bound on ρ(π) (Proposition 15: O(log n))"
+    else:
+        rho_val = rho
+        source = "caller-supplied"
+    return WeightedConflictStructure(
+        graph=graph,
+        ordering=ordering,
+        rho=rho_val,
+        rho_source=source,
+        metadata={
+            "model": "physical",
+            "alpha": alpha,
+            "beta": beta,
+            "noise": noise,
+            "physical_model": model,
+            "power": np.asarray(power, dtype=float),
+        },
+    )

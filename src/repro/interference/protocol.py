@@ -1,0 +1,100 @@
+"""The protocol model and the IEEE 802.11 bidirectional variant (Section 4.2).
+
+Protocol model (Gupta–Kumar):  a link ``(s, r)`` may share a channel with
+other links only if every other sender ``s'`` on the channel satisfies
+``d(s', r) ≥ (1 + Δ) · d(s, r)``.  The (symmetric) conflict graph joins two
+links when either direction of this guard-zone condition fails.
+
+Proposition 13 (via Wan) certifies
+
+    ρ ≤ ⌈π / arcsin(Δ / (2(Δ + 1)))⌉ − 1
+
+for the *decreasing-length* ordering: the backward neighbors of a link are
+the longer links, and at most ρ mutually-compatible longer links can violate
+its guard zone (an angular packing argument).
+
+The IEEE 802.11 model (Alicherry et al.) is bidirectional: both endpoints of
+a link transmit (DATA/ACK), so two links conflict when *any* endpoint pair
+comes within ``(1 + Δ) · max(len_i, len_j)``.  Wan shows ρ ≤ 23 for Δ ≥ 1
+under the same decreasing-length ordering.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.links import LinkSet, length_ordering
+from repro.graphs.conflict_graph import ConflictGraph
+from repro.interference.base import ConflictStructure
+
+__all__ = [
+    "protocol_conflict_graph",
+    "protocol_rho_bound",
+    "protocol_model",
+    "ieee80211_conflict_graph",
+    "ieee80211_model",
+    "IEEE80211_RHO_BOUND",
+]
+
+IEEE80211_RHO_BOUND = 23
+
+
+def protocol_rho_bound(delta: float) -> int:
+    """Proposition 13's bound ⌈π / arcsin(Δ/(2(Δ+1)))⌉ − 1."""
+    if delta <= 0:
+        raise ValueError("the protocol model requires Δ > 0")
+    return math.ceil(math.pi / math.asin(delta / (2.0 * (delta + 1.0)))) - 1
+
+
+def protocol_conflict_graph(links: LinkSet, delta: float) -> ConflictGraph:
+    """Conflict graph of the protocol model with guard parameter Δ."""
+    if delta <= 0:
+        raise ValueError("the protocol model requires Δ > 0")
+    sr = links.sender_receiver_matrix()  # sr[i, j] = d(s_i, r_j)
+    lengths = links.lengths
+    # Link j's sender violates link i's guard zone iff
+    # d(s_j, r_i) < (1 + Δ) d(s_i, r_i).
+    violates = sr.T < (1.0 + delta) * lengths[:, None]  # [i, j]
+    np.fill_diagonal(violates, False)
+    adj = violates | violates.T
+    return ConflictGraph.from_adjacency(adj)
+
+
+def protocol_model(links: LinkSet, delta: float) -> ConflictStructure:
+    """Full protocol-model structure: graph + length ordering + certified ρ."""
+    return ConflictStructure(
+        graph=protocol_conflict_graph(links, delta),
+        ordering=length_ordering(links, descending=True),
+        rho=protocol_rho_bound(delta),
+        rho_source=f"Proposition 13 with Δ={delta}",
+        metadata={"model": "protocol", "delta": delta},
+    )
+
+
+def ieee80211_conflict_graph(links: LinkSet, delta: float) -> ConflictGraph:
+    """Bidirectional (802.11) conflicts: any endpoint pair within
+    ``(1 + Δ) · max(len_i, len_j)`` creates an edge."""
+    if delta <= 0:
+        raise ValueError("the 802.11 model requires Δ > 0")
+    ss = links.sender_sender_matrix()
+    rr = links.receiver_receiver_matrix()
+    sr = links.sender_receiver_matrix()
+    closest = np.minimum(np.minimum(ss, rr), np.minimum(sr, sr.T))
+    lengths = links.lengths
+    limit = (1.0 + delta) * np.maximum(lengths[:, None], lengths[None, :])
+    adj = closest < limit
+    np.fill_diagonal(adj, False)
+    return ConflictGraph.from_adjacency(adj)
+
+
+def ieee80211_model(links: LinkSet, delta: float) -> ConflictStructure:
+    """802.11 structure with Wan's ρ ≤ 23 certificate."""
+    return ConflictStructure(
+        graph=ieee80211_conflict_graph(links, delta),
+        ordering=length_ordering(links, descending=True),
+        rho=IEEE80211_RHO_BOUND,
+        rho_source="Wan [31] for the IEEE 802.11 model",
+        metadata={"model": "ieee80211", "delta": delta},
+    )

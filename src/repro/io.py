@@ -1,0 +1,196 @@
+"""Instance serialization: save/load auction problems as JSON.
+
+Lets users pin down and share the exact instances behind a result —
+structures (graph + ordering + ρ), valuations, and channel counts survive a
+round trip bit-for-bit.  Only JSON-native types are written, so files are
+portable and diffable.
+
+Limitations (by design): structure ``metadata`` entries that are not
+JSON-native (e.g. the live ``PhysicalModel`` object or LinkSet references)
+are dropped on save — the graph already encodes everything the solver
+needs; regenerate models from geometry if you need them back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.auction import AuctionProblem
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.interference.base import ConflictStructure, WeightedConflictStructure
+from repro.valuations.additive import (
+    AdditiveValuation,
+    BudgetedAdditiveValuation,
+    CappedAdditiveValuation,
+    UnitDemandValuation,
+)
+from repro.valuations.base import Valuation
+from repro.valuations.explicit import (
+    ExplicitValuation,
+    SingleMindedValuation,
+    XORValuation,
+)
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem",
+    "load_problem",
+]
+
+
+# ----------------------------------------------------------------------
+# valuations
+# ----------------------------------------------------------------------
+def _bids_to_list(bids: dict[frozenset[int], float]) -> list[list]:
+    return [[sorted(bundle), value] for bundle, value in sorted(
+        bids.items(), key=lambda kv: sorted(kv[0])
+    )]
+
+
+def _bids_from_list(items: list[list]) -> dict[frozenset[int], float]:
+    return {frozenset(bundle): float(value) for bundle, value in items}
+
+
+def _valuation_to_dict(v: Valuation) -> dict:
+    if isinstance(v, SingleMindedValuation):
+        return {
+            "type": "single_minded",
+            "k": v.k,
+            "bundle": sorted(v.bundle),
+            "value": v.bid_value,
+        }
+    if isinstance(v, XORValuation):
+        return {"type": "xor", "k": v.k, "bids": _bids_to_list(v.bids)}
+    if isinstance(v, ExplicitValuation):
+        return {"type": "explicit", "k": v.k, "bids": _bids_to_list(v.bids)}
+    if isinstance(v, BudgetedAdditiveValuation):
+        return {
+            "type": "budgeted",
+            "per_channel": v.per_channel.tolist(),
+            "budget": v.budget,
+        }
+    if isinstance(v, CappedAdditiveValuation):
+        return {
+            "type": "capped",
+            "per_channel": v.per_channel.tolist(),
+            "cap": v.cap,
+        }
+    if isinstance(v, UnitDemandValuation):
+        return {"type": "unit_demand", "per_channel": v.per_channel.tolist()}
+    if isinstance(v, AdditiveValuation):
+        return {"type": "additive", "per_channel": v.per_channel.tolist()}
+    raise TypeError(f"cannot serialize valuation of type {type(v).__name__}")
+
+
+def _valuation_from_dict(data: dict) -> Valuation:
+    kind = data["type"]
+    if kind == "single_minded":
+        return SingleMindedValuation(
+            data["k"], frozenset(data["bundle"]), data["value"]
+        )
+    if kind == "xor":
+        return XORValuation(data["k"], _bids_from_list(data["bids"]))
+    if kind == "explicit":
+        return ExplicitValuation(data["k"], _bids_from_list(data["bids"]))
+    if kind == "budgeted":
+        return BudgetedAdditiveValuation(
+            np.array(data["per_channel"]), data["budget"]
+        )
+    if kind == "capped":
+        return CappedAdditiveValuation(np.array(data["per_channel"]), data["cap"])
+    if kind == "unit_demand":
+        return UnitDemandValuation(np.array(data["per_channel"]))
+    if kind == "additive":
+        return AdditiveValuation(np.array(data["per_channel"]))
+    raise ValueError(f"unknown valuation type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# structures
+# ----------------------------------------------------------------------
+def _json_safe_metadata(metadata: dict) -> dict:
+    out = {}
+    for key, value in metadata.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+    return out
+
+
+def _structure_to_dict(structure) -> dict:
+    common = {
+        "ordering": structure.ordering.perm.tolist(),
+        "rho": structure.rho,
+        "rho_source": structure.rho_source,
+        "metadata": _json_safe_metadata(structure.metadata),
+    }
+    if isinstance(structure, WeightedConflictStructure):
+        return {
+            "type": "weighted",
+            "weights": structure.graph.weights.tolist(),
+            **common,
+        }
+    if isinstance(structure, ConflictStructure):
+        return {
+            "type": "unweighted",
+            "n": structure.graph.n,
+            "edges": sorted(structure.graph.edges()),
+            **common,
+        }
+    raise TypeError(f"cannot serialize structure of type {type(structure).__name__}")
+
+
+def _structure_from_dict(data: dict):
+    ordering = VertexOrdering(data["ordering"])
+    if data["type"] == "weighted":
+        graph = WeightedConflictGraph(np.array(data["weights"]))
+        return WeightedConflictStructure(
+            graph, ordering, data["rho"], data["rho_source"], dict(data["metadata"])
+        )
+    if data["type"] == "unweighted":
+        graph = ConflictGraph(data["n"], [tuple(e) for e in data["edges"]])
+        return ConflictStructure(
+            graph, ordering, data["rho"], data["rho_source"], dict(data["metadata"])
+        )
+    raise ValueError(f"unknown structure type {data['type']!r}")
+
+
+# ----------------------------------------------------------------------
+# problems
+# ----------------------------------------------------------------------
+FORMAT_VERSION = 1
+
+
+def problem_to_dict(problem: AuctionProblem) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "k": problem.k,
+        "structure": _structure_to_dict(problem.structure),
+        "valuations": [_valuation_to_dict(v) for v in problem.valuations],
+    }
+
+
+def problem_from_dict(data: dict) -> AuctionProblem:
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {data.get('format_version')!r}"
+        )
+    return AuctionProblem(
+        structure=_structure_from_dict(data["structure"]),
+        k=int(data["k"]),
+        valuations=[_valuation_from_dict(v) for v in data["valuations"]],
+    )
+
+
+def save_problem(problem: AuctionProblem, path) -> None:
+    """Write a problem to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(problem_to_dict(problem), indent=1))
+
+
+def load_problem(path) -> AuctionProblem:
+    """Read a problem saved by :func:`save_problem`."""
+    return problem_from_dict(json.loads(Path(path).read_text()))

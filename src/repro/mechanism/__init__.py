@@ -1,0 +1,19 @@
+"""Mechanism design: Lavi–Swamy decomposition, scaled VCG, truthfulness."""
+
+from repro.mechanism.lavi_swamy import (
+    DecompositionResult,
+    decompose_lp_solution,
+    default_alpha,
+)
+from repro.mechanism.truthful import MechanismOutcome, TruthfulMechanism
+from repro.mechanism.vcg import FractionalVCG, vcg_payments
+
+__all__ = [
+    "DecompositionResult",
+    "decompose_lp_solution",
+    "default_alpha",
+    "FractionalVCG",
+    "vcg_payments",
+    "TruthfulMechanism",
+    "MechanismOutcome",
+]

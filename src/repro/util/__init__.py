@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG handling, allocation validation, tables."""
+
+from repro.util.ascii_plot import bar_chart
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.tables import Table
+from repro.util.validation import (
+    check_allocation_feasible,
+    check_partly_feasible,
+    violated_channels,
+)
+
+__all__ = [
+    "bar_chart",
+    "ensure_rng",
+    "spawn_rngs",
+    "Table",
+    "check_allocation_feasible",
+    "check_partly_feasible",
+    "violated_channels",
+]

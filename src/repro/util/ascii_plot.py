@@ -1,0 +1,42 @@
+"""ASCII bar charts for terminal-friendly experiment "figures".
+
+The environment is plot-library-free, so scaling trends (E1's ratio vs √k,
+E5's ρ vs log n) are rendered as horizontal bar charts in the experiment
+reports — enough to eyeball the shape the paper predicts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["bar_chart"]
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    fill: str = "#",
+) -> str:
+    """Render one horizontal bar per (label, value).
+
+    Bars are scaled so the maximum value spans ``width`` characters; zero
+    and negative values produce empty bars (values are annotated anyway).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if width < 1:
+        raise ValueError("width must be positive")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(max(values), 0.0)
+    label_width = max(len(str(lab)) for lab in labels)
+    for lab, val in zip(labels, values):
+        n_fill = int(round(width * val / peak)) if peak > 0 and val > 0 else 0
+        bar = fill * n_fill
+        lines.append(f"{str(lab).rjust(label_width)} |{bar.ljust(width)} {val:g}")
+    return "\n".join(lines)

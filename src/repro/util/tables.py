@@ -1,0 +1,68 @@
+"""Minimal ASCII table rendering for experiment and benchmark reports.
+
+The benchmark harness prints the same rows a paper table would contain; this
+module keeps that output aligned and diff-friendly without pulling in any
+formatting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """Accumulate rows and render an aligned ASCII table.
+
+    Parameters
+    ----------
+    columns:
+        Header names, one per column.
+    precision:
+        Number of decimal places used for floats.
+    """
+
+    def __init__(self, columns: Sequence[str], precision: int = 3) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.precision = precision
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; the number of values must match the header."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_fmt(v, self.precision) for v in values])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """Return the table as a string with a separator under the header."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()

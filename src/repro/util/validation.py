@@ -1,0 +1,68 @@
+"""Independent re-validation of allocations against the original model.
+
+Algorithms in :mod:`repro.core` never certify their own output; tests and the
+solver facade always re-check feasibility here.  The functions are
+duck-typed: any graph exposing ``n`` and ``is_independent(vertices)`` works
+(both :class:`~repro.graphs.conflict_graph.ConflictGraph` and
+:class:`~repro.graphs.weighted_graph.WeightedConflictGraph` do).
+
+An *allocation* is a mapping ``vertex -> frozenset of channels``; vertices
+missing from the mapping implicitly receive the empty bundle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = [
+    "channel_holders",
+    "check_allocation_feasible",
+    "check_partly_feasible",
+    "violated_channels",
+]
+
+Allocation = Mapping[int, frozenset[int]]
+
+
+def channel_holders(allocation: Allocation, k: int) -> list[list[int]]:
+    """Return, for each channel ``j`` in ``[k]``, the sorted vertices holding it."""
+    holders: list[list[int]] = [[] for _ in range(k)]
+    for v in sorted(allocation):
+        for j in allocation[v]:
+            if not 0 <= j < k:
+                raise ValueError(f"vertex {v} holds out-of-range channel {j}")
+            holders[j].append(v)
+    return holders
+
+
+def violated_channels(graph, allocation: Allocation, k: int) -> list[int]:
+    """Channels whose holder set is *not* independent in ``graph``."""
+    return [
+        j
+        for j, holders in enumerate(channel_holders(allocation, k))
+        if not graph.is_independent(holders)
+    ]
+
+
+def check_allocation_feasible(graph, allocation: Allocation, k: int) -> bool:
+    """True iff every channel's holder set is an independent set (Problem 1)."""
+    return not violated_channels(graph, allocation, k)
+
+
+def check_partly_feasible(weighted_graph, ordering, allocation: Allocation) -> bool:
+    """Check Condition (5): for every vertex ``v``, the symmetric weights to
+    earlier vertices sharing a channel with ``v`` sum to strictly below 1/2.
+
+    ``ordering`` is a :class:`~repro.graphs.conflict_graph.VertexOrdering`;
+    ``weighted_graph`` must expose ``wbar(u, v)``.
+    """
+    items = [(v, s) for v, s in allocation.items() if s]
+    items.sort(key=lambda vs: ordering.position(vs[0]))
+    for i, (v, sv) in enumerate(items):
+        total = 0.0
+        for u, su in items[:i]:
+            if sv & su:
+                total += weighted_graph.wbar(u, v)
+        if total >= 0.5:
+            return False
+    return True

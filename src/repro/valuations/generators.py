@@ -1,0 +1,154 @@
+"""Random valuation suites for experiments.
+
+Values are drawn as integers (the paper's ``b : V × 2^[k] → N``) unless
+stated otherwise.  Every generator takes a seed/Generator and returns one
+valuation per bidder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+from repro.valuations.additive import (
+    AdditiveValuation,
+    BudgetedAdditiveValuation,
+    CappedAdditiveValuation,
+    UnitDemandValuation,
+)
+from repro.valuations.base import Valuation
+from repro.valuations.explicit import SingleMindedValuation, XORValuation
+
+__all__ = [
+    "random_xor_valuations",
+    "random_additive_valuations",
+    "random_unit_demand_valuations",
+    "random_capped_additive_valuations",
+    "random_budgeted_valuations",
+    "random_single_minded_valuations",
+    "all_or_nothing_valuations",
+    "random_mixed_valuations",
+]
+
+
+def _int_values(rng: np.random.Generator, size: int, lo: int, hi: int) -> np.ndarray:
+    return rng.integers(lo, hi + 1, size=size).astype(float)
+
+
+def random_xor_valuations(
+    n: int,
+    k: int,
+    bids_per_bidder: int = 4,
+    value_range: tuple[int, int] = (1, 100),
+    max_bundle_size: int | None = None,
+    seed=None,
+) -> list[Valuation]:
+    """XOR bidders with a few random bundles each.
+
+    Bundle sizes are drawn log-uniformly so both small and large bundles
+    appear — the regime split of Algorithm 1 (|T| vs √k) needs both.
+    """
+    rng = ensure_rng(seed)
+    lo, hi = value_range
+    cap = k if max_bundle_size is None else min(max_bundle_size, k)
+    out: list[Valuation] = []
+    for _ in range(n):
+        bids: dict[frozenset[int], float] = {}
+        for _ in range(bids_per_bidder):
+            size = int(np.clip(np.round(2 ** rng.uniform(0, np.log2(cap))), 1, cap))
+            bundle = frozenset(int(j) for j in rng.choice(k, size=size, replace=False))
+            base = int(rng.integers(lo, hi + 1))
+            # Larger bundles are worth more in expectation (superadditive-ish).
+            bids[bundle] = float(base * (1 + len(bundle)) // 2 + len(bundle))
+        out.append(XORValuation(k, bids))
+    return out
+
+
+def random_additive_valuations(
+    n: int, k: int, value_range: tuple[int, int] = (1, 20), seed=None
+) -> list[Valuation]:
+    rng = ensure_rng(seed)
+    lo, hi = value_range
+    return [AdditiveValuation(_int_values(rng, k, lo, hi)) for _ in range(n)]
+
+
+def random_unit_demand_valuations(
+    n: int, k: int, value_range: tuple[int, int] = (1, 100), seed=None
+) -> list[Valuation]:
+    rng = ensure_rng(seed)
+    lo, hi = value_range
+    return [UnitDemandValuation(_int_values(rng, k, lo, hi)) for _ in range(n)]
+
+
+def random_capped_additive_valuations(
+    n: int,
+    k: int,
+    cap_range: tuple[int, int] | None = None,
+    value_range: tuple[int, int] = (1, 20),
+    seed=None,
+) -> list[Valuation]:
+    rng = ensure_rng(seed)
+    lo, hi = value_range
+    cap_lo, cap_hi = cap_range if cap_range is not None else (1, max(1, k // 2))
+    return [
+        CappedAdditiveValuation(
+            _int_values(rng, k, lo, hi), int(rng.integers(cap_lo, cap_hi + 1))
+        )
+        for _ in range(n)
+    ]
+
+
+def random_budgeted_valuations(
+    n: int, k: int, value_range: tuple[int, int] = (1, 20), seed=None
+) -> list[Valuation]:
+    rng = ensure_rng(seed)
+    lo, hi = value_range
+    out = []
+    for _ in range(n):
+        values = _int_values(rng, k, lo, hi)
+        budget = float(rng.integers(hi, max(int(values.sum()), hi + 1) + 1))
+        out.append(BudgetedAdditiveValuation(values, budget))
+    return out
+
+
+def random_single_minded_valuations(
+    n: int,
+    k: int,
+    value_range: tuple[int, int] = (1, 100),
+    max_bundle_size: int | None = None,
+    seed=None,
+) -> list[Valuation]:
+    rng = ensure_rng(seed)
+    lo, hi = value_range
+    cap = k if max_bundle_size is None else min(max_bundle_size, k)
+    out = []
+    for _ in range(n):
+        size = int(rng.integers(1, cap + 1))
+        bundle = frozenset(int(j) for j in rng.choice(k, size=size, replace=False))
+        out.append(SingleMindedValuation(k, bundle, float(rng.integers(lo, hi + 1))))
+    return out
+
+
+def all_or_nothing_valuations(n: int, k: int, value: float = 1.0) -> list[Valuation]:
+    """Theorem 18's valuations: worth ``value`` for the full bundle only.
+
+    Built as *ExplicitValuation*-style XOR on the single full bundle; note
+    these are intentionally non-monotone-agnostic (only [k] matters).
+    """
+    full = frozenset(range(k))
+    return [SingleMindedValuation(k, full, value) for _ in range(n)]
+
+
+def random_mixed_valuations(
+    n: int, k: int, seed=None, value_range: tuple[int, int] = (1, 50)
+) -> list[Valuation]:
+    """A heterogeneous population cycling over all valuation classes."""
+    rng = ensure_rng(seed)
+    factories = [
+        lambda r: random_xor_valuations(1, k, seed=r)[0],
+        lambda r: random_additive_valuations(1, k, seed=r)[0],
+        lambda r: random_unit_demand_valuations(1, k, seed=r)[0],
+        lambda r: random_capped_additive_valuations(1, k, seed=r)[0],
+        lambda r: random_single_minded_valuations(1, k, seed=r)[0],
+    ]
+    return [factories[i % len(factories)](rng) for i in range(n)]

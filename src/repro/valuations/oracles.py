@@ -1,0 +1,56 @@
+"""Demand-oracle helpers and verification utilities.
+
+The LP machinery only ever talks to bidders through demand queries; these
+helpers provide the brute-force reference oracle (for tests and for
+valuations without a specialized oracle) and a verifier that cross-checks a
+valuation's ``demand`` implementation against the reference on random
+prices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+from repro.valuations.base import EMPTY_BUNDLE, Valuation, enumerate_bundles
+
+__all__ = ["brute_force_demand", "verify_demand_oracle"]
+
+
+def brute_force_demand(
+    valuation: Valuation, prices: np.ndarray
+) -> tuple[frozenset[int], float]:
+    """Reference oracle: enumerate all 2^k bundles."""
+    p = np.asarray(prices, dtype=float)
+    best, best_util = EMPTY_BUNDLE, 0.0
+    for bundle in enumerate_bundles(valuation.k):
+        util = valuation.value(bundle) - sum(p[j] for j in bundle)
+        if util > best_util + 1e-12:
+            best, best_util = bundle, util
+    return best, float(best_util)
+
+
+def verify_demand_oracle(
+    valuation: Valuation,
+    trials: int = 25,
+    price_scale: float = 1.0,
+    seed=None,
+    allow_negative_prices: bool = False,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Cross-check ``valuation.demand`` against brute force on random prices.
+
+    Compares achieved *utilities* (bundle ties are fine).  Returns True when
+    every trial matches within ``tolerance``.
+    """
+    rng = ensure_rng(seed)
+    for _ in range(trials):
+        p = rng.random(valuation.k) * price_scale
+        if allow_negative_prices:
+            p -= 0.5 * price_scale
+        bundle, util = valuation.demand(p)
+        _, ref_util = brute_force_demand(valuation, p)
+        achieved = valuation.value(bundle) - sum(p[j] for j in bundle)
+        if abs(achieved - util) > tolerance or util < ref_util - tolerance:
+            return False
+    return True

@@ -1,0 +1,61 @@
+"""Shared fixtures: small deterministic instances of every model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionProblem
+from repro.geometry.disks import random_disk_instance
+from repro.geometry.links import random_links
+from repro.interference.physical import linear_power, physical_model_structure
+from repro.interference.power_control import power_control_structure
+from repro.interference.protocol import protocol_model
+from repro.valuations.generators import random_xor_valuations
+
+
+@pytest.fixture(scope="session")
+def links12():
+    return random_links(12, seed=101, length_range=(0.03, 0.1))
+
+
+@pytest.fixture(scope="session")
+def links25():
+    return random_links(25, seed=102, length_range=(0.02, 0.08))
+
+
+@pytest.fixture(scope="session")
+def disk30():
+    return random_disk_instance(30, seed=103)
+
+
+@pytest.fixture(scope="session")
+def protocol_structure(links25):
+    return protocol_model(links25, delta=1.0)
+
+
+@pytest.fixture(scope="session")
+def physical_structure(links12):
+    return physical_model_structure(links12, linear_power(links12, 3.0))
+
+
+@pytest.fixture(scope="session")
+def power_control_struct(links12):
+    return power_control_structure(links12)
+
+
+@pytest.fixture()
+def protocol_problem(protocol_structure):
+    vals = random_xor_valuations(protocol_structure.n, 4, seed=104)
+    return AuctionProblem(protocol_structure, 4, vals)
+
+
+@pytest.fixture()
+def weighted_problem(physical_structure):
+    vals = random_xor_valuations(physical_structure.n, 4, seed=105)
+    return AuctionProblem(physical_structure, 4, vals)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(999)

@@ -1,0 +1,122 @@
+"""Tests for asymmetric channels (Section 6, Theorem 18)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asymmetric import (
+    AsymmetricAuctionLP,
+    AsymmetricAuctionProblem,
+    round_asymmetric,
+)
+from repro.core.exact import solve_exact
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.generators import (
+    gnp_random_graph,
+    random_regular_graph,
+    theorem18_edge_partition,
+)
+from repro.graphs.independence import max_weight_independent_set
+from repro.valuations.generators import (
+    all_or_nothing_valuations,
+    random_xor_valuations,
+)
+
+
+def theorem18_problem(n=14, d=4, k=2, seed=61):
+    base = random_regular_graph(n, d, seed=seed)
+    ordering = VertexOrdering.identity(n)
+    graphs = theorem18_edge_partition(base, k, ordering)
+    rho = max(1, d // k)
+    vals = all_or_nothing_valuations(n, k)
+    problem = AsymmetricAuctionProblem(graphs, ordering, rho, vals)
+    return problem, base
+
+
+class TestAsymmetricProblem:
+    def test_validation(self):
+        g1 = ConflictGraph(3)
+        g2 = ConflictGraph(4)
+        with pytest.raises(ValueError):
+            AsymmetricAuctionProblem(
+                [g1, g2], VertexOrdering.identity(3), 1.0, []
+            )
+
+    def test_feasibility_per_channel(self):
+        g0 = ConflictGraph(2, [(0, 1)])
+        g1 = ConflictGraph(2)
+        vals = random_xor_valuations(2, 2, seed=62)
+        problem = AsymmetricAuctionProblem(
+            [g0, g1], VertexOrdering.identity(2), 1.0, vals
+        )
+        # Channel 0 conflicts; channel 1 does not.
+        assert not problem.is_feasible({0: frozenset({0}), 1: frozenset({0})})
+        assert problem.is_feasible({0: frozenset({1}), 1: frozenset({1})})
+
+    def test_welfare(self):
+        problem, _ = theorem18_problem()
+        full = frozenset(range(problem.k))
+        assert problem.welfare({0: full, 3: full}) == 2.0
+
+
+class TestAsymmetricLP:
+    def test_lp_value_upper_bounds_integral(self):
+        problem, base = theorem18_problem()
+        lp_solution = AsymmetricAuctionLP(problem).solve()
+        # Theorem 18: integral optimum = α(base graph).
+        _, alpha = max_weight_independent_set(base)
+        assert lp_solution.value >= alpha - 1e-6
+
+    def test_equal_graphs_reduce_to_symmetric(self):
+        # Same graph on every channel: the asymmetric LP must match LP (1)
+        # with that graph.
+        from repro.core.auction import AuctionProblem
+        from repro.core.auction_lp import AuctionLP
+        from repro.interference.base import ConflictStructure
+
+        g = gnp_random_graph(10, 0.3, seed=63)
+        ordering = VertexOrdering.identity(10)
+        vals = random_xor_valuations(10, 3, seed=64)
+        sym = AuctionProblem(ConflictStructure(g, ordering, 2.0), 3, vals)
+        asym = AsymmetricAuctionProblem([g, g, g], ordering, 2.0, vals)
+        assert AsymmetricAuctionLP(asym).solve().value == pytest.approx(
+            AuctionLP(sym).solve().value, rel=1e-6
+        )
+
+
+class TestAsymmetricRounding:
+    def test_feasible_output(self):
+        problem, _ = theorem18_problem()
+        solution = AsymmetricAuctionLP(problem).solve()
+        rng = np.random.default_rng(65)
+        for _ in range(5):
+            alloc, info = round_asymmetric(problem, solution, rng)
+            assert problem.is_feasible(alloc)
+            assert info["scale"] == pytest.approx(
+                2.0 * problem.k * problem.rho
+            )
+
+    def test_expectation_meets_kr_bound(self):
+        """Section 6: expected welfare ≥ b*/(4kρ)."""
+        problem, _ = theorem18_problem(n=12, d=4, k=2, seed=66)
+        solution = AsymmetricAuctionLP(problem).solve()
+        rng = np.random.default_rng(67)
+        bound = solution.value / (4.0 * problem.k * problem.rho)
+        mean = np.mean(
+            [
+                problem.welfare(round_asymmetric(problem, solution, rng)[0])
+                for _ in range(150)
+            ]
+        )
+        assert mean >= bound * 0.9  # 10% sampling slack
+
+    def test_allocations_match_base_independent_sets(self):
+        # Theorem 18 correspondence: an all-or-nothing allocation of
+        # welfare b is an independent set of size b in the base graph.
+        problem, base = theorem18_problem(seed=68)
+        solution = AsymmetricAuctionLP(problem).solve()
+        rng = np.random.default_rng(69)
+        alloc, _ = round_asymmetric(problem, solution, rng)
+        winners = [v for v, s in alloc.items() if len(s) == problem.k]
+        assert base.is_independent(winners)

@@ -1,0 +1,158 @@
+"""Tests for the weighted asymmetric-channels extension (Section 6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.asymmetric_weighted import (
+    WeightedAsymmetricLP,
+    WeightedAsymmetricProblem,
+    complete_weighted_asymmetric,
+    round_weighted_asymmetric,
+)
+from repro.geometry.links import random_links
+from repro.graphs.conflict_graph import VertexOrdering
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.interference.physical import PhysicalModel, linear_power, uniform_power
+from repro.valuations.generators import random_xor_valuations
+
+
+def physical_asymmetric_problem(n=14, seed=301):
+    """Channels with genuinely different weighted graphs: channel 0 under
+    uniform power, channel 1 under linear power (different hardware per
+    band — the paper's motivation for asymmetric channels)."""
+    links = random_links(n, seed=seed, length_range=(0.02, 0.08))
+    model = PhysicalModel(links, 3.0, 1.5)
+    g0 = model.weighted_graph(uniform_power(links))
+    g1 = model.weighted_graph(linear_power(links, 3.0))
+    ordering = VertexOrdering.by_key(links.lengths, descending=True)
+    from repro.graphs.inductive import weighted_rho_of_ordering
+
+    rho = max(
+        weighted_rho_of_ordering(g0, ordering).upper,
+        weighted_rho_of_ordering(g1, ordering).upper,
+        1.0,
+    )
+    vals = random_xor_valuations(n, 2, seed=seed + 1)
+    return WeightedAsymmetricProblem([g0, g1], ordering, rho, vals)
+
+
+class TestProblemValidation:
+    def test_mismatched_sizes(self):
+        g0 = WeightedConflictGraph(np.zeros((3, 3)))
+        g1 = WeightedConflictGraph(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            WeightedAsymmetricProblem([g0, g1], VertexOrdering.identity(3), 1.0, [])
+
+    def test_per_channel_feasibility(self):
+        w_dense = np.zeros((2, 2))
+        w_dense[0, 1] = 2.0
+        g0 = WeightedConflictGraph(w_dense)  # channel 0 conflicts
+        g1 = WeightedConflictGraph(np.zeros((2, 2)))  # channel 1 free
+        vals = random_xor_valuations(2, 2, seed=302)
+        problem = WeightedAsymmetricProblem(
+            [g0, g1], VertexOrdering.identity(2), 2.0, vals
+        )
+        assert not problem.is_feasible({0: frozenset({0}), 1: frozenset({0})})
+        assert problem.is_feasible({0: frozenset({1}), 1: frozenset({1})})
+
+
+class TestLP:
+    def test_reduces_to_symmetric_when_equal(self):
+        from repro.core.auction import AuctionProblem
+        from repro.core.auction_lp import AuctionLP
+        from repro.interference.base import WeightedConflictStructure
+
+        links = random_links(10, seed=303, length_range=(0.02, 0.08))
+        model = PhysicalModel(links, 3.0, 1.5)
+        g = model.weighted_graph(linear_power(links, 3.0))
+        ordering = VertexOrdering.by_key(links.lengths, descending=True)
+        vals = random_xor_valuations(10, 2, seed=304)
+        sym = AuctionProblem(
+            WeightedConflictStructure(g, ordering, 3.0), 2, vals
+        )
+        asym = WeightedAsymmetricProblem([g, g], ordering, 3.0, vals)
+        assert WeightedAsymmetricLP(asym).solve().value == pytest.approx(
+            AuctionLP(sym).solve().value, rel=1e-6
+        )
+
+    def test_lp_value_positive(self):
+        problem = physical_asymmetric_problem()
+        assert WeightedAsymmetricLP(problem).solve().value > 0
+
+
+class TestRounding:
+    def test_partial_condition_holds(self):
+        problem = physical_asymmetric_problem()
+        solution = WeightedAsymmetricLP(problem).solve()
+        rng = np.random.default_rng(305)
+        for _ in range(5):
+            alloc, info = round_weighted_asymmetric(problem, solution, rng)
+            pos = problem.ordering.pos
+            order = sorted(alloc, key=lambda v: pos[v])
+            for i, v in enumerate(order):
+                for j in alloc[v]:
+                    total = sum(
+                        problem.graphs[j].wbar(u, v)
+                        for u in order[:i]
+                        if j in alloc[u]
+                    )
+                    assert total < 0.5
+
+    def test_scale_default(self):
+        problem = physical_asymmetric_problem()
+        solution = WeightedAsymmetricLP(problem).solve()
+        _, info = round_weighted_asymmetric(
+            problem, solution, np.random.default_rng(306)
+        )
+        assert info["scale"] == pytest.approx(4.0 * 2 * problem.rho)
+
+
+class TestCompletion:
+    def test_end_to_end_feasible(self):
+        problem = physical_asymmetric_problem()
+        solution = WeightedAsymmetricLP(problem).solve()
+        rng = np.random.default_rng(307)
+        for _ in range(8):
+            partly, _ = round_weighted_asymmetric(problem, solution, rng)
+            final, rounds = complete_weighted_asymmetric(problem, partly)
+            assert problem.is_feasible(final)
+            cap = problem.k * math.ceil(math.log2(max(2, problem.n)))
+            assert rounds <= cap
+
+    def test_overloaded_channel_split(self):
+        # Star on channel 0 (center receives 1.2), channel 1 free: the
+        # completion must separate the center from the leaves.
+        n = 5
+        w0 = np.zeros((n, n))
+        for leaf in range(1, n):
+            w0[leaf, 0] = 0.3
+        g0 = WeightedConflictGraph(w0)
+        g1 = WeightedConflictGraph(np.zeros((n, n)))
+        vals = random_xor_valuations(n, 2, seed=308)
+        problem = WeightedAsymmetricProblem(
+            [g0, g1], VertexOrdering.identity(n), 1.2, vals
+        )
+        alloc = {v: frozenset({0}) for v in range(n)}
+        final, rounds = complete_weighted_asymmetric(problem, alloc)
+        assert problem.is_feasible(final)
+        assert rounds == 2
+
+    def test_empty_input(self):
+        problem = physical_asymmetric_problem()
+        final, rounds = complete_weighted_asymmetric(problem, {})
+        assert final == {} and rounds == 0
+
+    def test_mean_welfare_positive(self):
+        problem = physical_asymmetric_problem()
+        solution = WeightedAsymmetricLP(problem).solve()
+        rng = np.random.default_rng(309)
+        values = []
+        for _ in range(30):
+            partly, _ = round_weighted_asymmetric(problem, solution, rng)
+            final, _ = complete_weighted_asymmetric(problem, partly)
+            values.append(problem.welfare(final))
+        assert np.mean(values) > 0

@@ -1,0 +1,134 @@
+"""Tests for the AuctionProblem contract, including the paper's headline
+"no restrictions on valuations, not even monotonicity" claim."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionProblem, social_welfare
+from repro.core.auction_lp import AuctionLP
+from repro.core.derandomize import derandomize_rounding
+from repro.core.exact import solve_exact
+from repro.core.rounding import round_unweighted
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.interference.base import ConflictStructure
+from repro.valuations.explicit import ExplicitValuation, XORValuation
+from repro.valuations.generators import random_xor_valuations
+
+
+def make_structure(n=4, edges=((0, 1), (2, 3)), rho=1.0):
+    return ConflictStructure(
+        ConflictGraph(n, list(edges)), VertexOrdering.identity(n), rho
+    )
+
+
+class TestAuctionProblemValidation:
+    def test_valuation_count_mismatch(self):
+        with pytest.raises(ValueError):
+            AuctionProblem(make_structure(), 2, random_xor_valuations(3, 2, seed=1))
+
+    def test_valuation_k_mismatch(self):
+        vals = random_xor_valuations(4, 3, seed=2)
+        with pytest.raises(ValueError):
+            AuctionProblem(make_structure(), 2, vals)
+
+    def test_k_positive(self):
+        with pytest.raises(ValueError):
+            AuctionProblem(make_structure(), 0, [])
+
+    def test_properties(self):
+        vals = random_xor_valuations(4, 2, seed=3)
+        p = AuctionProblem(make_structure(), 2, vals)
+        assert p.n == 4 and not p.is_weighted
+        assert p.rho == 1.0
+
+
+class TestSocialWelfare:
+    def test_sums_allocated_values(self):
+        vals = [XORValuation(2, {frozenset({0}): float(i + 1)}) for i in range(3)]
+        alloc = {0: frozenset({0}), 2: frozenset({0})}
+        assert social_welfare(vals, alloc) == 4.0
+
+    def test_empty_bundles_ignored(self):
+        vals = [XORValuation(2, {frozenset({0}): 5.0})]
+        assert social_welfare(vals, {0: frozenset()}) == 0.0
+
+
+class TestApproximationBound:
+    def test_unweighted_formula(self):
+        p = AuctionProblem(make_structure(rho=3.0), 4, random_xor_valuations(4, 4, seed=4))
+        assert p.approximation_bound() == pytest.approx(8.0 * 2.0 * 3.0)
+
+    def test_weighted_adds_log_factor(self, weighted_problem):
+        k, rho, n = weighted_problem.k, weighted_problem.rho, weighted_problem.n
+        expected = 16.0 * math.sqrt(k) * rho * math.ceil(math.log2(n))
+        assert weighted_problem.approximation_bound() == pytest.approx(expected)
+
+
+class TestNonMonotoneValuations:
+    """The paper's generality claim: b_{v,T} needs no structure at all —
+    a bundle's supersets may be worth nothing."""
+
+    def make_problem(self):
+        k = 3
+        # Bidder 0 wants EXACTLY {0,1}; {0,1,2} is worth 0 (hardware cannot
+        # aggregate a third channel, say).  Bidder 1 wants exactly {2}.
+        vals = [
+            ExplicitValuation(k, {frozenset({0, 1}): 10.0}),
+            ExplicitValuation(k, {frozenset({2}): 4.0}),
+            ExplicitValuation(k, {frozenset({0}): 3.0, frozenset({0, 1, 2}): 1.0}),
+        ]
+        structure = ConflictStructure(
+            ConflictGraph(3, [(0, 2)]), VertexOrdering.identity(3), 1.0
+        )
+        return AuctionProblem(structure, k, vals)
+
+    def test_exact_respects_exact_bundles(self):
+        problem = self.make_problem()
+        result = solve_exact(problem)
+        # OPT: bidder 0 gets {0,1} (10), bidder 1 gets {2} (4) = 14;
+        # bidder 2 conflicts with 0 on any shared channel.
+        assert result.value == pytest.approx(14.0)
+        assert result.allocation[0] == frozenset({0, 1})
+
+    def test_rounding_never_allocates_supersets(self):
+        problem = self.make_problem()
+        lp = AuctionLP(problem).solve()
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            alloc, _ = round_unweighted(problem, lp, rng)
+            for v, bundle in alloc.items():
+                # Only bundles with positive declared value are allocated.
+                assert problem.valuations[v].value(bundle) > 0
+
+    def test_derandomized_on_non_monotone(self):
+        problem = self.make_problem()
+        lp = AuctionLP(problem).solve()
+        out = derandomize_rounding(problem, lp)
+        assert problem.is_feasible(out.allocation)
+        bound = lp.value / problem.approximation_bound()
+        assert problem.welfare(out.allocation) >= bound - 1e-9
+
+
+class TestSingleChannelReduction:
+    """k = 1 reduces Problem 1 to maximum-weight independent set."""
+
+    def test_pipeline_on_k1(self):
+        rng = np.random.default_rng(6)
+        graph = ConflictGraph(8, [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7)])
+        profits = rng.integers(1, 20, size=8).astype(float)
+        vals = [XORValuation(1, {frozenset({0}): float(p)}) for p in profits]
+        structure = ConflictStructure(graph, VertexOrdering.identity(8), 2.0)
+        problem = AuctionProblem(structure, 1, vals)
+        from repro.graphs.independence import max_weight_independent_set
+
+        _, mwis = max_weight_independent_set(graph, profits)
+        exact = solve_exact(problem)
+        assert exact.value == pytest.approx(mwis)
+        lp = AuctionLP(problem).solve()
+        assert lp.value >= mwis - 1e-6
+        out = derandomize_rounding(problem, lp)
+        assert problem.is_feasible(out.allocation)

@@ -1,0 +1,161 @@
+"""Tests for LP (1)/(4): construction, Lemma 1 embedding, decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionProblem
+from repro.core.auction_lp import AuctionLP, Column, allocation_to_lp_vector
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.generators import clique
+from repro.interference.base import ConflictStructure, WeightedConflictStructure
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.valuations.explicit import XORValuation
+from repro.valuations.generators import random_xor_valuations
+
+
+def tiny_problem(k=2, rho=1.0):
+    # Path 0-1-2 with identity ordering; ρ(π) = 1.
+    graph = ConflictGraph(3, [(0, 1), (1, 2)])
+    structure = ConflictStructure(graph, VertexOrdering.identity(3), rho)
+    vals = [
+        XORValuation(k, {frozenset({0}): 2.0}),
+        XORValuation(k, {frozenset({0}): 3.0}),
+        XORValuation(k, {frozenset({0}): 2.0}),
+    ]
+    return AuctionProblem(structure, k, vals)
+
+
+class TestAuctionLPConstruction:
+    def test_columns_from_support(self):
+        problem = tiny_problem()
+        lp = AuctionLP(problem)
+        assert len(lp.columns) == 3
+        assert all(col.value > 0 for col in lp.columns)
+
+    def test_duplicate_column_ignored(self):
+        problem = tiny_problem()
+        lp = AuctionLP(problem)
+        before = len(lp.columns)
+        assert not lp.add_column(Column(0, frozenset({0}), 2.0))
+        assert len(lp.columns) == before
+
+    def test_empty_bundle_rejected(self):
+        problem = tiny_problem()
+        lp = AuctionLP(problem)
+        with pytest.raises(ValueError):
+            lp.add_column(Column(0, frozenset(), 1.0))
+
+    def test_matrix_shape(self):
+        problem = tiny_problem(k=2)
+        lp = AuctionLP(problem)
+        a, b, c = lp.build()
+        assert a.shape == (3 * 2 + 3, 3)
+        assert b.shape == (9,)
+        assert (b[:6] == 1.0).all()  # rho rows
+        assert (b[6:] == 1.0).all()  # vertex rows
+
+    def test_backward_only_interference(self):
+        # Column for vertex 2 (π-last) must only hit rows of *later*
+        # vertices — there are none, so its packing entries are empty.
+        problem = tiny_problem()
+        lp = AuctionLP(problem, columns=[Column(2, frozenset({0}), 1.0)])
+        a, _, _ = lp.build()
+        k, n = problem.k, problem.n
+        packing_part = a.toarray()[: n * k]
+        assert packing_part.sum() == 0.0
+
+    def test_forward_interference_entries(self):
+        # A column for vertex 0 contributes to neighbor 1's rows only.
+        problem = tiny_problem()
+        lp = AuctionLP(problem, columns=[Column(0, frozenset({0}), 1.0)])
+        a, _, _ = lp.build()
+        k = problem.k
+        dense = a.toarray()
+        assert dense[1 * k + 0, 0] == 1.0  # row (v=1, j=0)
+        assert dense[2 * k + 0, 0] == 0.0  # vertex 2 not adjacent to 0
+
+
+class TestLemma1:
+    """Feasible allocations are LP-feasible (Lemma 1)."""
+
+    def test_feasible_allocation_satisfies_lp(self, protocol_problem):
+        from repro.core.solver import SpectrumAuctionSolver
+
+        solver = SpectrumAuctionSolver(protocol_problem)
+        result = solver.solve(seed=5, rounding_attempts=2)
+        assert result.feasible
+        lp = AuctionLP(protocol_problem)
+        for v, bundle in result.allocation.items():
+            if bundle and not lp.has_column(v, bundle):
+                lp.add_column(
+                    Column(v, bundle, protocol_problem.valuations[v].value(bundle))
+                )
+        x = allocation_to_lp_vector(lp, result.allocation)
+        a, b, _ = lp.build()
+        assert (a @ x <= b + 1e-9).all()
+
+    def test_weighted_feasible_allocation_satisfies_lp(self, weighted_problem):
+        from repro.core.solver import SpectrumAuctionSolver
+
+        result = SpectrumAuctionSolver(weighted_problem).solve(seed=6)
+        assert result.feasible
+        lp = AuctionLP(weighted_problem)
+        for v, bundle in result.allocation.items():
+            if bundle and not lp.has_column(v, bundle):
+                lp.add_column(
+                    Column(v, bundle, weighted_problem.valuations[v].value(bundle))
+                )
+        x = allocation_to_lp_vector(lp, result.allocation)
+        a, b, _ = lp.build()
+        assert (a @ x <= b + 1e-9).all()
+
+    def test_missing_column_raises(self):
+        problem = tiny_problem()
+        lp = AuctionLP(problem)
+        with pytest.raises(KeyError):
+            allocation_to_lp_vector(lp, {0: frozenset({1})})
+
+
+class TestLPValues:
+    def test_lp_upper_bounds_any_feasible_allocation(self):
+        problem = tiny_problem()
+        sol = AuctionLP(problem).solve()
+        # Best feasible allocation: vertices 0 and 2 (value 4) — LP must
+        # be at least that.
+        assert sol.value >= 4.0 - 1e-9
+
+    def test_lp_on_clique_rho1(self):
+        # Clique with ρ = 1, k = 1: LP (1b) says each vertex's backward
+        # clique neighbors carry total mass ≤ 1 — the LP value stays within
+        # a constant of the best single bid (no n/2 clique gap, E10 shape).
+        n = 6
+        graph = clique(n)
+        structure = ConflictStructure(graph, VertexOrdering.identity(n), 1.0)
+        vals = [XORValuation(1, {frozenset({0}): 1.0}) for _ in range(n)]
+        problem = AuctionProblem(structure, 1, vals)
+        sol = AuctionLP(problem).solve()
+        # x sums over backward neighbors ≤ 1 per vertex; the last vertex
+        # sees everyone, so total mass ≤ 2 (it plus its backward bound).
+        assert sol.value <= 2.0 + 1e-6
+
+    def test_weighted_lp_uses_wbar(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = 0.25
+        w[1, 0] = 0.25
+        structure = WeightedConflictStructure(
+            WeightedConflictGraph(w), VertexOrdering.identity(2), rho=1.0
+        )
+        vals = [XORValuation(1, {frozenset({0}): 1.0}) for _ in range(2)]
+        problem = AuctionProblem(structure, 1, vals)
+        sol = AuctionLP(problem).solve()
+        # w̄(0,1) = 0.5 ≤ ρ: both vertices can take full mass.
+        assert sol.value == pytest.approx(2.0)
+
+    def test_solution_support_grouping(self, protocol_problem):
+        sol = AuctionLP(protocol_problem).solve()
+        per_vertex = sol.per_vertex()
+        for v, entries in per_vertex.items():
+            mass = sum(x for _, x, _ in entries)
+            assert mass <= 1.0 + 1e-7

@@ -1,0 +1,100 @@
+"""Tests for demand-oracle column generation (Section 2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionProblem
+from repro.core.auction_lp import AuctionLP
+from repro.core.column_generation import (
+    bidder_prices,
+    solve_with_column_generation,
+)
+from repro.valuations.generators import (
+    random_additive_valuations,
+    random_capped_additive_valuations,
+    random_unit_demand_valuations,
+    random_xor_valuations,
+)
+
+
+class TestBidderPrices:
+    def test_prices_nonnegative(self, protocol_problem):
+        sol = AuctionLP(protocol_problem).solve()
+        prices = bidder_prices(protocol_problem, sol.y)
+        assert prices.shape == (protocol_problem.n, protocol_problem.k)
+        assert (prices >= -1e-12).all()
+
+    def test_pi_last_vertex_has_zero_prices(self, protocol_problem):
+        # The π-largest vertex appears in no one's backward neighborhood,
+        # so no dual flows back to it... (it has no *later* vertices).
+        sol = AuctionLP(protocol_problem).solve()
+        prices = bidder_prices(protocol_problem, sol.y)
+        last = int(protocol_problem.ordering.perm[-1])
+        assert np.allclose(prices[last], 0.0)
+
+
+class TestColumnGeneration:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            random_additive_valuations,
+            random_unit_demand_valuations,
+            random_capped_additive_valuations,
+            random_xor_valuations,
+        ],
+    )
+    def test_matches_explicit_lp(self, protocol_structure, factory):
+        k = 4
+        vals = factory(protocol_structure.n, k, seed=31)
+        problem = AuctionProblem(protocol_structure, k, vals)
+        cg = solve_with_column_generation(problem)
+        explicit = AuctionLP(problem).solve()
+        assert cg.converged
+        assert cg.solution.value == pytest.approx(explicit.value, rel=1e-6)
+
+    def test_matches_explicit_weighted(self, physical_structure):
+        k = 3
+        vals = random_additive_valuations(physical_structure.n, k, seed=32)
+        problem = AuctionProblem(physical_structure, k, vals)
+        cg = solve_with_column_generation(problem)
+        explicit = AuctionLP(problem).solve()
+        assert cg.converged
+        assert cg.solution.value == pytest.approx(explicit.value, rel=1e-6)
+
+    def test_large_k_beyond_enumeration(self, protocol_structure):
+        # k = 24: 2^24 bundles — explicit enumeration impossible, oracle fine.
+        k = 24
+        vals = random_additive_valuations(protocol_structure.n, k, seed=33)
+        problem = AuctionProblem(protocol_structure, k, vals)
+        with pytest.raises(ValueError):
+            AuctionLP.default_columns(problem)
+        cg = solve_with_column_generation(problem)
+        assert cg.converged
+        assert cg.solution.value > 0
+
+    def test_oracle_call_accounting(self, protocol_structure):
+        vals = random_additive_valuations(protocol_structure.n, 4, seed=34)
+        problem = AuctionProblem(protocol_structure, 4, vals)
+        cg = solve_with_column_generation(problem)
+        # At least one seeding call and one verification pass per bidder.
+        assert cg.oracle_calls >= 2 * problem.n
+
+    def test_columns_grow_only_when_violated(self, protocol_structure):
+        vals = random_xor_valuations(protocol_structure.n, 4, seed=35)
+        problem = AuctionProblem(protocol_structure, 4, vals)
+        cg = solve_with_column_generation(problem)
+        explicit_cols = len(AuctionLP(problem).columns)
+        generated_cols = cg.columns_generated + problem.n  # seeds
+        assert generated_cols <= explicit_cols + problem.n
+
+    def test_duality_certificate(self, protocol_structure):
+        """At convergence no bidder's demand exceeds z_v: dual feasibility."""
+        vals = random_additive_valuations(protocol_structure.n, 4, seed=36)
+        problem = AuctionProblem(protocol_structure, 4, vals)
+        cg = solve_with_column_generation(problem)
+        prices = bidder_prices(problem, cg.solution.y)
+        for v, valuation in enumerate(problem.valuations):
+            _, util = valuation.demand(prices[v])
+            assert util <= cg.solution.z[v] + 1e-6

@@ -1,0 +1,128 @@
+"""Tests for Algorithm 3 (Lemma 8)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionProblem
+from repro.core.auction_lp import AuctionLP
+from repro.core.conflict_resolution import check_condition5, make_fully_feasible
+from repro.core.rounding import round_weighted
+from repro.graphs.conflict_graph import VertexOrdering
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.interference.base import WeightedConflictStructure
+from repro.valuations.explicit import XORValuation
+
+
+def weighted_problem_from_matrix(w, k=1, values=None):
+    n = w.shape[0]
+    structure = WeightedConflictStructure(
+        WeightedConflictGraph(w), VertexOrdering.identity(n), rho=1.0
+    )
+    vals = [
+        XORValuation(k, {frozenset(range(k)): float(values[i] if values is not None else 1.0)})
+        for i in range(n)
+    ]
+    return AuctionProblem(structure, k, vals)
+
+
+class TestCheckCondition5:
+    def test_detects_violation(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = 0.6
+        problem = weighted_problem_from_matrix(w)
+        alloc = {0: frozenset({0}), 1: frozenset({0})}
+        assert not check_condition5(problem, alloc)
+
+    def test_passes_below_half(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = 0.3
+        problem = weighted_problem_from_matrix(w)
+        alloc = {0: frozenset({0}), 1: frozenset({0})}
+        assert check_condition5(problem, alloc)
+
+
+class TestMakeFullyFeasible:
+    def test_rejects_unweighted(self, protocol_problem):
+        with pytest.raises(ValueError):
+            make_fully_feasible(protocol_problem, {})
+
+    def test_rejects_condition5_violation(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = 0.9
+        problem = weighted_problem_from_matrix(w)
+        with pytest.raises(ValueError):
+            make_fully_feasible(
+                problem, {0: frozenset({0}), 1: frozenset({0})}
+            )
+
+    def test_already_feasible_passthrough(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = 0.3  # total incoming below 1 everywhere
+        problem = weighted_problem_from_matrix(w)
+        alloc = {v: frozenset({0}) for v in range(3)}
+        result = make_fully_feasible(problem, alloc)
+        assert result.allocation == alloc
+        assert result.rounds == 1
+        assert problem.is_feasible(result.allocation)
+
+    def test_splits_overloaded_group(self):
+        # Star: center 0 is π-first; leaves 1..4 each send w(leaf, 0) = 0.3
+        # toward it.  Condition (5) holds (each leaf's backward w̄ is 0.3,
+        # the center has no backward vertices), but the center receives
+        # 1.2 ≥ 1 — not fully feasible.  Algorithm 3 must finalize the
+        # leaves in round 1 and give the center its own candidate.
+        w = np.zeros((5, 5))
+        for leaf in range(1, 5):
+            w[leaf, 0] = 0.3
+        problem = weighted_problem_from_matrix(w)
+        alloc = {v: frozenset({0}) for v in range(5)}
+        assert check_condition5(problem, alloc)
+        assert not problem.is_feasible(alloc)
+        result = make_fully_feasible(problem, alloc)
+        assert result.rounds == 2
+        assert len(result.candidates[0]) == 4  # the leaves
+        assert set(result.candidates[1]) == {0}  # the center alone
+        assert problem.is_feasible(result.allocation)
+        assert result.best_value == pytest.approx(4.0)
+
+    def test_candidate_count_within_log_bound(self, weighted_problem, rng):
+        lp = AuctionLP(weighted_problem).solve()
+        for seed in range(5):
+            alloc, _ = round_weighted(
+                weighted_problem, lp, np.random.default_rng(seed)
+            )
+            result = make_fully_feasible(weighted_problem, alloc)
+            n_alloc = max(2, len([v for v, s in alloc.items() if s]))
+            assert result.rounds <= math.ceil(math.log2(n_alloc)) + 1
+            assert weighted_problem.is_feasible(result.allocation)
+
+    def test_value_preserved_across_candidates(self, weighted_problem, rng):
+        lp = AuctionLP(weighted_problem).solve()
+        alloc, _ = round_weighted(weighted_problem, lp, rng)
+        result = make_fully_feasible(weighted_problem, alloc)
+        # Candidates partition the input bundles: values sum to the input.
+        assert sum(result.candidate_values) == pytest.approx(
+            result.input_value, rel=1e-9
+        )
+
+    def test_best_candidate_meets_log_bound(self, weighted_problem):
+        lp = AuctionLP(weighted_problem).solve()
+        for seed in range(5):
+            alloc, _ = round_weighted(
+                weighted_problem, lp, np.random.default_rng(seed + 50)
+            )
+            if not alloc:
+                continue
+            result = make_fully_feasible(weighted_problem, alloc)
+            n_alloc = max(2, len(alloc))
+            bound = result.input_value / math.ceil(math.log2(n_alloc))
+            assert result.best_value >= bound - 1e-9
+
+    def test_empty_allocation(self, weighted_problem):
+        result = make_fully_feasible(weighted_problem, {})
+        assert result.allocation == {}
+        assert result.rounds == 0

@@ -1,0 +1,149 @@
+"""Tests for the exact MILP solver and the baseline algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionProblem
+from repro.core.auction_lp import AuctionLP
+from repro.core.baselines import (
+    edge_lp_value,
+    greedy_channel_allocation,
+    local_ratio_independent_set,
+    round_edge_lp,
+)
+from repro.core.exact import solve_exact
+from repro.geometry.links import random_links
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.generators import clique, gnp_random_graph
+from repro.graphs.independence import max_weight_independent_set
+from repro.graphs.inductive import inductive_independence_number
+from repro.interference.base import ConflictStructure
+from repro.interference.physical import linear_power, physical_model_structure
+from repro.interference.protocol import protocol_model
+from repro.valuations.explicit import XORValuation
+from repro.valuations.generators import random_xor_valuations
+
+
+def small_problem(n=9, k=3, seed=41):
+    links = random_links(n, seed=seed, length_range=(0.03, 0.1))
+    cs = protocol_model(links, delta=1.0)
+    vals = random_xor_valuations(n, k, seed=seed + 1)
+    return AuctionProblem(cs, k, vals)
+
+
+class TestSolveExact:
+    def test_feasibility(self):
+        problem = small_problem()
+        result = solve_exact(problem)
+        assert problem.is_feasible(result.allocation)
+        assert result.value == pytest.approx(problem.welfare(result.allocation))
+
+    def test_lp_upper_bounds_exact(self):
+        problem = small_problem()
+        result = solve_exact(problem)
+        lp = AuctionLP(problem).solve()
+        assert lp.value >= result.value - 1e-6
+
+    def test_beats_or_matches_every_heuristic(self):
+        problem = small_problem(seed=43)
+        exact = solve_exact(problem)
+        greedy = greedy_channel_allocation(problem)
+        assert exact.value >= problem.welfare(greedy) - 1e-6
+
+    def test_exact_on_single_channel_equals_mwis(self):
+        # k=1 with single-channel bids: Problem 1 = MWIS.
+        g = gnp_random_graph(10, 0.35, seed=44)
+        rng = np.random.default_rng(45)
+        profits = rng.integers(1, 20, size=10).astype(float)
+        structure = ConflictStructure(g, VertexOrdering.identity(10), 3.0)
+        vals = [XORValuation(1, {frozenset({0}): float(p)}) for p in profits]
+        problem = AuctionProblem(structure, 1, vals)
+        result = solve_exact(problem)
+        _, mwis_value = max_weight_independent_set(g, profits)
+        assert result.value == pytest.approx(mwis_value)
+
+    def test_weighted_exact_feasible(self):
+        links = random_links(8, seed=46, length_range=(0.03, 0.1))
+        st = physical_model_structure(links, linear_power(links, 3.0))
+        vals = random_xor_valuations(8, 2, seed=47)
+        problem = AuctionProblem(st, 2, vals)
+        result = solve_exact(problem)
+        assert problem.is_feasible(result.allocation)
+
+    def test_empty_problem(self):
+        g = ConflictGraph(2)
+        structure = ConflictStructure(g, VertexOrdering.identity(2), 1.0)
+        vals = [XORValuation(1, {}) for _ in range(2)]
+        problem = AuctionProblem(structure, 1, vals)
+        result = solve_exact(problem)
+        assert result.value == 0.0 and result.allocation == {}
+
+
+class TestEdgeLP:
+    def test_clique_integrality_gap(self):
+        # Section 2.1: on K_n the edge LP gives n/2 with all-half x.
+        for n in (4, 8, 16):
+            x, value = edge_lp_value(clique(n), np.ones(n))
+            assert value == pytest.approx(n / 2.0)
+
+    def test_rounding_feasible(self):
+        g = gnp_random_graph(15, 0.3, seed=48)
+        profits = np.random.default_rng(49).random(15) * 10
+        chosen, val = round_edge_lp(g, profits)
+        assert g.is_independent(chosen)
+        assert val == pytest.approx(float(profits[chosen].sum()))
+
+    def test_no_edges_takes_everything(self):
+        g = ConflictGraph(5)
+        chosen, _ = round_edge_lp(g, np.ones(5))
+        assert chosen == [0, 1, 2, 3, 4]
+
+
+class TestLocalRatio:
+    def test_output_independent(self):
+        g = gnp_random_graph(20, 0.3, seed=50)
+        _, ordering = inductive_independence_number(g)
+        profits = np.random.default_rng(51).random(20) * 5
+        chosen, val = local_ratio_independent_set(g, ordering, profits)
+        assert g.is_independent(chosen)
+        assert val == pytest.approx(float(profits[chosen].sum()))
+
+    def test_rho_approximation_guarantee(self):
+        # Akcoglu et al.: local ratio with the optimal ordering is a
+        # ρ-approximation of MWIS.
+        for seed in range(6):
+            g = gnp_random_graph(14, 0.35, seed=seed)
+            rho, ordering = inductive_independence_number(g)
+            profits = np.random.default_rng(seed).integers(1, 30, size=14).astype(float)
+            _, lr_value = local_ratio_independent_set(g, ordering, profits)
+            _, opt_value = max_weight_independent_set(g, profits)
+            assert lr_value >= opt_value / max(rho, 1) - 1e-9
+
+    def test_clique_picks_max(self):
+        g = clique(6)
+        _, ordering = inductive_independence_number(g)
+        profits = np.array([1.0, 5.0, 3.0, 2.0, 4.0, 1.0])
+        chosen, val = local_ratio_independent_set(g, ordering, profits)
+        assert chosen == [1] and val == 5.0
+
+
+class TestGreedyChannel:
+    def test_feasible_allocation(self):
+        problem = small_problem(seed=52)
+        alloc = greedy_channel_allocation(problem)
+        assert problem.is_feasible(alloc)
+
+    def test_weighted_feasible(self):
+        links = random_links(10, seed=53, length_range=(0.03, 0.1))
+        st = physical_model_structure(links, linear_power(links, 3.0))
+        vals = random_xor_valuations(10, 3, seed=54)
+        problem = AuctionProblem(st, 3, vals)
+        alloc = greedy_channel_allocation(problem)
+        assert problem.is_feasible(alloc)
+
+    def test_nonzero_on_valuable_instances(self):
+        problem = small_problem(seed=55)
+        alloc = greedy_channel_allocation(problem)
+        assert problem.welfare(alloc) > 0

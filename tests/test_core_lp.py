@@ -1,0 +1,76 @@
+"""Tests for the LP layer: primal/dual correctness against hand-solved LPs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.lp import solve_packing_lp
+
+
+class TestSolvePackingLP:
+    def test_simple_knapsack_like(self):
+        # max 3x + 2y s.t. x + y ≤ 1 → x=1, value 3, dual 3.
+        sol = solve_packing_lp(
+            np.array([3.0, 2.0]), np.array([[1.0, 1.0]]), np.array([1.0])
+        )
+        assert sol.value == pytest.approx(3.0)
+        assert sol.x[0] == pytest.approx(1.0)
+        assert sol.duals[0] == pytest.approx(3.0)
+
+    def test_strong_duality(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            c = rng.random(6)
+            a = rng.random((4, 6))
+            b = rng.random(4) + 0.5
+            sol = solve_packing_lp(c, a, b)
+            assert sol.value == pytest.approx(float(b @ sol.duals), abs=1e-7)
+
+    def test_dual_feasibility(self):
+        rng = np.random.default_rng(2)
+        c = rng.random(5)
+        a = rng.random((3, 5)) + 0.1
+        b = rng.random(3) + 0.5
+        sol = solve_packing_lp(c, a, b)
+        # Aᵀy ≥ c for the maximization dual.
+        assert (np.asarray(a).T @ sol.duals >= c - 1e-7).all()
+
+    def test_upper_bounds_respected(self):
+        sol = solve_packing_lp(
+            np.array([5.0]),
+            np.array([[1.0]]),
+            np.array([10.0]),
+            upper_bounds=np.array([2.0]),
+        )
+        assert sol.x[0] == pytest.approx(2.0)
+        assert sol.value == pytest.approx(10.0)
+
+    def test_sparse_input(self):
+        a = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        sol = solve_packing_lp(np.array([1.0, 1.0]), a, np.array([1.0, 2.0]))
+        assert sol.value == pytest.approx(3.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_packing_lp(np.ones(2), np.ones((2, 3)), np.ones(2))
+
+    def test_infeasible_like_unbounded_raises(self):
+        # No constraints bounding x with positive objective → unbounded.
+        with pytest.raises(RuntimeError):
+            solve_packing_lp(np.array([1.0]), np.zeros((1, 1)), np.array([1.0]))
+
+    def test_zero_objective(self):
+        sol = solve_packing_lp(np.zeros(3), np.eye(3), np.ones(3))
+        assert sol.value == pytest.approx(0.0)
+
+    def test_complementary_slackness(self):
+        rng = np.random.default_rng(3)
+        c = rng.random(4) + 0.5
+        a = rng.random((4, 4)) + 0.2
+        b = rng.random(4) + 1.0
+        sol = solve_packing_lp(c, a, b)
+        slack = b - np.asarray(a) @ sol.x
+        for i in range(4):
+            assert sol.duals[i] * slack[i] == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,85 @@
+"""Tests for the online-arrival baseline and asymmetric column generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asymmetric import (
+    AsymmetricAuctionLP,
+    solve_asymmetric_with_column_generation,
+)
+from repro.core.exact import solve_exact
+from repro.core.online import online_greedy
+from repro.experiments.workloads import protocol_auction, theorem18_auction
+
+
+class TestOnlineGreedy:
+    def test_feasible_output(self):
+        problem = protocol_auction(12, 3, seed=501)
+        result = online_greedy(problem, seed=1)
+        assert problem.is_feasible(result.allocation)
+        assert result.granted + result.rejected == problem.n
+
+    def test_welfare_at_most_optimum(self):
+        problem = protocol_auction(9, 2, seed=502)
+        opt = solve_exact(problem).value
+        for s in range(5):
+            result = online_greedy(problem, seed=s)
+            assert result.welfare <= opt + 1e-6
+
+    def test_explicit_order_respected(self):
+        problem = protocol_auction(8, 2, seed=503)
+        order = list(range(7, -1, -1))
+        result = online_greedy(problem, arrival_order=order)
+        assert result.arrival_order == order
+
+    def test_invalid_order_rejected(self):
+        problem = protocol_auction(5, 2, seed=504)
+        with pytest.raises(ValueError):
+            online_greedy(problem, arrival_order=[0, 0, 1, 2, 3])
+
+    def test_deterministic_given_order(self):
+        problem = protocol_auction(10, 2, seed=505)
+        order = list(range(10))
+        a = online_greedy(problem, arrival_order=order)
+        b = online_greedy(problem, arrival_order=order)
+        assert a.allocation == b.allocation
+
+    def test_first_arrival_always_served(self):
+        # The first bidder faces no conflicts: if it has any positive bid,
+        # it is granted.
+        problem = protocol_auction(6, 2, seed=506)
+        result = online_greedy(problem, arrival_order=list(range(6)))
+        assert 0 in result.allocation
+
+    def test_welfare_matches_allocation(self):
+        problem = protocol_auction(10, 3, seed=507)
+        result = online_greedy(problem, seed=2)
+        assert result.welfare == pytest.approx(problem.welfare(result.allocation))
+
+
+class TestAsymmetricColumnGeneration:
+    def test_matches_explicit_lp(self):
+        problem, _ = theorem18_auction(12, 4, 2, seed=511)
+        explicit = AsymmetricAuctionLP(problem).solve()
+        solution, iters, converged = solve_asymmetric_with_column_generation(problem)
+        assert converged
+        assert solution.value == pytest.approx(explicit.value, rel=1e-6)
+
+    def test_with_general_valuations(self):
+        from repro.core.asymmetric import AsymmetricAuctionProblem
+        from repro.graphs.conflict_graph import VertexOrdering
+        from repro.graphs.generators import gnp_random_graph
+        from repro.valuations.generators import random_additive_valuations
+
+        n, k = 10, 3
+        graphs = [gnp_random_graph(n, 0.3, seed=512 + j) for j in range(k)]
+        vals = random_additive_valuations(n, k, seed=513)
+        problem = AsymmetricAuctionProblem(
+            graphs, VertexOrdering.identity(n), 2.0, vals
+        )
+        explicit = AsymmetricAuctionLP(problem).solve()
+        solution, _, converged = solve_asymmetric_with_column_generation(problem)
+        assert converged
+        assert solution.value == pytest.approx(explicit.value, rel=1e-6)

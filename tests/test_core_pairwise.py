@@ -1,0 +1,78 @@
+"""Tests for the pairwise-independence derandomization."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.auction_lp import AuctionLP
+from repro.core.pairwise import (
+    pairwise_derandomize,
+    smallest_prime_at_least,
+)
+
+
+class TestSmallestPrime:
+    def test_known_values(self):
+        assert smallest_prime_at_least(1) == 2
+        assert smallest_prime_at_least(2) == 2
+        assert smallest_prime_at_least(14) == 17
+        assert smallest_prime_at_least(100) == 101
+        assert smallest_prime_at_least(101) == 101
+
+    def test_primality(self):
+        for n in (30, 90, 200):
+            p = smallest_prime_at_least(n)
+            assert p >= n
+            assert all(p % d for d in range(2, int(math.isqrt(p)) + 1))
+
+
+class TestPairwiseDerandomize:
+    def test_deterministic(self, protocol_problem):
+        lp = AuctionLP(protocol_problem).solve()
+        a = pairwise_derandomize(protocol_problem, lp, max_seeds=2000)
+        b = pairwise_derandomize(protocol_problem, lp, max_seeds=2000)
+        assert a.allocation == b.allocation
+        assert a.best_seed == b.best_seed
+
+    def test_feasible(self, protocol_problem):
+        lp = AuctionLP(protocol_problem).solve()
+        result = pairwise_derandomize(protocol_problem, lp, max_seeds=2000)
+        assert protocol_problem.is_feasible(result.allocation)
+
+    def test_meets_bound_with_quantization_slack(self, protocol_problem):
+        """Best-of-seed-space ≥ expectation over the space, which matches
+        Theorem 3 up to the 1/q quantization of the marginals."""
+        lp = AuctionLP(protocol_problem).solve()
+        result = pairwise_derandomize(protocol_problem, lp)  # full space
+        k, rho = protocol_problem.k, protocol_problem.rho
+        total_value = sum(col.value for col in lp.columns)
+        bound = lp.value / (8.0 * math.sqrt(k) * rho) - total_value / result.q
+        assert result.welfare >= bound - 1e-9
+
+    def test_weighted_partly_feasible(self, weighted_problem):
+        from repro.core.conflict_resolution import check_condition5
+
+        lp = AuctionLP(weighted_problem).solve()
+        result = pairwise_derandomize(weighted_problem, lp, max_seeds=1000)
+        assert check_condition5(weighted_problem, result.allocation)
+
+    def test_seed_cap_respected(self, protocol_problem):
+        lp = AuctionLP(protocol_problem).solve()
+        result = pairwise_derandomize(protocol_problem, lp, max_seeds=500)
+        # Two classes, each scanning at most ~max_seeds plus stride slack.
+        assert result.seeds_scanned <= 2 * 520
+
+    def test_q_override(self, protocol_problem):
+        lp = AuctionLP(protocol_problem).solve()
+        result = pairwise_derandomize(protocol_problem, lp, q=37, max_seeds=3000)
+        assert result.q == 37
+
+    def test_welfare_matches_allocation(self, protocol_problem):
+        lp = AuctionLP(protocol_problem).solve()
+        result = pairwise_derandomize(protocol_problem, lp, max_seeds=1000)
+        assert result.welfare == pytest.approx(
+            protocol_problem.welfare(result.allocation)
+        )

@@ -1,0 +1,70 @@
+"""Tests for the scheduling extension (partition all bidders into channels)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduling import Schedule, schedule_all
+from repro.geometry.disks import random_disk_instance
+from repro.geometry.links import random_links
+from repro.graphs.conflict_graph import VertexOrdering
+from repro.graphs.generators import clique, empty_graph
+from repro.interference.base import ConflictStructure
+from repro.interference.disk import disk_transmitter_model
+from repro.interference.physical import linear_power, physical_model_structure
+from repro.interference.protocol import protocol_model
+
+
+class TestScheduleAll:
+    def test_protocol_model(self):
+        links = random_links(25, seed=401, length_range=(0.02, 0.08))
+        structure = protocol_model(links, 1.0)
+        schedule = schedule_all(structure)
+        assert schedule.validate(structure.graph)
+
+    def test_disk_model(self):
+        inst = random_disk_instance(30, seed=402)
+        structure = disk_transmitter_model(inst)
+        schedule = schedule_all(structure)
+        assert schedule.validate(structure.graph)
+        # A disk graph is (ρ+1)-inductive colorable-ish: classes stay small
+        # relative to n (sanity shape check, not a theorem).
+        assert schedule.num_channels <= structure.graph.max_degree() + 1
+
+    def test_weighted_physical(self):
+        links = random_links(15, seed=403, length_range=(0.02, 0.08))
+        structure = physical_model_structure(links, linear_power(links, 3.0))
+        schedule = schedule_all(structure)
+        assert schedule.validate(structure.graph)
+
+    def test_clique_needs_n_channels(self):
+        structure = ConflictStructure(clique(6), VertexOrdering.identity(6), 1.0)
+        schedule = schedule_all(structure)
+        assert schedule.num_channels == 6
+
+    def test_empty_graph_one_channel(self):
+        structure = ConflictStructure(empty_graph(8), VertexOrdering.identity(8), 0.0)
+        schedule = schedule_all(structure)
+        assert schedule.num_channels == 1
+        assert schedule.classes[0] == list(range(8))
+
+    def test_channel_of_mapping(self):
+        links = random_links(12, seed=404, length_range=(0.03, 0.1))
+        structure = protocol_model(links, 1.0)
+        schedule = schedule_all(structure)
+        mapping = schedule.channel_of()
+        assert sorted(mapping) == list(range(12))
+
+    def test_validate_rejects_overlap(self):
+        structure = ConflictStructure(empty_graph(3), VertexOrdering.identity(3), 0.0)
+        bad = Schedule(classes=[[0, 1], [1, 2]])
+        assert not bad.validate(structure.graph)
+
+    def test_validate_rejects_conflicts(self):
+        structure = ConflictStructure(clique(3), VertexOrdering.identity(3), 1.0)
+        bad = Schedule(classes=[[0, 1], [2]])
+        assert not bad.validate(structure.graph)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            schedule_all("not a structure")

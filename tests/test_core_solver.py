@@ -1,0 +1,119 @@
+"""Tests for the end-to-end solver facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionProblem
+from repro.core.solver import SpectrumAuctionSolver
+from repro.geometry.links import random_links
+from repro.interference.power_control import power_control_structure
+from repro.valuations.generators import (
+    random_additive_valuations,
+    random_xor_valuations,
+)
+
+
+class TestSolverUnweighted:
+    def test_full_pipeline(self, protocol_problem):
+        result = SpectrumAuctionSolver(protocol_problem).solve(seed=71)
+        assert result.feasible
+        assert result.welfare >= 0
+        assert result.lp_value >= result.welfare - 1e-6
+        assert result.guarantee == pytest.approx(
+            protocol_problem.approximation_bound()
+        )
+
+    def test_more_attempts_never_worse(self, protocol_problem):
+        one = SpectrumAuctionSolver(protocol_problem).solve(
+            seed=72, rounding_attempts=1
+        )
+        many = SpectrumAuctionSolver(protocol_problem).solve(
+            seed=72, rounding_attempts=8
+        )
+        assert many.welfare >= one.welfare - 1e-9
+
+    def test_derandomized_deterministic(self, protocol_problem):
+        a = SpectrumAuctionSolver(protocol_problem).solve(derandomize=True)
+        b = SpectrumAuctionSolver(protocol_problem).solve(derandomize=True)
+        assert a.allocation == b.allocation
+        assert a.meets_guarantee()
+
+    def test_lp_method_selection(self, protocol_structure):
+        vals = random_additive_valuations(protocol_structure.n, 4, seed=73)
+        problem = AuctionProblem(protocol_structure, 4, vals)
+        solver = SpectrumAuctionSolver(problem)
+        explicit = solver.solve_lp("explicit")
+        colgen = solver.solve_lp("column_generation")
+        auto = solver.solve_lp("auto")
+        assert explicit.value == pytest.approx(colgen.value, rel=1e-6)
+        assert auto.value == pytest.approx(explicit.value, rel=1e-6)
+
+    def test_unknown_method_rejected(self, protocol_problem):
+        with pytest.raises(ValueError):
+            SpectrumAuctionSolver(protocol_problem).solve_lp("simplex")
+
+    def test_pairwise_derandomize_mode(self, protocol_problem):
+        result = SpectrumAuctionSolver(protocol_problem).solve(
+            derandomize="pairwise"
+        )
+        assert result.feasible
+        again = SpectrumAuctionSolver(protocol_problem).solve(
+            derandomize="pairwise"
+        )
+        assert result.allocation == again.allocation  # deterministic
+
+    def test_unknown_derandomize_mode(self, protocol_problem):
+        with pytest.raises(ValueError):
+            SpectrumAuctionSolver(protocol_problem).solve(derandomize="magic")
+
+
+class TestSolverWeighted:
+    def test_weighted_pipeline(self, weighted_problem):
+        result = SpectrumAuctionSolver(weighted_problem).solve(seed=74)
+        assert result.feasible
+        import math
+
+        assert result.rounds_algorithm3 <= math.ceil(
+            math.log2(max(2, weighted_problem.n))
+        ) + 1
+
+    def test_power_control_end_to_end(self, power_control_struct, links12):
+        vals = random_xor_valuations(12, 2, seed=75)
+        problem = AuctionProblem(power_control_struct, 2, vals)
+        result = SpectrumAuctionSolver(problem).solve(seed=76, rounding_attempts=4)
+        assert result.feasible
+        if any(result.allocation.values()):
+            assert result.sinr_feasible is True
+            for j, powers in result.channel_powers.items():
+                members = [v for v, s in result.allocation.items() if j in s]
+                assert all(powers[m] > 0 for m in members)
+
+    def test_guarantee_definition(self, weighted_problem):
+        import math
+
+        expected = (
+            16.0
+            * math.sqrt(weighted_problem.k)
+            * weighted_problem.rho
+            * math.ceil(math.log2(max(2, weighted_problem.n)))
+        )
+        assert weighted_problem.approximation_bound() == pytest.approx(expected)
+
+
+class TestSolverResultAccounting:
+    def test_lp_ratio(self, protocol_problem):
+        result = SpectrumAuctionSolver(protocol_problem).solve(
+            seed=77, rounding_attempts=4
+        )
+        if result.welfare > 0:
+            assert result.lp_ratio == pytest.approx(
+                result.lp_value / result.welfare
+            )
+
+    def test_welfare_matches_allocation(self, protocol_problem):
+        result = SpectrumAuctionSolver(protocol_problem).solve(seed=78)
+        assert result.welfare == pytest.approx(
+            protocol_problem.welfare(result.allocation)
+        )

@@ -1,0 +1,176 @@
+"""Tests for the geometry substrate: points, metrics, disks, links."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.disks import (
+    disk_graph,
+    radius_ordering,
+    random_disk_instance,
+    unit_disk_graph,
+)
+from repro.geometry.links import (
+    length_ordering,
+    links_from_arrays,
+    random_links,
+    random_metric_links,
+)
+from repro.geometry.metric import (
+    EuclideanMetric,
+    MatrixMetric,
+    random_shortest_path_metric,
+)
+from repro.geometry.points import (
+    cross_distances,
+    pairwise_distances,
+    sample_clustered_points,
+    sample_uniform_points,
+)
+
+
+class TestPoints:
+    def test_uniform_in_extent(self):
+        pts = sample_uniform_points(50, extent=2.0, seed=1)
+        assert pts.shape == (50, 2)
+        assert pts.min() >= 0 and pts.max() <= 2.0
+
+    def test_uniform_reproducible(self):
+        assert np.array_equal(
+            sample_uniform_points(10, seed=3), sample_uniform_points(10, seed=3)
+        )
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            sample_uniform_points(5, extent=0.0)
+
+    def test_clustered_clipped(self):
+        pts = sample_clustered_points(100, clusters=3, seed=2)
+        assert pts.min() >= 0 and pts.max() <= 1.0
+
+    def test_clustered_cluster_validation(self):
+        with pytest.raises(ValueError):
+            sample_clustered_points(10, clusters=0)
+
+    def test_pairwise_symmetric_zero_diag(self):
+        pts = sample_uniform_points(10, seed=4)
+        d = pairwise_distances(pts)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diagonal(d), 0)
+
+    def test_pairwise_matches_manual(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_distances(pts)
+        assert d[0, 1] == pytest.approx(5.0)
+
+    def test_cross_distances(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0], [0.0, 2.0]])
+        d = cross_distances(a, b)
+        assert d.shape == (1, 2)
+        assert d[0, 0] == pytest.approx(1.0) and d[0, 1] == pytest.approx(2.0)
+
+
+class TestMetric:
+    def test_euclidean_submatrix(self):
+        coords = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        m = EuclideanMetric(coords)
+        sub = m.distance_submatrix(np.array([0]), np.array([1, 2]))
+        assert sub[0, 0] == pytest.approx(1.0)
+        assert m.d(1, 2) == pytest.approx(np.sqrt(2))
+
+    def test_euclidean_triangle(self):
+        m = EuclideanMetric(sample_uniform_points(12, seed=5))
+        assert m.check_triangle_inequality()
+
+    def test_matrix_metric_validation(self):
+        with pytest.raises(ValueError):
+            MatrixMetric(np.array([[0.0, 1.0], [2.0, 0.0]]))  # asymmetric
+        with pytest.raises(ValueError):
+            MatrixMetric(np.array([[1.0]]))  # nonzero diagonal
+
+    def test_shortest_path_metric_valid(self):
+        m = random_shortest_path_metric(10, seed=6)
+        assert m.size == 10
+        assert m.check_triangle_inequality()
+
+
+class TestDisks:
+    def test_disk_graph_intersections(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        g = disk_graph(pts, np.array([0.6, 0.6, 0.6]))
+        assert g.has_edge(0, 1)  # 0.6 + 0.6 > 1
+        assert not g.has_edge(0, 2)
+
+    def test_radii_validation(self):
+        with pytest.raises(ValueError):
+            disk_graph(np.zeros((2, 2)), np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            disk_graph(np.zeros((2, 2)), np.array([1.0]))
+
+    def test_unit_disk(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0]])
+        assert unit_disk_graph(pts, 0.3).has_edge(0, 1)
+        assert not unit_disk_graph(pts, 0.2).has_edge(0, 1)
+
+    def test_radius_ordering_descending(self):
+        o = radius_ordering(np.array([0.1, 0.5, 0.3]))
+        assert list(o.perm) == [1, 2, 0]
+
+    def test_random_instance(self):
+        inst = random_disk_instance(25, seed=7, radius_range=(0.05, 0.1))
+        assert inst.n == 25
+        assert inst.graph.n == 25
+        # ordering sorts by decreasing radius
+        radii_in_order = inst.radii[inst.ordering.perm]
+        assert (np.diff(radii_in_order) <= 1e-12).all()
+
+    def test_radius_range_validation(self):
+        with pytest.raises(ValueError):
+            random_disk_instance(5, radius_range=(0.2, 0.1))
+
+
+class TestLinks:
+    def test_random_links_lengths(self):
+        ls = random_links(20, seed=8, length_range=(0.05, 0.1))
+        assert ls.n == 20
+        assert (ls.lengths >= 0.05 - 1e-12).all()
+        assert (ls.lengths <= 0.1 + 1e-12).all()
+
+    def test_sender_receiver_matrix_diagonal(self):
+        ls = random_links(10, seed=9)
+        sr = ls.sender_receiver_matrix()
+        assert np.allclose(np.diagonal(sr), ls.lengths)
+
+    def test_length_ordering(self):
+        ls = random_links(15, seed=10)
+        o = length_ordering(ls, descending=True)
+        lens = ls.lengths[o.perm]
+        assert (np.diff(lens) <= 1e-12).all()
+
+    def test_links_from_arrays(self):
+        s = np.array([[0.0, 0.0], [1.0, 1.0]])
+        r = np.array([[0.1, 0.0], [1.0, 1.2]])
+        ls = links_from_arrays(s, r)
+        assert ls.lengths[0] == pytest.approx(0.1)
+        assert ls.lengths[1] == pytest.approx(0.2)
+
+    def test_links_shape_validation(self):
+        with pytest.raises(ValueError):
+            links_from_arrays(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_subset(self):
+        ls = random_links(10, seed=11)
+        sub = ls.subset(np.array([2, 5]))
+        assert sub.n == 2
+        assert sub.lengths[0] == pytest.approx(ls.lengths[2])
+
+    def test_metric_links(self):
+        ls = random_metric_links(6, seed=12)
+        assert ls.n == 6
+        assert (ls.lengths > 0).all()
+
+    def test_length_range_validation(self):
+        with pytest.raises(ValueError):
+            random_links(5, length_range=(0.1, 0.05))

@@ -1,0 +1,121 @@
+"""Tests for ConflictGraph and VertexOrdering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.generators import clique, cycle, path
+
+
+class TestVertexOrdering:
+    def test_identity(self):
+        o = VertexOrdering.identity(4)
+        assert o.position(0) == 0 and o.position(3) == 3
+
+    def test_perm_validation(self):
+        with pytest.raises(ValueError):
+            VertexOrdering([0, 0, 1])
+
+    def test_by_key_descending(self):
+        o = VertexOrdering.by_key([1.0, 3.0, 2.0], descending=True)
+        assert list(o.perm) == [1, 2, 0]
+        assert o.position(1) == 0
+
+    def test_by_key_stable_ties(self):
+        o = VertexOrdering.by_key([2.0, 2.0, 1.0])
+        assert list(o.perm) == [2, 0, 1]
+
+    def test_precedes(self):
+        o = VertexOrdering([2, 0, 1])
+        assert o.precedes(2, 0) and o.precedes(0, 1)
+        assert not o.precedes(1, 2)
+
+    def test_earlier_mask(self):
+        o = VertexOrdering([2, 0, 1])
+        mask = o.earlier_mask(1)  # vertices before 1: {2, 0}
+        assert mask[2] and mask[0] and not mask[1]
+
+    def test_reversed(self):
+        o = VertexOrdering([2, 0, 1]).reversed()
+        assert list(o.perm) == [1, 0, 2]
+
+    def test_equality(self):
+        assert VertexOrdering([0, 1]) == VertexOrdering([0, 1])
+        assert VertexOrdering([0, 1]) != VertexOrdering([1, 0])
+
+
+class TestConflictGraph:
+    def test_basic_counts(self):
+        g = ConflictGraph(4, [(0, 1), (2, 3)])
+        assert g.n == 4 and g.m == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictGraph(3, [(1, 1)])
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            ConflictGraph(2, [(0, 5)])
+
+    def test_from_adjacency_requires_symmetry(self):
+        a = np.zeros((2, 2), dtype=bool)
+        a[0, 1] = True
+        with pytest.raises(ValueError):
+            ConflictGraph.from_adjacency(a)
+
+    def test_from_adjacency_rejects_diagonal(self):
+        a = np.eye(2, dtype=bool)
+        with pytest.raises(ValueError):
+            ConflictGraph.from_adjacency(a)
+
+    def test_neighbors_and_degree(self):
+        g = path(4)  # 0-1-2-3
+        assert list(g.neighbors(1)) == [0, 2]
+        assert g.degree(0) == 1 and g.degree(1) == 2
+        assert g.max_degree() == 2
+        assert g.average_degree() == pytest.approx(1.5)
+
+    def test_edges_iteration(self):
+        g = cycle(4)
+        assert sorted(g.edges()) == [(0, 1), (0, 3), (1, 2), (2, 3)]
+
+    def test_is_independent(self):
+        g = path(4)
+        assert g.is_independent([0, 2])
+        assert g.is_independent([0, 3])
+        assert not g.is_independent([0, 1])
+        assert g.is_independent([])
+        assert g.is_independent([2])
+
+    def test_is_independent_rejects_duplicates(self):
+        g = path(3)
+        with pytest.raises(ValueError):
+            g.is_independent([0, 0])
+
+    def test_backward_neighbors(self):
+        g = path(4)
+        o = VertexOrdering([3, 2, 1, 0])  # π: 3 first
+        assert list(g.backward_neighbors(1, o)) == [2]
+        assert list(g.backward_neighbors(3, o)) == []
+
+    def test_subgraph(self):
+        g = cycle(5)
+        sub, idx = g.subgraph([0, 1, 3])
+        assert sub.n == 3
+        assert sub.has_edge(0, 1)  # 0-1 edge survives
+        assert not sub.has_edge(1, 2)  # 1 and 3 not adjacent in C5
+        assert list(idx) == [0, 1, 3]
+
+    def test_complement(self):
+        g = clique(4).complement()
+        assert g.m == 0
+        g2 = ConflictGraph(3).complement()
+        assert g2.m == 3
+
+    def test_to_networkx(self):
+        g = cycle(5)
+        nx_g = g.to_networkx()
+        assert nx_g.number_of_nodes() == 5
+        assert nx_g.number_of_edges() == 5

@@ -1,0 +1,89 @@
+"""Tests for graph generators, including the Theorem 18 construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs.conflict_graph import VertexOrdering
+from repro.graphs.generators import (
+    clique,
+    cycle,
+    empty_graph,
+    gnp_random_graph,
+    path,
+    random_regular_graph,
+    star,
+    theorem18_edge_partition,
+)
+from repro.graphs.inductive import rho_of_ordering
+
+
+class TestBasicGenerators:
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.n == 5 and g.m == 0
+
+    def test_clique_edges(self):
+        assert clique(5).m == 10
+
+    def test_path_cycle_star(self):
+        assert path(5).m == 4
+        assert cycle(5).m == 5
+        assert star(5).m == 4
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle(2)
+
+    def test_gnp_bounds(self):
+        g = gnp_random_graph(20, 0.0, seed=0)
+        assert g.m == 0
+        g2 = gnp_random_graph(20, 1.0, seed=0)
+        assert g2.m == 190
+
+    def test_gnp_reproducible(self):
+        a = gnp_random_graph(15, 0.3, seed=42)
+        b = gnp_random_graph(15, 0.3, seed=42)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_gnp_p_validation(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5)
+
+    def test_random_regular(self):
+        g = random_regular_graph(12, 3, seed=1)
+        assert all(g.degree(v) == 3 for v in range(12))
+
+
+class TestTheorem18:
+    def test_edges_partitioned(self):
+        g = gnp_random_graph(15, 0.4, seed=2)
+        parts = theorem18_edge_partition(g, 3)
+        assert len(parts) == 3
+        total = sum(p.m for p in parts)
+        assert total == g.m
+        # Every original edge appears in exactly one channel graph.
+        all_edges = sorted(e for p in parts for e in p.edges())
+        assert all_edges == sorted(g.edges())
+
+    def test_backward_degree_bound(self):
+        # Each channel graph gives each vertex ≤ ⌈backdeg/k⌉ backward edges,
+        # hence ρ(π) ≤ ⌈d/k⌉ under the same ordering.
+        g = random_regular_graph(16, 6, seed=3)
+        k = 3
+        ordering = VertexOrdering.identity(16)
+        parts = theorem18_edge_partition(g, k, ordering)
+        bound = math.ceil(6 / k)
+        for part in parts:
+            assert rho_of_ordering(part, ordering) <= bound
+
+    def test_k_one_identity(self):
+        g = gnp_random_graph(10, 0.3, seed=4)
+        parts = theorem18_edge_partition(g, 1)
+        assert sorted(parts[0].edges()) == sorted(g.edges())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            theorem18_edge_partition(path(4), 0)

@@ -1,0 +1,150 @@
+"""Tests for exact/greedy independent set computations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.conflict_graph import ConflictGraph
+from repro.graphs.generators import clique, cycle, gnp_random_graph, path
+from repro.graphs.independence import (
+    greedy_independent_set,
+    greedy_weighted_independent_set,
+    max_independent_set_size,
+    max_profit_weighted_independent_set,
+    max_weight_independent_set,
+)
+from repro.graphs.weighted_graph import WeightedConflictGraph
+
+
+class TestExactMWIS:
+    def test_path_unit_weights(self):
+        # α(P5) = 3 (vertices 0, 2, 4).
+        s, val = max_weight_independent_set(path(5))
+        assert val == 3 and s == [0, 2, 4]
+
+    def test_cycle(self):
+        assert max_independent_set_size(cycle(5)) == 2
+        assert max_independent_set_size(cycle(6)) == 3
+
+    def test_clique(self):
+        assert max_independent_set_size(clique(7)) == 1
+
+    def test_weights_override_size(self):
+        # On P3, picking the middle vertex (weight 10) beats both ends.
+        s, val = max_weight_independent_set(path(3), [1.0, 10.0, 1.0])
+        assert s == [1] and val == 10.0
+
+    def test_nonpositive_profit_excluded(self):
+        g = ConflictGraph(3)
+        s, val = max_weight_independent_set(g, [2.0, 0.0, -1.0])
+        assert s == [0] and val == 2.0
+
+    def test_empty_graph(self):
+        s, val = max_weight_independent_set(ConflictGraph(0))
+        assert s == [] and val == 0.0
+
+    def test_profit_shape_checked(self):
+        with pytest.raises(ValueError):
+            max_weight_independent_set(path(3), [1.0])
+
+    def test_matches_networkx_on_random_graphs(self):
+        import networkx as nx
+
+        for seed in range(5):
+            g = gnp_random_graph(12, 0.35, seed=seed)
+            _, val = max_weight_independent_set(g)
+            nx_g = g.to_networkx()
+            comp = nx.complement(nx_g)
+            expected = max(len(c) for c in nx.find_cliques(comp))
+            assert int(val) == expected
+
+
+class TestGreedy:
+    def test_greedy_is_independent(self):
+        g = gnp_random_graph(20, 0.3, seed=1)
+        rng = np.random.default_rng(2)
+        profits = rng.random(20)
+        s, val = greedy_independent_set(g, profits)
+        assert g.is_independent(s)
+        assert val == pytest.approx(float(profits[s].sum()))
+
+    def test_greedy_le_exact(self):
+        g = gnp_random_graph(14, 0.4, seed=3)
+        profits = np.random.default_rng(4).random(14) * 10
+        _, greedy_val = greedy_independent_set(g, profits)
+        _, exact_val = max_weight_independent_set(g, profits)
+        assert greedy_val <= exact_val + 1e-9
+
+    def test_ratio_mode(self):
+        g = gnp_random_graph(16, 0.3, seed=5)
+        s, _ = greedy_independent_set(g, np.ones(16), by_ratio=True)
+        assert g.is_independent(s)
+
+
+class TestWeightedIndependence:
+    def make_graph(self):
+        w = np.zeros((4, 4))
+        w[0, 1] = w[1, 0] = 0.6
+        w[2, 3] = w[3, 2] = 0.3
+        w[0, 3] = w[3, 0] = 0.5
+        return WeightedConflictGraph(w)
+
+    def test_exact_respects_constraints(self):
+        g = self.make_graph()
+        profits = [1.0, 1.0, 1.0, 1.0]
+        s, val = max_profit_weighted_independent_set(g, profits)
+        assert g.is_independent(s)
+        assert val == len(s)
+
+    def test_exact_beats_greedy(self):
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            w = rng.random((8, 8)) * 0.5
+            np.fill_diagonal(w, 0)
+            g = WeightedConflictGraph(w)
+            profits = rng.random(8) * 5
+            _, greedy_val = greedy_weighted_independent_set(g, profits)
+            _, exact_val = max_profit_weighted_independent_set(g, profits)
+            assert exact_val >= greedy_val - 1e-9
+
+    def test_exact_brute_force_agreement(self):
+        from itertools import combinations
+
+        rng = np.random.default_rng(7)
+        w = rng.random((7, 7)) * 0.6
+        np.fill_diagonal(w, 0)
+        g = WeightedConflictGraph(w)
+        profits = rng.random(7) * 3
+        _, exact_val = max_profit_weighted_independent_set(g, profits)
+        best = 0.0
+        for size in range(1, 8):
+            for combo in combinations(range(7), size):
+                if g.is_independent(combo):
+                    best = max(best, float(profits[list(combo)].sum()))
+        assert exact_val == pytest.approx(best)
+
+    def test_candidates_restriction(self):
+        g = self.make_graph()
+        s, _ = max_profit_weighted_independent_set(
+            g, [5.0, 1.0, 1.0, 1.0], candidates=[1, 2, 3]
+        )
+        assert 0 not in s
+
+    def test_node_limit(self):
+        rng = np.random.default_rng(8)
+        w = rng.random((18, 18)) * 0.05
+        np.fill_diagonal(w, 0)
+        g = WeightedConflictGraph(w)
+        with pytest.raises(RuntimeError):
+            max_profit_weighted_independent_set(
+                g, rng.random(18) + 0.5, node_limit=10
+            )
+
+    def test_greedy_feasible(self):
+        rng = np.random.default_rng(9)
+        w = rng.random((10, 10))
+        np.fill_diagonal(w, 0)
+        g = WeightedConflictGraph(w)
+        s, _ = greedy_weighted_independent_set(g, rng.random(10))
+        assert g.is_independent(s)

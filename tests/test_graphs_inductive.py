@@ -1,0 +1,142 @@
+"""Tests for the inductive independence number ρ (Definitions 1 and 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.generators import clique, cycle, gnp_random_graph, path, star
+from repro.graphs.inductive import (
+    inductive_independence_number,
+    rho_of_ordering,
+    weighted_rho_of_ordering,
+)
+from repro.graphs.weighted_graph import WeightedConflictGraph
+
+
+class TestExactRho:
+    def test_clique_rho_one(self):
+        # Backward neighborhoods in a clique are cliques: α ≤ 1.
+        rho, _ = inductive_independence_number(clique(6))
+        assert rho == 1
+
+    def test_empty_graph_rho_zero(self):
+        rho, _ = inductive_independence_number(ConflictGraph(5))
+        assert rho == 0
+
+    def test_star_rho_one(self):
+        # Order the center first; every leaf sees only the center backward.
+        rho, _ = inductive_independence_number(star(8))
+        assert rho == 1
+
+    def test_path_rho_one(self):
+        rho, _ = inductive_independence_number(path(6))
+        assert rho == 1
+
+    def test_cycle_rho_two(self):
+        # The π-last vertex of C5 sees both its (non-adjacent) neighbors.
+        rho, _ = inductive_independence_number(cycle(5))
+        assert rho == 2
+
+    def test_returned_ordering_achieves_rho(self):
+        for seed in range(4):
+            g = gnp_random_graph(14, 0.3, seed=seed)
+            rho, ordering = inductive_independence_number(g)
+            assert rho_of_ordering(g, ordering) == rho
+
+    def test_rho_optimal_vs_all_orderings(self):
+        from itertools import permutations
+
+        g = gnp_random_graph(6, 0.5, seed=11)
+        rho, _ = inductive_independence_number(g)
+        best = min(
+            rho_of_ordering(g, VertexOrdering(list(p)))
+            for p in permutations(range(6))
+        )
+        assert rho == best
+
+    def test_tree_regression(self):
+        # Regression: a lazy-heap bug once returned ρ = 2 for this tree.
+        # Forests always admit an ordering with ρ ≤ 1 (peel leaves).
+        g = ConflictGraph(5, [(0, 1), (0, 2), (1, 4), (2, 3)])
+        rho, ordering = inductive_independence_number(g)
+        assert rho == 1
+        assert rho_of_ordering(g, ordering) == 1
+
+    def test_complete_bipartite(self):
+        # K_{3,3}: ρ = 3 (one side can appear in a backward neighborhood).
+        import itertools
+
+        edges = list(itertools.product(range(3), range(3, 6)))
+        g = ConflictGraph(6, edges)
+        rho, _ = inductive_independence_number(g)
+        assert rho == 3
+
+
+class TestRhoOfOrdering:
+    def test_bad_ordering_worse(self):
+        # On a star, putting the center last makes its backward
+        # neighborhood the whole independent leaf set.
+        g = star(6)
+        bad = VertexOrdering([1, 2, 3, 4, 5, 0])
+        assert rho_of_ordering(g, bad) == 5
+        good = VertexOrdering([0, 1, 2, 3, 4, 5])
+        assert rho_of_ordering(g, good) == 1
+
+    def test_upper_bounds_true_rho(self):
+        for seed in range(4):
+            g = gnp_random_graph(12, 0.35, seed=seed)
+            rho, _ = inductive_independence_number(g)
+            any_order = VertexOrdering.identity(12)
+            assert rho_of_ordering(g, any_order) >= rho
+
+
+class TestWeightedRho:
+    def test_unweighted_embedding_matches(self):
+        # Embedding an unweighted graph: ρ(π) of Definition 2 equals the
+        # unweighted ρ(π) because w̄ = 2 per edge... the weighted value is
+        # 2·(max independent backward set).
+        g = cycle(5)
+        rho, ordering = inductive_independence_number(g)
+        wg = WeightedConflictGraph.from_conflict_graph(g)
+        bounds = weighted_rho_of_ordering(wg, ordering, exact=True)
+        assert bounds.upper == pytest.approx(2.0 * rho)
+        assert bounds.lower == pytest.approx(2.0 * rho)
+
+    def test_bounds_order(self):
+        rng = np.random.default_rng(3)
+        w = rng.random((10, 10)) * 0.4
+        np.fill_diagonal(w, 0)
+        wg = WeightedConflictGraph(w)
+        ordering = VertexOrdering.identity(10)
+        bounds = weighted_rho_of_ordering(wg, ordering, heavy_threshold=0.1)
+        assert bounds.lower <= bounds.upper + 1e-9
+
+    def test_exact_tightens_bounds(self):
+        rng = np.random.default_rng(4)
+        w = rng.random((9, 9)) * 0.3
+        np.fill_diagonal(w, 0)
+        wg = WeightedConflictGraph(w)
+        ordering = VertexOrdering.identity(9)
+        loose = weighted_rho_of_ordering(wg, ordering, heavy_threshold=0.2)
+        tight = weighted_rho_of_ordering(wg, ordering, exact=True)
+        assert tight.upper <= loose.upper + 1e-9
+        assert tight.lower == pytest.approx(tight.upper)  # exact mode is exact
+
+    def test_zero_graph(self):
+        wg = WeightedConflictGraph(np.zeros((4, 4)))
+        bounds = weighted_rho_of_ordering(wg, VertexOrdering.identity(4))
+        assert bounds.upper == 0.0 and bounds.lower == 0.0
+
+    def test_lower_is_feasible_pack(self):
+        # The lower bound comes from an actual independent set, so a
+        # hand-checkable case: two earlier vertices with w̄ = 0.4 each to v
+        # and nothing between them → ρ(π) = 0.8.
+        w = np.zeros((3, 3))
+        w[0, 2] = 0.4
+        w[1, 2] = 0.4
+        wg = WeightedConflictGraph(w)
+        bounds = weighted_rho_of_ordering(wg, VertexOrdering.identity(3), exact=True)
+        assert bounds.upper == pytest.approx(0.8)
+        assert bounds.argmax_vertex == 2

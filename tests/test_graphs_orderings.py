@@ -1,0 +1,74 @@
+"""Tests for ordering heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.conflict_graph import ConflictGraph
+from repro.graphs.generators import clique, gnp_random_graph, path, star
+from repro.graphs.inductive import inductive_independence_number, rho_of_ordering
+from repro.graphs.orderings import (
+    degeneracy_ordering,
+    max_degree_first_ordering,
+    ordering_quality,
+    random_ordering,
+)
+
+
+class TestDegeneracyOrdering:
+    def test_star_center_early(self):
+        g = star(6)
+        o = degeneracy_ordering(g)
+        # Leaves are peeled first, so the center lands near the front of π
+        # (ties among degree-1 vertices may put one leaf before it) and the
+        # ordering achieves the optimal ρ = 1.
+        assert o.position(0) <= 1
+        assert rho_of_ordering(g, o) == 1
+
+    def test_rho_on_path(self):
+        g = path(8)
+        assert rho_of_ordering(g, degeneracy_ordering(g)) == 1
+
+    def test_backward_degree_bounded_by_degeneracy(self):
+        import networkx as nx
+
+        for seed in range(4):
+            g = gnp_random_graph(15, 0.3, seed=seed)
+            o = degeneracy_ordering(g)
+            quality = ordering_quality(g, o)
+            nx_core = max(nx.core_number(g.to_networkx()).values(), default=0)
+            assert quality["max_backward_degree"] <= nx_core
+
+    def test_clique(self):
+        g = clique(5)
+        assert rho_of_ordering(g, degeneracy_ordering(g)) == 1
+
+
+class TestHeuristicComparison:
+    def test_all_heuristics_upper_bound_exact(self):
+        for seed in range(3):
+            g = gnp_random_graph(12, 0.35, seed=seed)
+            rho_exact, _ = inductive_independence_number(g)
+            for ordering in (
+                degeneracy_ordering(g),
+                max_degree_first_ordering(g),
+                random_ordering(g, seed=seed),
+            ):
+                assert rho_of_ordering(g, ordering) >= rho_exact
+
+    def test_random_ordering_reproducible(self):
+        g = gnp_random_graph(10, 0.3, seed=5)
+        a = random_ordering(g, seed=7)
+        b = random_ordering(g, seed=7)
+        assert a == b
+
+    def test_quality_dict_shape(self):
+        g = path(5)
+        q = ordering_quality(g, degeneracy_ordering(g))
+        assert set(q) == {"rho", "max_backward_degree"}
+
+    def test_empty_graph(self):
+        g = ConflictGraph(4)
+        q = ordering_quality(g, degeneracy_ordering(g))
+        assert q["rho"] == 0 and q["max_backward_degree"] == 0

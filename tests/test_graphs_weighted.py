@@ -1,0 +1,99 @@
+"""Tests for WeightedConflictGraph (Section 3 independence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.generators import clique
+from repro.graphs.weighted_graph import WeightedConflictGraph
+
+
+def triangle_weights(w01=0.4, w10=0.4, w12=0.4, w21=0.4, w02=0.4, w20=0.4):
+    w = np.zeros((3, 3))
+    w[0, 1], w[1, 0] = w01, w10
+    w[1, 2], w[2, 1] = w12, w21
+    w[0, 2], w[2, 0] = w02, w20
+    return w
+
+
+class TestWeightedConflictGraph:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedConflictGraph(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedConflictGraph(np.zeros((2, 3)))
+
+    def test_infinite_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedConflictGraph(np.array([[0.0, np.inf], [0.0, 0.0]]))
+
+    def test_diagonal_zeroed(self):
+        g = WeightedConflictGraph(np.ones((2, 2)))
+        assert g.w(0, 0) == 0.0
+
+    def test_wbar_symmetric(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = 0.3
+        w[1, 0] = 0.5
+        g = WeightedConflictGraph(w)
+        assert g.wbar(0, 1) == pytest.approx(0.8)
+        assert g.wbar(1, 0) == pytest.approx(0.8)
+
+    def test_independent_below_threshold(self):
+        # Each vertex receives 0.8 < 1 from the other two.
+        g = WeightedConflictGraph(triangle_weights())
+        assert g.is_independent([0, 1, 2])
+
+    def test_dependent_at_threshold(self):
+        g = WeightedConflictGraph(triangle_weights(w01=0.6, w21=0.4))
+        # vertex 1 receives 0.6 + 0.4 = 1.0, not < 1.
+        assert not g.is_independent([0, 1, 2])
+        assert g.is_independent([0, 1])  # 1 receives only 0.6
+
+    def test_incoming_weight(self):
+        g = WeightedConflictGraph(triangle_weights())
+        assert g.incoming_weight([0, 2], 1) == pytest.approx(0.8)
+        assert g.incoming_weight([], 1) == 0.0
+
+    def test_from_conflict_graph_matches_unweighted(self):
+        base = ConflictGraph(4, [(0, 1), (2, 3)])
+        g = WeightedConflictGraph.from_conflict_graph(base)
+        for s in ([0, 1], [0, 2], [1, 3], [0, 2, 1]):
+            assert g.is_independent(s) == base.is_independent(s)
+
+    def test_clique_embedding(self):
+        g = WeightedConflictGraph.from_conflict_graph(clique(5))
+        assert not g.is_independent([0, 1])
+        assert g.is_independent([3])
+
+    def test_backward_wbar(self):
+        g = WeightedConflictGraph(triangle_weights(w01=0.1, w10=0.2))
+        o = VertexOrdering([2, 0, 1])
+        vec = g.backward_wbar(1, o)  # earlier: 2 and 0
+        assert vec[0] == pytest.approx(0.3)
+        assert vec[2] == pytest.approx(0.8)
+        assert vec[1] == 0.0
+
+    def test_threshold_graph(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = 0.6
+        w[1, 0] = 0.5  # w̄ = 1.1 ≥ 1 → binary edge
+        w[1, 2] = 0.4  # w̄ = 0.4 < 1 → no edge
+        g = WeightedConflictGraph(w).threshold_graph()
+        assert g.has_edge(0, 1) and not g.has_edge(1, 2)
+
+    def test_subgraph(self):
+        g = WeightedConflictGraph(triangle_weights(w01=0.7))
+        sub, idx = g.subgraph([0, 1])
+        assert sub.w(0, 1) == pytest.approx(0.7)
+        assert list(idx) == [0, 1]
+
+    def test_singleton_always_independent(self):
+        w = np.ones((3, 3)) * 10
+        g = WeightedConflictGraph(w)
+        assert g.is_independent([1])
+        assert g.is_independent([])

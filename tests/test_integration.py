@@ -1,0 +1,152 @@
+"""Cross-module integration tests: every interference model through the
+full auction pipeline, with external validation at each seam."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionProblem
+from repro.core.exact import solve_exact
+from repro.core.solver import SpectrumAuctionSolver
+from repro.geometry.disks import random_disk_instance
+from repro.geometry.links import random_links, random_metric_links
+from repro.interference.civilized import CivilizedInstance, civilized_distance2_model
+from repro.interference.disk import (
+    disk_transmitter_model,
+    distance2_coloring_model,
+)
+from repro.interference.distance2 import distance2_matching_model
+from repro.interference.physical import (
+    PhysicalModel,
+    linear_power,
+    mean_power,
+    physical_model_structure,
+    uniform_power,
+)
+from repro.interference.power_control import power_control_structure
+from repro.interference.protocol import ieee80211_model, protocol_model
+from repro.valuations.generators import (
+    random_mixed_valuations,
+    random_xor_valuations,
+)
+
+
+def run_pipeline(structure, k, seed):
+    vals = random_xor_valuations(structure.n, k, seed=seed)
+    problem = AuctionProblem(structure, k, vals)
+    result = SpectrumAuctionSolver(problem).solve(seed=seed, rounding_attempts=3)
+    assert result.feasible, "solver returned an infeasible allocation"
+    assert result.lp_value >= result.welfare - 1e-6
+    return problem, result
+
+
+class TestEveryModelEndToEnd:
+    def test_protocol(self):
+        links = random_links(20, seed=201, length_range=(0.03, 0.09))
+        run_pipeline(protocol_model(links, 1.0), 3, 202)
+
+    def test_ieee80211(self):
+        links = random_links(20, seed=203, length_range=(0.03, 0.09))
+        run_pipeline(ieee80211_model(links, 1.0), 3, 204)
+
+    def test_disk(self):
+        inst = random_disk_instance(20, seed=205)
+        run_pipeline(disk_transmitter_model(inst), 3, 206)
+
+    def test_distance2_coloring(self):
+        inst = random_disk_instance(18, seed=207)
+        run_pipeline(distance2_coloring_model(inst), 2, 208)
+
+    def test_civilized(self):
+        inst = CivilizedInstance.sample(16, r=0.15, s=0.08, seed=209)
+        run_pipeline(civilized_distance2_model(inst), 2, 210)
+
+    def test_distance2_matching(self):
+        inst = random_disk_instance(10, seed=211, radius_range=(0.05, 0.12))
+        structure = distance2_matching_model(inst)
+        if structure.n:
+            run_pipeline(structure, 2, 212)
+
+    @pytest.mark.parametrize("scheme", ["uniform", "linear", "mean"])
+    def test_physical_fixed_power(self, scheme):
+        links = random_links(14, seed=213, length_range=(0.02, 0.07))
+        power = {
+            "uniform": uniform_power(links),
+            "linear": linear_power(links, 3.0),
+            "mean": mean_power(links, 3.0),
+        }[scheme]
+        structure = physical_model_structure(links, power)
+        problem, result = run_pipeline(structure, 2, 214)
+        # Feasibility in the weighted graph ⟺ SINR feasibility per channel.
+        model = PhysicalModel(links, 3.0, 1.5, 0.0)
+        for j in range(2):
+            members = [v for v, s in result.allocation.items() if j in s]
+            if members:
+                assert model.is_feasible(members, power)
+
+    def test_power_control_euclidean(self):
+        links = random_links(14, seed=215, length_range=(0.02, 0.07))
+        structure = power_control_structure(links)
+        vals = random_xor_valuations(14, 2, seed=216)
+        problem = AuctionProblem(structure, 2, vals)
+        result = SpectrumAuctionSolver(problem).solve(seed=217, rounding_attempts=3)
+        assert result.feasible
+        if any(result.allocation.values()):
+            assert result.sinr_feasible
+
+    def test_power_control_general_metric(self):
+        links = random_metric_links(10, seed=218)
+        structure = power_control_structure(links)
+        vals = random_xor_valuations(10, 2, seed=219)
+        problem = AuctionProblem(structure, 2, vals)
+        result = SpectrumAuctionSolver(problem).solve(seed=220, rounding_attempts=3)
+        assert result.feasible
+        if any(result.allocation.values()):
+            assert result.sinr_feasible
+
+
+class TestMixedValuationsPipeline:
+    def test_heterogeneous_population(self):
+        links = random_links(15, seed=221, length_range=(0.03, 0.09))
+        structure = protocol_model(links, 1.0)
+        vals = random_mixed_valuations(15, 3, seed=222)
+        problem = AuctionProblem(structure, 3, vals)
+        result = SpectrumAuctionSolver(problem).solve(
+            seed=223, lp_method="column_generation", rounding_attempts=3
+        )
+        assert result.feasible
+
+
+class TestBoundsAcrossPipeline:
+    def test_sandwich_exact_between_rounding_and_lp(self):
+        links = random_links(10, seed=224, length_range=(0.03, 0.1))
+        structure = protocol_model(links, 1.0)
+        vals = random_xor_valuations(10, 2, seed=225)
+        problem = AuctionProblem(structure, 2, vals)
+        result = SpectrumAuctionSolver(problem).solve(seed=226, rounding_attempts=5)
+        exact = solve_exact(problem)
+        assert result.welfare <= exact.value + 1e-6
+        assert exact.value <= result.lp_value + 1e-6
+
+    def test_expected_welfare_meets_bound_across_models(self):
+        """Theorem 3 expectation check on a disk instance."""
+        inst = random_disk_instance(18, seed=227)
+        structure = disk_transmitter_model(inst)
+        vals = random_xor_valuations(18, 4, seed=228)
+        problem = AuctionProblem(structure, 4, vals)
+        solver = SpectrumAuctionSolver(problem)
+        lp = solver.solve_lp()
+        bound = lp.value / (8.0 * math.sqrt(4) * structure.rho)
+        rng = np.random.default_rng(229)
+        from repro.core.rounding import round_unweighted
+
+        mean = np.mean(
+            [
+                problem.welfare(round_unweighted(problem, lp, rng)[0])
+                for _ in range(50)
+            ]
+        )
+        assert mean >= bound

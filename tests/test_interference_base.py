@@ -1,0 +1,59 @@
+"""Tests for the conflict-structure contracts and the report CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.interference.base import ConflictStructure, WeightedConflictStructure
+
+
+class TestConflictStructure:
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictStructure(ConflictGraph(3), VertexOrdering.identity(4), 1.0)
+
+    def test_negative_rho_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictStructure(ConflictGraph(3), VertexOrdering.identity(3), -1.0)
+
+    def test_metadata_defaults(self):
+        cs = ConflictStructure(ConflictGraph(2), VertexOrdering.identity(2), 1.0)
+        assert cs.metadata == {}
+        assert cs.rho_source == "certified"
+        assert cs.n == 2
+
+
+class TestWeightedConflictStructure:
+    def test_size_mismatch_rejected(self):
+        g = WeightedConflictGraph(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            WeightedConflictStructure(g, VertexOrdering.identity(2), 1.0)
+
+    def test_negative_rho_rejected(self):
+        g = WeightedConflictGraph(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            WeightedConflictStructure(g, VertexOrdering.identity(2), -0.5)
+
+
+class TestReportCLI:
+    def test_main_list(self, capsys):
+        from repro.experiments.report import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "A5" in out
+
+    def test_main_runs_subset(self, capsys):
+        from repro.experiments.report import main
+
+        assert main(["E10"]) == 0
+        out = capsys.readouterr().out
+        assert "clique integrality gaps" in out
+
+    def test_main_unknown_id(self, capsys):
+        from repro.experiments.report import main
+
+        assert main(["E99"]) == 2

@@ -1,0 +1,181 @@
+"""Tests for the binary interference models (protocol, 802.11, disk,
+distance-2 coloring, civilized, distance-2 matching) and their ρ bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.disks import DiskInstance, random_disk_instance
+from repro.geometry.links import links_from_arrays, random_links
+from repro.graphs.generators import path
+from repro.graphs.inductive import rho_of_ordering
+from repro.interference.civilized import (
+    CivilizedInstance,
+    civilized_distance2_model,
+    civilized_graph,
+    civilized_rho_bound,
+    sample_separated_points,
+)
+from repro.interference.disk import (
+    DISK_RHO_BOUND,
+    disk_transmitter_model,
+    distance2_coloring_graph,
+    distance2_coloring_model,
+    graph_square,
+)
+from repro.interference.distance2 import (
+    distance2_matching_graph,
+    distance2_matching_model,
+)
+from repro.interference.protocol import (
+    IEEE80211_RHO_BOUND,
+    ieee80211_model,
+    protocol_conflict_graph,
+    protocol_model,
+    protocol_rho_bound,
+)
+
+
+class TestProtocolModel:
+    def test_rho_bound_formula(self):
+        # Δ=1: ⌈π/arcsin(1/4)⌉ − 1 = ⌈12.44⌉ − 1 = 12.
+        assert protocol_rho_bound(1.0) == 12
+        # Larger guard zones → smaller ρ.
+        assert protocol_rho_bound(4.0) > 0
+        assert protocol_rho_bound(4.0) <= protocol_rho_bound(0.5)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            protocol_rho_bound(0.0)
+        with pytest.raises(ValueError):
+            protocol_conflict_graph(random_links(3, seed=1), -1.0)
+
+    def test_conflict_symmetric_guard_zone(self):
+        # Two parallel links far apart do not conflict; close ones do.
+        far = links_from_arrays(
+            np.array([[0.0, 0.0], [10.0, 0.0]]),
+            np.array([[0.1, 0.0], [10.1, 0.0]]),
+        )
+        assert protocol_conflict_graph(far, 1.0).m == 0
+        near = links_from_arrays(
+            np.array([[0.0, 0.0], [0.15, 0.0]]),
+            np.array([[0.1, 0.0], [0.25, 0.0]]),
+        )
+        assert protocol_conflict_graph(near, 1.0).m == 1
+
+    def test_measured_rho_within_bound(self, links25):
+        for delta in (0.5, 1.0, 2.0):
+            cs = protocol_model(links25, delta)
+            assert rho_of_ordering(cs.graph, cs.ordering) <= cs.rho
+
+    def test_monotone_in_delta(self, links25):
+        # A bigger guard zone can only add conflicts.
+        g1 = protocol_conflict_graph(links25, 0.5)
+        g2 = protocol_conflict_graph(links25, 2.0)
+        assert set(g1.edges()) <= set(g2.edges())
+
+
+class TestIEEE80211:
+    def test_supergraph_of_protocol(self, links25):
+        # Bidirectional conflicts include everything the protocol model has
+        # (endpoint distances include the sender–receiver pairs).
+        proto = protocol_conflict_graph(links25, 1.0)
+        bidi = ieee80211_model(links25, 1.0).graph
+        assert set(proto.edges()) <= set(bidi.edges())
+
+    def test_rho_constant(self, links25):
+        cs = ieee80211_model(links25, 1.0)
+        assert cs.rho == IEEE80211_RHO_BOUND
+        assert rho_of_ordering(cs.graph, cs.ordering) <= cs.rho
+
+
+class TestDiskModels:
+    def test_disk_rho_bound_holds(self):
+        for seed in range(6):
+            inst = random_disk_instance(40, seed=seed, radius_range=(0.03, 0.2))
+            cs = disk_transmitter_model(inst)
+            measured = rho_of_ordering(cs.graph, cs.ordering)
+            assert measured <= DISK_RHO_BOUND
+            assert cs.rho == DISK_RHO_BOUND
+
+    def test_graph_square(self):
+        g = path(4)  # 0-1-2-3
+        sq = graph_square(g)
+        assert sq.has_edge(0, 2) and sq.has_edge(1, 3)
+        assert not sq.has_edge(0, 3)
+
+    def test_distance2_coloring_is_square(self):
+        inst = random_disk_instance(20, seed=3)
+        cs = distance2_coloring_model(inst)
+        assert set(distance2_coloring_graph(inst.graph).edges()) == set(
+            cs.graph.edges()
+        )
+
+    def test_distance2_rho_within_bound(self):
+        inst = random_disk_instance(30, seed=4)
+        cs = distance2_coloring_model(inst)
+        assert rho_of_ordering(cs.graph, cs.ordering) <= cs.rho
+
+
+class TestCivilized:
+    def test_separation_enforced(self):
+        pts = sample_separated_points(20, 0.1, seed=5)
+        from repro.geometry.points import pairwise_distances
+
+        d = pairwise_distances(pts)
+        off = d[~np.eye(20, dtype=bool)]
+        assert off.min() >= 0.1 - 1e-12
+
+    def test_impossible_separation_raises(self):
+        with pytest.raises(RuntimeError):
+            sample_separated_points(100, 0.5, extent=1.0, seed=6, max_attempts=2)
+
+    def test_civilized_graph_validates_separation(self):
+        pts = np.array([[0.0, 0.0], [0.01, 0.0]])
+        with pytest.raises(ValueError):
+            civilized_graph(pts, r=0.3, s=0.1)
+
+    def test_rho_bound_formula(self):
+        assert civilized_rho_bound(0.2, 0.1) == pytest.approx((4 * 2 + 2) ** 2)
+        with pytest.raises(ValueError):
+            civilized_rho_bound(0.0, 0.1)
+
+    def test_model_within_bound(self):
+        inst = CivilizedInstance.sample(25, r=0.15, s=0.08, seed=7)
+        cs = civilized_distance2_model(inst)
+        assert rho_of_ordering(cs.graph, cs.ordering) <= cs.rho
+
+    def test_any_ordering_within_bound(self):
+        # Proposition 12 holds for every ordering.
+        from repro.graphs.conflict_graph import VertexOrdering
+
+        inst = CivilizedInstance.sample(20, r=0.15, s=0.08, seed=8)
+        cs = civilized_distance2_model(inst)
+        rng = np.random.default_rng(9)
+        for _ in range(3):
+            perm = rng.permutation(20)
+            assert rho_of_ordering(cs.graph, VertexOrdering(perm)) <= cs.rho
+
+
+class TestDistance2Matching:
+    def test_conflicts_are_strong(self):
+        # On a path host 0-1-2-3: edges e0={0,1}, e1={1,2}, e2={2,3}.
+        # e0/e1 share vertex 1; e0/e2 are joined by host edge {1,2}.
+        host = path(4)
+        graph, edges = distance2_matching_graph(host)
+        assert len(edges) == 3
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+
+    def test_on_longer_path_far_edges_compatible(self):
+        host = path(6)  # edges 0..4
+        graph, edges = distance2_matching_graph(host)
+        i03 = edges.index((0, 1)), edges.index((3, 4))
+        assert not graph.has_edge(*i03)
+
+    def test_model_bound(self):
+        inst = random_disk_instance(15, seed=10, radius_range=(0.05, 0.12))
+        cs = distance2_matching_model(inst)
+        assert cs.graph.n == inst.graph.m
+        assert rho_of_ordering(cs.graph, cs.ordering) <= cs.rho

@@ -1,0 +1,204 @@
+"""Tests for the physical (SINR) model and power control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.links import links_from_arrays, random_links
+from repro.graphs.independence import greedy_weighted_independent_set
+from repro.interference.physical import (
+    PhysicalModel,
+    is_monotone_power,
+    linear_power,
+    mean_power,
+    physical_model_structure,
+    uniform_power,
+)
+from repro.interference.power_control import (
+    kesselheim_power_assignment,
+    min_power_assignment,
+    power_control_structure,
+    tau_constant,
+    theorem17_weight_matrix,
+)
+
+ALPHA, BETA = 3.0, 1.5
+
+
+@pytest.fixture(scope="module")
+def links():
+    return random_links(20, seed=21, length_range=(0.02, 0.08))
+
+
+@pytest.fixture(scope="module")
+def model(links):
+    return PhysicalModel(links, ALPHA, BETA, noise=0.0)
+
+
+class TestPhysicalModel:
+    def test_parameter_validation(self, links):
+        with pytest.raises(ValueError):
+            PhysicalModel(links, alpha=-1.0)
+        with pytest.raises(ValueError):
+            PhysicalModel(links, beta=0.0)
+        with pytest.raises(ValueError):
+            PhysicalModel(links, noise=-0.5)
+
+    def test_sinr_single_link(self, model, links):
+        p = uniform_power(links)
+        assert model.is_feasible([3], p)
+
+    def test_sinr_decreases_with_more_links(self, model, links):
+        p = linear_power(links, ALPHA)
+        members = np.array([0, 1, 2, 3, 4])
+        solo = model.sinr(np.array([0]), p)
+        crowd_sinr = model.sinr(members, p)[0]
+        # Interference can only lower link 0's SINR (solo SINR is infinite
+        # at zero noise, represented as inf).
+        assert np.isinf(solo[0]) or crowd_sinr <= solo[0]
+
+    def test_two_overlapping_links_infeasible(self):
+        # Receiver of link 0 sits right next to sender of link 1.
+        ls = links_from_arrays(
+            np.array([[0.0, 0.0], [0.11, 0.0]]),
+            np.array([[0.1, 0.0], [0.21, 0.0]]),
+        )
+        m = PhysicalModel(ls, ALPHA, BETA)
+        assert not m.is_feasible([0, 1], uniform_power(ls))
+
+    def test_power_schemes_monotone(self, links):
+        assert is_monotone_power(links, uniform_power(links), ALPHA)
+        assert is_monotone_power(links, linear_power(links, ALPHA), ALPHA)
+        assert is_monotone_power(links, mean_power(links, ALPHA), ALPHA)
+
+    def test_non_monotone_detected(self, links):
+        p = linear_power(links, ALPHA)
+        longest = int(np.argmax(links.lengths))
+        p[longest] = p.min() / 2  # longest link now has the least power
+        assert not is_monotone_power(links, p, ALPHA)
+
+    def test_weight_matrix_diagonal_zero(self, model, links):
+        w = model.weight_matrix(linear_power(links, ALPHA))
+        assert np.allclose(np.diagonal(w), 0)
+        assert (w >= 0).all() and (w <= 1).all()
+
+    def test_positive_power_required(self, model, links):
+        p = uniform_power(links)
+        p[0] = 0.0
+        with pytest.raises(ValueError):
+            model.weight_matrix(p)
+
+
+class TestSINREquivalence:
+    """Proposition 15: SINR feasibility ⟺ weighted-graph independence."""
+
+    @pytest.mark.parametrize("scheme", ["uniform", "linear", "mean"])
+    def test_equivalence_random_subsets(self, links, scheme):
+        p = {
+            "uniform": uniform_power(links),
+            "linear": linear_power(links, ALPHA),
+            "mean": mean_power(links, ALPHA),
+        }[scheme]
+        m = PhysicalModel(links, ALPHA, BETA, noise=0.0)
+        wg = m.weighted_graph(p)
+        rng = np.random.default_rng(22)
+        for _ in range(200):
+            size = int(rng.integers(1, 7))
+            members = rng.choice(links.n, size=size, replace=False)
+            assert m.is_feasible(members, p) == wg.is_independent(members)
+
+    def test_equivalence_with_noise(self, links):
+        p = linear_power(links, ALPHA)
+        noise = 0.1 * float((p / links.lengths**ALPHA).min()) / BETA
+        m = PhysicalModel(links, ALPHA, BETA, noise=noise)
+        wg = m.weighted_graph(p)
+        rng = np.random.default_rng(23)
+        for _ in range(100):
+            size = int(rng.integers(1, 6))
+            members = rng.choice(links.n, size=size, replace=False)
+            assert m.is_feasible(members, p) == wg.is_independent(members)
+
+
+class TestPhysicalStructure:
+    def test_rho_measured(self, links):
+        st = physical_model_structure(links, linear_power(links, ALPHA))
+        assert st.rho >= 1.0
+        assert st.metadata["model"] == "physical"
+
+    def test_rho_override(self, links):
+        st = physical_model_structure(links, uniform_power(links), rho=7.5)
+        assert st.rho == 7.5 and st.rho_source == "caller-supplied"
+
+
+class TestPowerControl:
+    def test_tau_value(self):
+        assert tau_constant(3.0, 1.5) == pytest.approx(1.0 / (2 * 27 * 8))
+
+    def test_weight_matrix_directional(self, links):
+        w, pi = theorem17_weight_matrix(links, ALPHA, BETA)
+        pos = pi.pos
+        nz = np.argwhere(w > 0)
+        assert all(pos[u] < pos[v] for u, v in nz)
+
+    def test_clip_preserves_independence_family(self, links):
+        from repro.graphs.weighted_graph import WeightedConflictGraph
+
+        w_raw, _ = theorem17_weight_matrix(links, ALPHA, BETA, clip=False)
+        w_clip, _ = theorem17_weight_matrix(links, ALPHA, BETA, clip=True)
+        g_raw = WeightedConflictGraph(w_raw)
+        g_clip = WeightedConflictGraph(w_clip)
+        rng = np.random.default_rng(24)
+        for _ in range(200):
+            size = int(rng.integers(1, 6))
+            members = rng.choice(links.n, size=size, replace=False)
+            assert g_raw.is_independent(members) == g_clip.is_independent(members)
+
+    def test_clipped_rho_much_smaller(self, links):
+        raw = power_control_structure(links, clip=False)
+        clipped = power_control_structure(links, clip=True)
+        assert clipped.rho < raw.rho
+
+    def test_independent_sets_admit_kesselheim_powers(self, links):
+        st = power_control_structure(links)
+        m = PhysicalModel(links, ALPHA, BETA, noise=0.0)
+        members, _ = greedy_weighted_independent_set(st.graph, np.ones(links.n))
+        assert len(members) >= 2
+        powers = kesselheim_power_assignment(links, members, ALPHA, BETA)
+        assert m.is_feasible(members, powers)
+
+    def test_kesselheim_with_noise(self, links):
+        st = power_control_structure(links)
+        members, _ = greedy_weighted_independent_set(st.graph, np.ones(links.n))
+        noise = 1e-3
+        m = PhysicalModel(links, ALPHA, BETA, noise=noise)
+        powers = kesselheim_power_assignment(links, members, ALPHA, BETA, noise)
+        assert m.is_feasible(members, powers)
+
+    def test_kesselheim_empty_and_single(self, links):
+        p = kesselheim_power_assignment(links, [], ALPHA, BETA)
+        assert (p == 0).all()
+        p1 = kesselheim_power_assignment(links, [4], ALPHA, BETA)
+        assert p1[4] > 0 and np.count_nonzero(p1) == 1
+
+    def test_min_power_oracle_agrees_with_kesselheim_sets(self, links):
+        st = power_control_structure(links)
+        m = PhysicalModel(links, ALPHA, BETA, noise=0.0)
+        members, _ = greedy_weighted_independent_set(st.graph, np.ones(links.n))
+        feasible, powers = min_power_assignment(links, members, ALPHA, BETA)
+        assert feasible
+        assert m.is_feasible(members, powers)
+
+    def test_min_power_detects_infeasible(self):
+        # Two links whose receivers sit on top of the other's sender cannot
+        # both meet an SINR threshold β ≥ 1 under any powers.
+        ls = links_from_arrays(
+            np.array([[0.0, 0.0], [0.1, 0.01]]),
+            np.array([[0.1, 0.0], [0.0, 0.01]]),
+        )
+        feasible, _ = min_power_assignment(ls, [0, 1], ALPHA, BETA)
+        assert not feasible
+
+    def test_min_power_single_member(self, links):
+        feasible, powers = min_power_assignment(links, [2], ALPHA, BETA, noise=0.1)
+        assert feasible and powers[2] > 0

@@ -1,0 +1,114 @@
+"""Tests for problem serialization (save/load round trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+)
+from repro.core.auction import AuctionProblem
+from repro.core.auction_lp import AuctionLP
+from repro.experiments.workloads import physical_auction, protocol_auction
+from repro.valuations.additive import (
+    AdditiveValuation,
+    BudgetedAdditiveValuation,
+    CappedAdditiveValuation,
+    UnitDemandValuation,
+)
+from repro.valuations.explicit import (
+    ExplicitValuation,
+    SingleMindedValuation,
+    XORValuation,
+)
+
+
+def assert_same_problem(a: AuctionProblem, b: AuctionProblem) -> None:
+    assert a.k == b.k and a.n == b.n
+    assert a.rho == b.rho
+    assert np.array_equal(a.ordering.perm, b.ordering.perm)
+    if a.is_weighted:
+        assert np.allclose(a.graph.weights, b.graph.weights)
+    else:
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+    rng = np.random.default_rng(0)
+    for va, vb in zip(a.valuations, b.valuations):
+        assert type(va) is type(vb)
+        for _ in range(5):
+            size = int(rng.integers(0, a.k + 1))
+            bundle = frozenset(
+                int(j) for j in rng.choice(a.k, size=size, replace=False)
+            )
+            assert va.value(bundle) == pytest.approx(vb.value(bundle))
+
+
+class TestRoundTrip:
+    def test_protocol_problem(self, tmp_path):
+        problem = protocol_auction(10, 3, seed=601)
+        path = tmp_path / "problem.json"
+        save_problem(problem, path)
+        loaded = load_problem(path)
+        assert_same_problem(problem, loaded)
+
+    def test_weighted_problem(self, tmp_path):
+        problem = physical_auction(8, 2, seed=602)
+        path = tmp_path / "weighted.json"
+        save_problem(problem, path)
+        loaded = load_problem(path)
+        assert_same_problem(problem, loaded)
+
+    def test_lp_value_survives(self, tmp_path):
+        problem = protocol_auction(10, 3, seed=603)
+        path = tmp_path / "p.json"
+        save_problem(problem, path)
+        loaded = load_problem(path)
+        assert AuctionLP(loaded).solve().value == pytest.approx(
+            AuctionLP(problem).solve().value
+        )
+
+    def test_all_valuation_types(self):
+        from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+        from repro.interference.base import ConflictStructure
+
+        k = 3
+        vals = [
+            XORValuation(k, {frozenset({0, 1}): 5.0}),
+            ExplicitValuation(k, {frozenset({2}): 3.0}),
+            SingleMindedValuation(k, frozenset({1}), 4.0),
+            AdditiveValuation(np.array([1.0, 2.0, 3.0])),
+            UnitDemandValuation(np.array([2.0, 1.0, 0.0])),
+            CappedAdditiveValuation(np.array([1.0, 1.0, 1.0]), 2),
+            BudgetedAdditiveValuation(np.array([4.0, 4.0, 4.0]), 6.0),
+        ]
+        structure = ConflictStructure(
+            ConflictGraph(7, [(0, 1), (2, 3)]), VertexOrdering.identity(7), 2.0
+        )
+        problem = AuctionProblem(structure, k, vals)
+        loaded = problem_from_dict(problem_to_dict(problem))
+        assert_same_problem(problem, loaded)
+
+    def test_metadata_filtered(self):
+        problem = physical_auction(6, 2, seed=604)
+        data = problem_to_dict(problem)
+        # Non-JSON metadata (the PhysicalModel object, power array) dropped.
+        for value in data["structure"]["metadata"].values():
+            assert isinstance(value, (str, int, float, bool)) or value is None
+
+    def test_version_checked(self):
+        problem = protocol_auction(5, 2, seed=605)
+        data = problem_to_dict(problem)
+        data["format_version"] = 999
+        with pytest.raises(ValueError):
+            problem_from_dict(data)
+
+    def test_json_is_pure(self, tmp_path):
+        import json
+
+        problem = protocol_auction(6, 2, seed=606)
+        path = tmp_path / "pure.json"
+        save_problem(problem, path)
+        json.loads(path.read_text())  # parses as standard JSON

@@ -1,0 +1,152 @@
+"""Property-based tests on the rounding/resolution algorithms themselves.
+
+These generate *arbitrary* tentative allocations and weighted graphs (not
+just LP-derived ones) and check that the conflict-resolution layers always
+restore their invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.auction import AuctionProblem
+from repro.core.conflict_resolution import check_condition5, make_fully_feasible
+from repro.core.rounding import resolve_unweighted, resolve_weighted_partial
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.interference.base import ConflictStructure, WeightedConflictStructure
+from repro.valuations.explicit import XORValuation
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+K = 3
+
+
+@st.composite
+def unweighted_problems(draw, max_n=8):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    graph = ConflictGraph(n, [p for p, m in zip(pairs, mask) if m])
+    perm = draw(st.permutations(list(range(n))))
+    structure = ConflictStructure(graph, VertexOrdering(list(perm)), float(n))
+    vals = [XORValuation(K, {frozenset({0}): float(i + 1)}) for i in range(n)]
+    return AuctionProblem(structure, K, vals)
+
+
+@st.composite
+def weighted_problems(draw, max_n=7):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.2, allow_nan=False),
+            min_size=n * n,
+            max_size=n * n,
+        )
+    )
+    w = np.array(values).reshape(n, n)
+    np.fill_diagonal(w, 0.0)
+    structure = WeightedConflictStructure(
+        WeightedConflictGraph(w), VertexOrdering.identity(n), float(2 * n)
+    )
+    vals = [XORValuation(K, {frozenset({0}): float(i + 1)}) for i in range(n)]
+    return AuctionProblem(structure, K, vals)
+
+
+@st.composite
+def tentative_allocations(draw, n):
+    alloc = {}
+    for v in range(n):
+        if draw(st.booleans()):
+            channels = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=K - 1),
+                    min_size=1,
+                    max_size=K,
+                    unique=True,
+                )
+            )
+            alloc[v] = frozenset(channels)
+    return alloc
+
+
+class TestResolutionInvariants:
+    @SETTINGS
+    @given(unweighted_problems(), st.data())
+    def test_resolve_unweighted_always_feasible(self, problem, data):
+        tentative = data.draw(tentative_allocations(problem.n))
+        for mode in ("survivors", "tentative"):
+            final, removed = resolve_unweighted(problem, tentative, mode)
+            assert problem.is_feasible(final)
+            assert removed == len([v for v in tentative if v not in final])
+
+    @SETTINGS
+    @given(unweighted_problems(), st.data())
+    def test_survivors_keeps_superset(self, problem, data):
+        tentative = data.draw(tentative_allocations(problem.n))
+        surv, _ = resolve_unweighted(problem, tentative, "survivors")
+        tent, _ = resolve_unweighted(problem, tentative, "tentative")
+        assert set(tent) <= set(surv)
+
+    @SETTINGS
+    @given(weighted_problems(), st.data())
+    def test_resolve_weighted_establishes_condition5(self, problem, data):
+        tentative = data.draw(tentative_allocations(problem.n))
+        final, _ = resolve_weighted_partial(problem, tentative)
+        assert check_condition5(problem, final)
+
+    @SETTINGS
+    @given(weighted_problems(), st.data())
+    def test_algorithm3_on_resolved_input(self, problem, data):
+        tentative = data.draw(tentative_allocations(problem.n))
+        partly, _ = resolve_weighted_partial(problem, tentative)
+        result = make_fully_feasible(problem, partly)
+        assert problem.is_feasible(result.allocation)
+        # Candidates partition the partly-feasible bundles.
+        assigned = sorted(v for cand in result.candidates for v in cand)
+        assert assigned == sorted(v for v, s in partly.items() if s)
+
+    @SETTINGS
+    @given(weighted_problems(), st.data())
+    def test_algorithm3_value_conservation(self, problem, data):
+        tentative = data.draw(tentative_allocations(problem.n))
+        partly, _ = resolve_weighted_partial(problem, tentative)
+        result = make_fully_feasible(problem, partly)
+        assert sum(result.candidate_values) <= result.input_value + 1e-9
+        assert result.best_value <= result.input_value + 1e-9
+
+    @SETTINGS
+    @given(unweighted_problems(), st.data())
+    def test_resolution_never_adds_vertices(self, problem, data):
+        tentative = data.draw(tentative_allocations(problem.n))
+        final, _ = resolve_unweighted(problem, tentative)
+        for v, bundle in final.items():
+            assert tentative[v] == bundle  # bundles never change, only drop
+
+
+class TestOrderingHeuristics:
+    @SETTINGS
+    @given(unweighted_problems())
+    def test_degeneracy_ordering_bounds_rho(self, problem):
+        from repro.graphs.inductive import (
+            inductive_independence_number,
+            rho_of_ordering,
+        )
+        from repro.graphs.orderings import degeneracy_ordering
+
+        graph = problem.graph
+        rho_exact, _ = inductive_independence_number(graph)
+        rho_degen = rho_of_ordering(graph, degeneracy_ordering(graph))
+        assert rho_degen >= rho_exact
+        # Backward degree under degeneracy ordering ≤ degeneracy d(G), and
+        # rho(π) ≤ max backward degree.
+        from repro.graphs.orderings import ordering_quality
+
+        quality = ordering_quality(graph, degeneracy_ordering(graph))
+        assert quality["rho"] <= quality["max_backward_degree"] or graph.m == 0

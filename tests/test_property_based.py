@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.independence import (
+    greedy_independent_set,
+    greedy_weighted_independent_set,
+    max_profit_weighted_independent_set,
+    max_weight_independent_set,
+)
+from repro.graphs.inductive import inductive_independence_number, rho_of_ordering
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.valuations.additive import (
+    AdditiveValuation,
+    CappedAdditiveValuation,
+    UnitDemandValuation,
+)
+from repro.valuations.explicit import XORValuation
+from repro.valuations.oracles import brute_force_demand
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_n=10):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    edges = [p for p, keep in zip(pairs, mask) if keep]
+    return ConflictGraph(n, edges)
+
+
+@st.composite
+def weighted_graphs(draw, max_n=8):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+            min_size=n * n,
+            max_size=n * n,
+        )
+    )
+    w = np.array(values).reshape(n, n)
+    np.fill_diagonal(w, 0.0)
+    return WeightedConflictGraph(w)
+
+
+class TestGraphInvariants:
+    @SETTINGS
+    @given(graphs())
+    def test_mwis_output_is_independent(self, g):
+        s, val = max_weight_independent_set(g)
+        assert g.is_independent(s)
+        assert val == len(s)
+
+    @SETTINGS
+    @given(graphs())
+    def test_greedy_never_beats_exact(self, g):
+        rng = np.random.default_rng(0)
+        profits = rng.random(g.n) + 0.1
+        _, greedy_val = greedy_independent_set(g, profits)
+        _, exact_val = max_weight_independent_set(g, profits)
+        assert greedy_val <= exact_val + 1e-9
+
+    @SETTINGS
+    @given(graphs())
+    def test_rho_ordering_achieves_optimum(self, g):
+        rho, ordering = inductive_independence_number(g)
+        assert rho_of_ordering(g, ordering) == rho
+
+    @SETTINGS
+    @given(graphs())
+    def test_rho_bounded_by_max_degree_and_alpha(self, g):
+        rho, _ = inductive_independence_number(g)
+        assert rho <= g.max_degree()
+        _, alpha = max_weight_independent_set(g)
+        assert rho <= max(alpha, 0)
+
+    @SETTINGS
+    @given(graphs())
+    def test_identity_ordering_upper_bounds_rho(self, g):
+        rho, _ = inductive_independence_number(g)
+        assert rho_of_ordering(g, VertexOrdering.identity(g.n)) >= rho
+
+    @SETTINGS
+    @given(graphs())
+    def test_complement_involution(self, g):
+        assert np.array_equal(
+            g.complement().complement().adjacency, g.adjacency
+        )
+
+
+class TestWeightedGraphInvariants:
+    @SETTINGS
+    @given(weighted_graphs())
+    def test_exact_weighted_mwis_feasible(self, g):
+        rng = np.random.default_rng(1)
+        profits = rng.random(g.n) + 0.1
+        s, _ = max_profit_weighted_independent_set(g, profits)
+        assert g.is_independent(s)
+
+    @SETTINGS
+    @given(weighted_graphs())
+    def test_greedy_weighted_feasible_and_dominated(self, g):
+        rng = np.random.default_rng(2)
+        profits = rng.random(g.n) + 0.1
+        s, gval = greedy_weighted_independent_set(g, profits)
+        assert g.is_independent(s)
+        _, eval_ = max_profit_weighted_independent_set(g, profits)
+        assert gval <= eval_ + 1e-9
+
+    @SETTINGS
+    @given(weighted_graphs())
+    def test_subsets_of_independent_sets_independent(self, g):
+        rng = np.random.default_rng(3)
+        s, _ = max_profit_weighted_independent_set(g, rng.random(g.n) + 0.1)
+        if len(s) > 1:
+            assert g.is_independent(s[:-1])
+
+    @SETTINGS
+    @given(weighted_graphs())
+    def test_wbar_symmetry(self, g):
+        wbar = g.wbar_matrix
+        assert np.allclose(wbar, wbar.T)
+
+
+@st.composite
+def price_vectors(draw, k):
+    return np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    )
+
+
+class TestDemandOracleProperties:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+            min_size=3,
+            max_size=5,
+        ),
+        st.data(),
+    )
+    def test_additive_demand_optimal(self, values, data):
+        v = AdditiveValuation(np.array(values))
+        p = data.draw(price_vectors(v.k))
+        bundle, util = v.demand(p)
+        _, ref = brute_force_demand(v, p)
+        assert abs(util - ref) < 1e-9
+        assert util >= 0
+
+    @SETTINGS
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+            min_size=3,
+            max_size=5,
+        ),
+        st.data(),
+    )
+    def test_unit_demand_optimal(self, values, data):
+        v = UnitDemandValuation(np.array(values))
+        p = data.draw(price_vectors(v.k))
+        _, util = v.demand(p)
+        _, ref = brute_force_demand(v, p)
+        assert abs(util - ref) < 1e-9
+
+    @SETTINGS
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+            min_size=3,
+            max_size=5,
+        ),
+        st.integers(min_value=1, max_value=3),
+        st.data(),
+    )
+    def test_capped_demand_optimal(self, values, cap, data):
+        v = CappedAdditiveValuation(np.array(values), cap)
+        p = data.draw(price_vectors(v.k))
+        _, util = v.demand(p)
+        _, ref = brute_force_demand(v, p)
+        assert abs(util - ref) < 1e-9
+
+    @SETTINGS
+    @given(st.data())
+    def test_xor_demand_optimal(self, data):
+        k = 4
+        n_bids = data.draw(st.integers(min_value=1, max_value=4))
+        bids = {}
+        for _ in range(n_bids):
+            size = data.draw(st.integers(min_value=1, max_value=k))
+            bundle = frozenset(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=k - 1),
+                        min_size=size,
+                        max_size=size,
+                        unique=True,
+                    )
+                )
+            )
+            bids[bundle] = data.draw(
+                st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+            )
+        v = XORValuation(k, bids)
+        p = data.draw(price_vectors(k))
+        _, util = v.demand(p)
+        _, ref = brute_force_demand(v, p)
+        assert util >= ref - 1e-9
+
+    @SETTINGS
+    @given(st.data())
+    def test_demand_utility_consistent(self, data):
+        values = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+                min_size=3,
+                max_size=5,
+            )
+        )
+        v = AdditiveValuation(np.array(values))
+        p = data.draw(price_vectors(v.k))
+        bundle, util = v.demand(p)
+        achieved = v.value(bundle) - sum(p[j] for j in bundle)
+        assert abs(achieved - util) < 1e-9

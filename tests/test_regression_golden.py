@@ -1,0 +1,60 @@
+"""Golden-instance regression tests.
+
+Pins the exact numeric outputs of the pipeline on fixed instances, guarding
+against silent numeric drift in LP assembly, solver configuration, or
+rounding logic.  If one of these fails after an intentional change, update
+the golden value *and say why* in the commit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction_lp import AuctionLP
+from repro.core.derandomize import derandomize_rounding
+from repro.core.exact import solve_exact
+from repro.experiments.workloads import protocol_auction, physical_auction
+
+
+@pytest.fixture(scope="module")
+def golden_unweighted():
+    return protocol_auction(12, 3, seed=777)
+
+
+@pytest.fixture(scope="module")
+def golden_weighted():
+    return physical_auction(10, 2, seed=778)
+
+
+class TestGoldenUnweighted:
+    def test_instance_fingerprint(self, golden_unweighted):
+        p = golden_unweighted
+        assert p.n == 12 and p.k == 3 and p.rho == 12
+        assert p.graph.m == 1
+
+    def test_lp_value(self, golden_unweighted):
+        lp = AuctionLP(golden_unweighted).solve()
+        assert lp.value == pytest.approx(1321.0, abs=1e-6)
+
+    def test_exact_value(self, golden_unweighted):
+        result = solve_exact(golden_unweighted)
+        assert result.value == pytest.approx(1262.0, abs=1e-6)
+
+    def test_derandomized_value(self, golden_unweighted):
+        lp = AuctionLP(golden_unweighted).solve()
+        out = derandomize_rounding(golden_unweighted, lp)
+        assert golden_unweighted.welfare(out.allocation) == pytest.approx(
+            1262.0, abs=1e-6
+        )
+
+
+class TestGoldenWeighted:
+    def test_instance_fingerprint(self, golden_weighted):
+        p = golden_weighted
+        assert p.n == 10 and p.k == 2 and p.is_weighted
+        assert p.rho == pytest.approx(1.9052, abs=1e-3)
+
+    def test_lp_value(self, golden_weighted):
+        lp = AuctionLP(golden_weighted).solve()
+        assert lp.value == pytest.approx(872.0, abs=0.5)

@@ -1,0 +1,125 @@
+"""Tests for repro.util: RNG plumbing, tables, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.tables import Table
+from repro.util.validation import (
+    channel_holders,
+    check_allocation_feasible,
+    check_partly_feasible,
+    violated_channels,
+)
+
+
+class TestRng:
+    def test_seed_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_count(self):
+        children = spawn_rngs(7, 4)
+        assert len(children) == 4
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 4  # children are distinct streams
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rngs(5, 3)]
+        b = [g.random() for g in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "bb"], precision=2)
+        t.add_row(1, 2.345)
+        t.add_row(10, 0.5)
+        lines = t.render().splitlines()
+        assert len(lines) == 4
+        assert "2.35" in lines[2] or "2.34" in lines[2]
+
+    def test_row_length_mismatch(self):
+        t = Table(["x"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_extend(self):
+        t = Table(["x", "y"])
+        t.extend([(1, 2), (3, 4)])
+        assert len(t.rows) == 2
+
+    def test_bool_formatting(self):
+        t = Table(["ok"])
+        t.add_row(True)
+        assert "True" in t.render()
+
+
+class TestValidation:
+    def setup_method(self):
+        # Triangle 0-1-2 plus isolated 3.
+        self.graph = ConflictGraph(4, [(0, 1), (1, 2), (0, 2)])
+
+    def test_channel_holders(self):
+        alloc = {0: frozenset({0}), 3: frozenset({0, 1})}
+        holders = channel_holders(alloc, 2)
+        assert holders == [[0, 3], [3]]
+
+    def test_out_of_range_channel(self):
+        with pytest.raises(ValueError):
+            channel_holders({0: frozenset({5})}, 2)
+
+    def test_feasible_allocation(self):
+        alloc = {0: frozenset({0}), 1: frozenset({1}), 3: frozenset({0, 1})}
+        assert check_allocation_feasible(self.graph, alloc, 2)
+
+    def test_infeasible_allocation(self):
+        alloc = {0: frozenset({0}), 1: frozenset({0})}
+        assert not check_allocation_feasible(self.graph, alloc, 2)
+        assert violated_channels(self.graph, alloc, 2) == [0]
+
+    def test_empty_allocation_feasible(self):
+        assert check_allocation_feasible(self.graph, {}, 3)
+
+    def test_partly_feasible_condition(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = 0.3  # w̄(0,1) = 0.3
+        g = WeightedConflictGraph(w)
+        ordering = VertexOrdering.identity(3)
+        alloc = {0: frozenset({0}), 1: frozenset({0})}
+        assert check_partly_feasible(g, ordering, alloc)
+        w2 = np.zeros((3, 3))
+        w2[0, 1] = 0.6
+        g2 = WeightedConflictGraph(w2)
+        assert not check_partly_feasible(g2, ordering, alloc)
+
+    def test_partly_feasible_ignores_disjoint_channels(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = 5.0
+        g = WeightedConflictGraph(w)
+        ordering = VertexOrdering.identity(2)
+        alloc = {0: frozenset({0}), 1: frozenset({1})}
+        assert check_partly_feasible(g, ordering, alloc)

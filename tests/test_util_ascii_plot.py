@@ -1,0 +1,45 @@
+"""Tests for the ASCII bar-chart helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # max value spans full width
+        assert lines[0].count("#") == 5
+
+    def test_title(self):
+        out = bar_chart(["x"], [1.0], title="my chart")
+        assert out.splitlines()[0] == "my chart"
+
+    def test_labels_aligned(self):
+        out = bar_chart(["a", "long"], [1.0, 1.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_zero_values(self):
+        out = bar_chart(["z"], [0.0])
+        assert "#" not in out
+        assert "0" in out
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_values_annotated(self):
+        out = bar_chart(["a"], [3.25])
+        assert "3.25" in out
