@@ -3,8 +3,10 @@
 Unlike the experiment benches (single-shot pedantic runs of whole
 experiments), these time the hot components of the pipeline with
 pytest-benchmark's statistical machinery, so regressions in the LP
-assembly, the solver, the rounding, or the rho computation show up as
-timing shifts.
+assembly, the solver, the rounding, the rho computation, or the batch
+engine show up as timing shifts.  ``bench_engine.py`` is the companion
+one-shot script that persists the engine-vs-seed numbers to
+``BENCH_engine.json``.
 """
 
 import numpy as np
@@ -13,9 +15,20 @@ import pytest
 from repro.core.auction_lp import AuctionLP
 from repro.core.derandomize import derandomize_rounding
 from repro.core.rounding import round_unweighted
-from repro.experiments.workloads import physical_auction, protocol_auction
+from repro.engine import (
+    BatchAuctionEngine,
+    CompiledAuction,
+    round_batch,
+    stack_draws,
+)
+from repro.experiments.workloads import (
+    physical_auction,
+    protocol_auction,
+    protocol_auction_fleet,
+)
 from repro.graphs.inductive import inductive_independence_number
 from repro.geometry.disks import random_disk_instance
+from repro.util.rng import spawn_rngs
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +77,45 @@ def test_perf_weighted_lp_pipeline(benchmark):
         return make_fully_feasible(problem, partly)
 
     benchmark(pipeline)
+
+
+# ----------------------------------------------------------------------
+# engine path
+# ----------------------------------------------------------------------
+def test_perf_engine_compile(benchmark, problem):
+    benchmark(lambda: CompiledAuction(problem))
+
+
+def test_perf_engine_lp_solve(benchmark, problem):
+    def compile_and_solve():
+        return CompiledAuction(problem).solve_lp()
+
+    benchmark(compile_and_solve)
+
+
+def test_perf_engine_vectorized_rounding(benchmark, problem):
+    compiled = CompiledAuction(problem)
+    solution = compiled.solve_lp()
+    plan = compiled.rounding_plan(solution)
+
+    def vectorized_20():
+        draws = stack_draws(spawn_rngs(901, 20), plan.width)
+        return round_batch(compiled, plan, draws)
+
+    benchmark(vectorized_20)
+
+
+def test_perf_loop_rounding_20(benchmark, problem, lp_solution):
+    def loop_20():
+        return [
+            round_unweighted(problem, lp_solution, child)
+            for child in spawn_rngs(901, 20)
+        ]
+
+    benchmark(loop_20)
+
+
+def test_perf_engine_batch_fleet(benchmark):
+    fleet = protocol_auction_fleet(2, 5, 30, 4, seed=905)
+    engine = BatchAuctionEngine(executor="serial")
+    benchmark(lambda: engine.solve_many(fleet, seed=906))

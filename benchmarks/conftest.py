@@ -1,5 +1,5 @@
 """Shared benchmark plumbing: run an experiment once under timing, print
-its table, and persist it under benchmarks/results/ for EXPERIMENTS.md."""
+its table, and persist it under benchmarks/results/."""
 
 from __future__ import annotations
 

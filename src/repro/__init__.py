@@ -20,8 +20,13 @@ Quick start::
     result = SpectrumAuctionSolver(problem).solve(seed=2)
     print(result.welfare, result.feasible)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+Fleets of auctions go through the batch engine instead of a solver loop::
+
+    from repro import BatchAuctionEngine
+    batch = BatchAuctionEngine().solve_many(problems, seed=3)
+
+See DESIGN.md for the system inventory, the engine architecture, and the
+experiment index; BENCH_engine.json records the engine-vs-seed baseline.
 """
 
 from repro.core import (
@@ -72,6 +77,13 @@ from repro.interference import (
     protocol_model,
     uniform_power,
 )
+from repro.engine import (
+    BatchAuctionEngine,
+    BatchResult,
+    CompiledAuction,
+    compile_auction,
+    compile_structure,
+)
 from repro.io import load_problem, problem_from_dict, problem_to_dict, save_problem
 from repro.mechanism import TruthfulMechanism, decompose_lp_solution, vcg_payments
 from repro.valuations import (
@@ -88,7 +100,7 @@ from repro.valuations import (
     random_xor_valuations,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -97,6 +109,11 @@ __all__ = [
     "social_welfare",
     "SpectrumAuctionSolver",
     "SolverResult",
+    "BatchAuctionEngine",
+    "BatchResult",
+    "CompiledAuction",
+    "compile_auction",
+    "compile_structure",
     "AuctionLP",
     "solve_with_column_generation",
     "solve_exact",

@@ -26,7 +26,38 @@ from repro.core.auction import AuctionProblem
 from repro.core.lp import LPSolution, solve_packing_lp
 from repro.valuations.base import enumerate_bundles
 
-__all__ = ["Column", "AuctionLP", "AuctionLPSolution", "allocation_to_lp_vector"]
+__all__ = [
+    "Column",
+    "AuctionLP",
+    "AuctionLPSolution",
+    "allocation_to_lp_vector",
+    "iter_default_columns",
+]
+
+
+def iter_default_columns(problem: AuctionProblem, enumeration_limit: int = 2048):
+    """Yield ``(vertex, bundle, value)`` for the default column set.
+
+    Single source of truth for column enumeration — both
+    :meth:`AuctionLP.default_columns` and the engine's compiled arrays
+    consume this, so they cannot drift.  Columns come from valuation
+    supports (full enumeration for small ``k``); bidders with neither
+    raise ``ValueError`` — use column generation for those.
+    """
+    for v, valuation in enumerate(problem.valuations):
+        items = valuation.support_items()
+        if items is None:
+            if 2**problem.k > enumeration_limit:
+                raise ValueError(
+                    f"bidder {v} has no finite support and k={problem.k} is "
+                    "too large to enumerate; use solve_with_column_generation"
+                )
+            items = [
+                (b, valuation.value(b)) for b in enumerate_bundles(problem.k) if b
+            ]
+        for bundle, value in items:
+            if bundle and value > 0:
+                yield v, frozenset(bundle), float(value)
 
 
 @dataclass(frozen=True)
@@ -87,23 +118,10 @@ class AuctionLP:
         Raises ``ValueError`` when a bidder has no finite support and k is
         too large to enumerate — use column generation for those.
         """
-        cols: list[Column] = []
-        for v, valuation in enumerate(problem.valuations):
-            supp = valuation.support()
-            if supp is None:
-                if 2**problem.k > enumeration_limit:
-                    raise ValueError(
-                        f"bidder {v} has no finite support and k={problem.k} is "
-                        "too large to enumerate; use solve_with_column_generation"
-                    )
-                supp = [b for b in enumerate_bundles(problem.k) if b]
-            for bundle in supp:
-                if not bundle:
-                    continue
-                value = valuation.value(bundle)
-                if value > 0:
-                    cols.append(Column(v, frozenset(bundle), float(value)))
-        return cols
+        return [
+            Column(v, bundle, value)
+            for v, bundle, value in iter_default_columns(problem, enumeration_limit)
+        ]
 
     def has_column(self, vertex: int, bundle: frozenset[int]) -> bool:
         return (vertex, frozenset(bundle)) in self._column_keys

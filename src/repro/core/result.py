@@ -1,0 +1,45 @@
+"""Solver result record, shared by the facade and the batch engine.
+
+Lives in its own leaf module so :mod:`repro.engine` can produce
+:class:`SolverResult`s while :mod:`repro.core.solver` (which imports the
+engine) re-exports it unchanged for the public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.auction import Allocation
+
+__all__ = ["SolverResult"]
+
+
+@dataclass
+class SolverResult:
+    """Everything a caller needs to audit one solver run."""
+
+    allocation: Allocation
+    welfare: float
+    lp_value: float
+    feasible: bool
+    guarantee: float
+    rounds_algorithm3: int = 0
+    lp_iterations: int = 1
+    channel_powers: dict[int, np.ndarray] = field(default_factory=dict)
+    sinr_feasible: bool | None = None
+    details: dict = field(default_factory=dict)
+
+    @property
+    def lp_ratio(self) -> float:
+        """LP value over achieved welfare (empirical approximation factor)."""
+        return self.lp_value / self.welfare if self.welfare > 0 else float("inf")
+
+    def meets_guarantee(self) -> bool:
+        """Theorem 3 / Lemmas 7–8 hold *in expectation*; a single run meeting
+        the bound is the typical case, checked by the experiment harness
+        across repetitions."""
+        if self.lp_value <= 0:
+            return True
+        return self.welfare >= self.lp_value / self.guarantee - 1e-9

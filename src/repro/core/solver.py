@@ -1,7 +1,13 @@
 """End-to-end solver facade: LP → rounding → (Algorithm 3) → validation.
 
 :class:`SpectrumAuctionSolver` wires the whole pipeline of the paper
-together for a given :class:`~repro.core.auction.AuctionProblem`:
+together for a given :class:`~repro.core.auction.AuctionProblem`.  Since
+the engine refactor it is a thin facade over a
+:class:`~repro.engine.compiled.CompiledAuction`: the LP columns, matrices,
+and solution are compiled once per solver (structures shared across
+solvers via the engine's keyed cache) and the randomized rounding runs on
+the engine's vectorized kernels — results are bit-identical to the
+original per-attempt loop (see ``tests/test_engine_equivalence.py``).
 
 * solve LP (1)/(4) — explicitly over valuation supports, or with
   demand-oracle column generation;
@@ -11,59 +17,46 @@ together for a given :class:`~repro.core.auction.AuctionProblem`:
   channel and verify the SINR constraints of every channel;
 * re-validate feasibility of the final allocation against the conflict
   graph (never trusting the algorithms' own bookkeeping).
+
+For fleets of auctions, use :class:`repro.engine.BatchAuctionEngine`
+instead of looping over solvers — it shares compilation and LP solutions
+across instances.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.core.auction import Allocation, AuctionProblem
-from repro.core.auction_lp import AuctionLP, AuctionLPSolution
+from repro.core.auction import AuctionProblem
+from repro.core.auction_lp import AuctionLPSolution
 from repro.core.column_generation import solve_with_column_generation
-from repro.core.conflict_resolution import make_fully_feasible
-from repro.core.derandomize import derandomize_rounding
-from repro.core.rounding import round_unweighted, round_weighted
-from repro.util.rng import ensure_rng
+from repro.core.result import SolverResult
+from repro.engine.compiled import CompiledAuction, compile_auction
 
 __all__ = ["SolverResult", "SpectrumAuctionSolver"]
 
 
-@dataclass
-class SolverResult:
-    """Everything a caller needs to audit one solver run."""
+class SpectrumAuctionSolver:
+    """Pipeline driver for one auction problem (facade over the engine).
 
-    allocation: Allocation
-    welfare: float
-    lp_value: float
-    feasible: bool
-    guarantee: float
-    rounds_algorithm3: int = 0
-    lp_iterations: int = 1
-    channel_powers: dict[int, np.ndarray] = field(default_factory=dict)
-    sinr_feasible: bool | None = None
-    details: dict = field(default_factory=dict)
+    ``compiled`` lets a caller supply an existing
+    :class:`~repro.engine.compiled.CompiledAuction` (e.g. one built on a
+    pinned structure compilation) instead of going through the engine's
+    keyed cache.
+    """
+
+    def __init__(
+        self, problem: AuctionProblem, compiled: CompiledAuction | None = None
+    ) -> None:
+        if compiled is not None and compiled.problem is not problem:
+            raise ValueError("compiled instance belongs to a different problem")
+        self.problem = problem
+        self._compiled = compiled
 
     @property
-    def lp_ratio(self) -> float:
-        """LP value over achieved welfare (empirical approximation factor)."""
-        return self.lp_value / self.welfare if self.welfare > 0 else float("inf")
-
-    def meets_guarantee(self) -> bool:
-        """Theorem 3 / Lemmas 7–8 hold *in expectation*; a single run meeting
-        the bound is the typical case, checked by the experiment harness
-        across repetitions."""
-        if self.lp_value <= 0:
-            return True
-        return self.welfare >= self.lp_value / self.guarantee - 1e-9
-
-
-class SpectrumAuctionSolver:
-    """Pipeline driver for one auction problem."""
-
-    def __init__(self, problem: AuctionProblem) -> None:
-        self.problem = problem
+    def compiled(self) -> CompiledAuction:
+        """The engine-compiled instance (built lazily, then reused)."""
+        if self._compiled is None:
+            self._compiled = compile_auction(self.problem)
+        return self._compiled
 
     # ------------------------------------------------------------------
     def solve_lp(self, method: str = "auto") -> AuctionLPSolution:
@@ -71,7 +64,8 @@ class SpectrumAuctionSolver:
 
         ``method``: "explicit" (enumerate supports), "column_generation"
         (demand oracles only), or "auto" (explicit when supports exist,
-        otherwise column generation).
+        otherwise column generation).  The explicit path is compiled and
+        cached — repeat calls return the same solution object.
         """
         if method not in ("auto", "explicit", "column_generation"):
             raise ValueError(f"unknown LP method {method!r}")
@@ -83,7 +77,7 @@ class SpectrumAuctionSolver:
             )
             if not have_supports and 2**self.problem.k > 2048:
                 return solve_with_column_generation(self.problem).solution
-        return AuctionLP(self.problem).solve()
+        return self.compiled.solve_lp()
 
     # ------------------------------------------------------------------
     def solve(
@@ -93,6 +87,7 @@ class SpectrumAuctionSolver:
         derandomize: bool | str = False,
         rounding_attempts: int = 1,
         verify_power_control: bool = True,
+        lp_solution: AuctionLPSolution | None = None,
     ) -> SolverResult:
         """Run the full pipeline.
 
@@ -100,79 +95,21 @@ class SpectrumAuctionSolver:
         Algorithm 1/2 (best of ``rounding_attempts`` independent runs);
         ``True`` or ``"conditional"`` — method of conditional expectations;
         ``"pairwise"`` — exhaustive pairwise-independent seed space.
+
+        ``lp_solution`` supplies a precomputed LP solution, skipping the LP
+        stage entirely — repeat-rounding loops (E7, mechanism sampling)
+        solve the LP once via :meth:`solve_lp` and pass it back in.
         """
         if derandomize not in (False, True, "conditional", "pairwise"):
             raise ValueError(f"unknown derandomize mode {derandomize!r}")
-        rng = ensure_rng(seed)
-        solution = self.solve_lp(lp_method)
-        problem = self.problem
-
-        def deterministic_tentative() -> Allocation:
-            if derandomize == "pairwise":
-                from repro.core.pairwise import pairwise_derandomize
-
-                return pairwise_derandomize(problem, solution).allocation
-            return derandomize_rounding(problem, solution).allocation
-
-        best_alloc: Allocation = {}
-        best_welfare = -1.0
-        rounds_alg3 = 0
-        attempts = 1 if derandomize else max(1, rounding_attempts)
-        for _ in range(attempts):
-            if problem.is_weighted:
-                if derandomize:
-                    partly = deterministic_tentative()
-                else:
-                    partly, _report = round_weighted(problem, solution, rng)
-                resolution = make_fully_feasible(problem, partly)
-                allocation = resolution.allocation
-                rounds = resolution.rounds
-            else:
-                if derandomize:
-                    allocation = deterministic_tentative()
-                else:
-                    allocation, _report = round_unweighted(problem, solution, rng)
-                rounds = 0
-            welfare = problem.welfare(allocation)
-            if welfare > best_welfare:
-                best_alloc, best_welfare = allocation, welfare
-                rounds_alg3 = rounds
-
-        feasible = problem.is_feasible(best_alloc)
-        result = SolverResult(
-            allocation=best_alloc,
-            welfare=max(best_welfare, 0.0),
-            lp_value=solution.value,
-            feasible=feasible,
-            guarantee=problem.approximation_bound(),
-            rounds_algorithm3=rounds_alg3,
-            lp_iterations=solution.iterations,
+        if lp_method not in ("auto", "explicit", "column_generation"):
+            raise ValueError(f"unknown LP method {lp_method!r}")
+        if lp_solution is None and lp_method != "explicit":
+            lp_solution = self.solve_lp(lp_method)
+        return self.compiled.solve(
+            seed=seed,
+            derandomize=derandomize,
+            rounding_attempts=rounding_attempts,
+            verify_power_control=verify_power_control,
+            lp_solution=lp_solution,
         )
-        if (
-            verify_power_control
-            and problem.is_weighted
-            and problem.structure.metadata.get("model") == "power-control"
-        ):
-            self._attach_powers(result)
-        return result
-
-    # ------------------------------------------------------------------
-    def _attach_powers(self, result: SolverResult) -> None:
-        """Kesselheim power assignment per channel + SINR verification."""
-        from repro.interference.physical import PhysicalModel
-        from repro.interference.power_control import kesselheim_power_assignment
-
-        meta = self.problem.structure.metadata
-        links = meta["links"]
-        alpha, beta, noise = meta["alpha"], meta["beta"], meta["noise"]
-        physical = PhysicalModel(links, alpha, beta, noise)
-        all_ok = True
-        for j in range(self.problem.k):
-            members = [v for v, s in result.allocation.items() if j in s]
-            if not members:
-                continue
-            powers = kesselheim_power_assignment(links, members, alpha, beta, noise)
-            result.channel_powers[j] = powers
-            if not physical.is_feasible(members, powers):
-                all_ok = False
-        result.sinr_feasible = all_ok

@@ -1,0 +1,200 @@
+"""Batch auction engine: many instances, one compilation pass, pooled solves.
+
+:class:`BatchAuctionEngine` accepts a list (or generator) of
+:class:`~repro.core.auction.AuctionProblem`\\ s — or zero-argument callables
+producing them — compiles each distinct problem once (structures shared via
+the keyed cache), dispatches across a serial loop, a thread pool, or a
+process pool, and returns per-instance :class:`SolverResult`\\ s plus
+aggregate stats.
+
+Determinism: one root :class:`numpy.random.SeedSequence` is spawned into
+per-instance children *by position*, so results are identical for the same
+seed no matter the executor or worker count (pinned by the engine tests).
+Repeated occurrences of the same problem object share one
+:class:`CompiledAuction` — and therefore one LP solve — which is exactly
+the E7 / mechanism-sampling workload the engine exists for.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.auction import AuctionProblem
+from repro.core.result import SolverResult
+from repro.engine.compiled import CompiledAuction, compile_auction, compile_structure
+
+__all__ = ["BatchAuctionEngine", "BatchResult"]
+
+_EXECUTORS = ("auto", "serial", "thread", "process")
+
+
+@dataclass
+class BatchResult:
+    """Results plus aggregate accounting for one engine batch."""
+
+    results: list[SolverResult]
+    wall_time: float
+    executor: str
+    unique_problems: int
+    lp_solves: int
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_welfare(self) -> float:
+        return float(sum(r.welfare for r in self.results))
+
+    @property
+    def total_lp_value(self) -> float:
+        return float(sum(r.lp_value for r in self.results))
+
+    @property
+    def guarantee_met_fraction(self) -> float:
+        if not self.results:
+            return 1.0
+        return sum(r.meets_guarantee() for r in self.results) / len(self.results)
+
+
+def _materialize(problems) -> list[AuctionProblem]:
+    out = []
+    for item in problems:
+        problem = item() if callable(item) else item
+        if not isinstance(problem, AuctionProblem):
+            raise TypeError(f"expected AuctionProblem or spec callable, got {type(item)}")
+        out.append(problem)
+    return out
+
+
+def _solve_group(
+    problem: AuctionProblem, seeds: list[np.random.SeedSequence], solve_kwargs: dict
+) -> list[SolverResult]:
+    """Process-pool worker: one compiled instance, many seeds."""
+    compiled = compile_auction(problem)
+    return [compiled.solve(seed=seed, **solve_kwargs) for seed in seeds]
+
+
+class BatchAuctionEngine:
+    """Compile-once/solve-many driver for fleets of auction problems."""
+
+    def __init__(
+        self,
+        *,
+        rounding_attempts: int = 1,
+        derandomize: bool | str = False,
+        verify_power_control: bool = True,
+        executor: str = "auto",
+        max_workers: int | None = None,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        self.solve_kwargs = {
+            "rounding_attempts": rounding_attempts,
+            "derandomize": derandomize,
+            "verify_power_control": verify_power_control,
+        }
+        self.executor = executor
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def _resolve_executor(self, n_tasks: int) -> tuple[str, int]:
+        workers = self.max_workers or min(8, os.cpu_count() or 1)
+        workers = max(1, min(workers, n_tasks))
+        executor = self.executor
+        if executor == "auto":
+            # the solve path is GIL-bound Python + NumPy: on the reference
+            # workload (BENCH_engine.json) the thread pool is measurably
+            # slower than the serial loop, so pools stay opt-in
+            executor = "serial"
+        return executor, workers
+
+    def compile(
+        self, problems: Iterable[AuctionProblem]
+    ) -> dict[int, CompiledAuction]:
+        """Compile every distinct problem (by identity), sharing structures."""
+        compiled: dict[int, CompiledAuction] = {}
+        for problem in problems:
+            if id(problem) not in compiled:
+                compiled[id(problem)] = compile_auction(
+                    problem, structure=compile_structure(problem.structure)
+                )
+        return compiled
+
+    # ------------------------------------------------------------------
+    def solve_many(self, problems, seed=None) -> BatchResult:
+        """Solve every instance; deterministic from ``seed`` across executors."""
+        start = time.perf_counter()
+        instances = _materialize(problems)
+        seeds = np.random.SeedSequence(seed).spawn(len(instances)) if instances else []
+        executor, workers = self._resolve_executor(len(instances))
+
+        if executor == "process":
+            results = self._run_process(instances, seeds, workers)
+            # each worker group compiles its problem fresh and solves its LP once
+            lp_solves = len({id(p) for p in instances})
+        else:
+            compiled = self.compile(instances)
+            solves_before = sum(ca.lp_solve_count for ca in compiled.values())
+            tasks = [
+                (compiled[id(problem)], child) for problem, child in zip(instances, seeds)
+            ]
+            if executor == "thread":
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(
+                        pool.map(
+                            lambda task: task[0].solve(seed=task[1], **self.solve_kwargs),
+                            tasks,
+                        )
+                    )
+            else:
+                results = [ca.solve(seed=child, **self.solve_kwargs) for ca, child in tasks]
+            # only LP solves performed by *this* batch (compiled instances may
+            # arrive from the global cache with their LP already solved)
+            lp_solves = (
+                sum(ca.lp_solve_count for ca in compiled.values()) - solves_before
+            )
+        batch = BatchResult(
+            results=results,
+            wall_time=time.perf_counter() - start,
+            executor=executor,
+            unique_problems=len({id(p) for p in instances}),
+            lp_solves=lp_solves,
+        )
+        batch.summary = {
+            "n_instances": batch.n_instances,
+            "unique_problems": batch.unique_problems,
+            "lp_solves": batch.lp_solves,
+            "total_welfare": batch.total_welfare,
+            "total_lp_value": batch.total_lp_value,
+            "guarantee_met_fraction": batch.guarantee_met_fraction,
+            "wall_time": batch.wall_time,
+            "executor": batch.executor,
+        }
+        return batch
+
+    # ------------------------------------------------------------------
+    def _run_process(self, instances, seeds, workers) -> list[SolverResult]:
+        """Group instances by problem identity so each worker compiles once."""
+        groups: dict[int, tuple[AuctionProblem, list[int], list]] = {}
+        for i, (problem, child) in enumerate(zip(instances, seeds)):
+            entry = groups.setdefault(id(problem), (problem, [], []))
+            entry[1].append(i)
+            entry[2].append(child)
+        results: list[SolverResult | None] = [None] * len(instances)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (indices, pool.submit(_solve_group, problem, children, self.solve_kwargs))
+                for problem, indices, children in groups.values()
+            ]
+            for indices, future in futures:
+                for i, result in zip(indices, future.result()):
+                    results[i] = result
+        return results  # type: ignore[return-value]

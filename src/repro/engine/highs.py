@@ -1,0 +1,104 @@
+"""Persistent HiGHS backend for the compile-once/solve-many engine.
+
+``scipy.optimize.linprog`` rebuilds a ``Highs`` object, re-parses every
+option string, and re-validates the model on each call — for the small LPs
+of a single auction that overhead is larger than the solve itself.  This
+module keeps one ``Highs`` instance (and one parsed options object) per
+thread and only swaps the model in, which roughly triples LP throughput on
+batch workloads while returning *bit-identical* primal/dual solutions (the
+model and option values passed to HiGHS are the same; the equivalence tests
+pin this against :func:`repro.core.lp.solve_packing_lp`).
+
+The fast path relies on the private ``scipy.optimize._highspy`` bindings
+that scipy's own ``linprog(method="highs")`` is built on.  When the import
+fails (future scipy reshuffles), everything transparently falls back to
+:func:`repro.core.lp.solve_packing_lp` — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.lp import LPSolution, solve_packing_lp
+
+__all__ = ["solve_packing_lp_fast", "fast_backend_available"]
+
+try:  # pragma: no cover - exercised indirectly by every engine test
+    import scipy.optimize._highspy._core as _hcore
+except ImportError:  # pragma: no cover - environment-dependent
+    _hcore = None
+
+_local = threading.local()
+
+
+def fast_backend_available() -> bool:
+    """True when the persistent-HiGHS fast path can be used."""
+    return _hcore is not None
+
+
+def _thread_highs():
+    """One ``Highs`` instance per thread (HiGHS objects are not thread-safe)."""
+    highs = getattr(_local, "highs", None)
+    if highs is None:
+        highs = _hcore._Highs()
+        options = _hcore.HighsOptions()
+        options.output_flag = False
+        highs.passOptions(options)
+        _local.highs = highs
+    return highs
+
+
+def solve_packing_lp_fast(
+    c: np.ndarray, a_ub: sp.spmatrix, b_ub: np.ndarray
+) -> LPSolution:
+    """Solve ``max c·x s.t. a_ub x ≤ b_ub, x ≥ 0`` via the persistent backend.
+
+    Same contract as :func:`repro.core.lp.solve_packing_lp` (maximization,
+    duals ``y ≥ 0`` of the packing rows); raises ``RuntimeError`` on
+    non-optimal status.
+    """
+    if _hcore is None:
+        return solve_packing_lp(c, a_ub, b_ub)
+    a = a_ub if isinstance(a_ub, sp.csc_matrix) else sp.csc_matrix(a_ub)
+    c = np.asarray(c, dtype=float)
+    b_ub = np.asarray(b_ub, dtype=float)
+    m, n = a.shape
+    if (m, n) != (b_ub.shape[0], c.shape[0]):
+        raise ValueError(f"A has shape {a.shape}, expected ({b_ub.shape[0]}, {c.shape[0]})")
+
+    lp = _hcore.HighsLp()
+    lp.num_col_ = n
+    lp.num_row_ = m
+    lp.a_matrix_.num_col_ = n
+    lp.a_matrix_.num_row_ = m
+    lp.a_matrix_.format_ = _hcore.MatrixFormat.kColwise
+    lp.a_matrix_.start_ = a.indptr
+    lp.a_matrix_.index_ = a.indices
+    lp.a_matrix_.value_ = a.data
+    lp.col_cost_ = -c  # HiGHS minimizes
+    lp.col_lower_ = np.zeros(n)
+    lp.col_upper_ = np.full(n, np.inf)
+    lp.row_lower_ = np.full(m, -np.inf)
+    lp.row_upper_ = b_ub
+
+    highs = _thread_highs()
+    highs.passModel(lp)
+    highs.run()
+    status = highs.getModelStatus()
+    if status != _hcore.HighsModelStatus.kOptimal:
+        raise RuntimeError(
+            f"LP solve failed (status {status}): {highs.modelStatusToString(status)}"
+        )
+    solution = highs.getSolution()
+    duals = -np.asarray(solution.row_dual, dtype=float)
+    duals[duals < 0] = 0.0  # clip numerical noise, as in solve_packing_lp
+    return LPSolution(
+        x=np.asarray(solution.col_value, dtype=float),
+        value=float(-highs.getInfo().objective_function_value),
+        duals=duals,
+        status=0,
+        message="Optimal",
+    )

@@ -1,0 +1,415 @@
+"""Vectorized randomized rounding — Algorithms 1/2 without per-attempt loops.
+
+The seed implementation (:mod:`repro.core.rounding`) runs one Python loop
+per attempt, per vertex, per backward neighbor.  Here the whole batch of
+``attempts × n`` bundle choices is drawn as one RNG matrix and conflicts
+are resolved with boolean mask operations over the precompiled incidence
+matrices: the only remaining Python loop is over vertices in π order (the
+survivors rule is inherently sequential in π), and it processes *all
+attempts at once*.
+
+Equivalence contract (pinned by ``tests/test_engine_equivalence.py``): for
+the same :class:`numpy.random.Generator` the kernels consume uniforms in
+exactly the order of the seed implementation — per attempt, the |T| ≤ √k
+class before the |T| > √k class, vertices in LP-support order within each —
+so every allocation, removal count, and class choice is identical to
+running ``round_unweighted``/``round_weighted`` in a loop.  NumPy fills
+``rng.random((attempts, width))`` in C order with the same doubles as
+``width`` successive scalar draws, which makes the one-matrix draw a pure
+reshape of the sequential stream.
+
+One caveat on the weighted path: the Condition (5) total is a vectorized
+dot product over vertex-index order while the seed accumulates w̄
+sequentially in π order, and class/attempt welfares are NumPy pairwise
+sums versus the seed's sequential Python sums — so an instance whose
+shared-channel weight total (or a welfare tie) lands within one ulp of
+the 0.5 threshold (or of the competing value) could resolve differently.
+The stock generators draw integer-valued weights/valuations where these
+sums are exact, and no test workload sits on such a knife edge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.auction import Allocation, AuctionProblem
+from repro.core.auction_lp import AuctionLPSolution
+from repro.core.rounding import default_scale
+
+__all__ = [
+    "ClassTable",
+    "RoundingPlan",
+    "BatchRoundingOutcome",
+    "build_rounding_plan",
+    "build_plan_from_arrays",
+    "round_batch",
+    "stack_draws",
+]
+
+
+@dataclass
+class ClassTable:
+    """One bundle-size class of the LP support, flattened for sampling.
+
+    ``vertices`` lists the class's active vertices in the order the seed
+    implementation draws for them; entries are grouped per vertex with
+    ``offsets`` boundaries.  ``cum`` holds the within-group running sums of
+    ``x/scale`` (computed with the same sequential additions as the seed's
+    accumulator), and ``cum_pad`` is the same data padded to a rectangle
+    with ``+inf`` so bundle selection is one broadcast comparison.
+    """
+
+    vertices: np.ndarray  # (nv,)
+    offsets: np.ndarray  # (nv + 1,)
+    cum: np.ndarray  # (ne,)
+    values: np.ndarray  # (ne,)
+    bundles: list[frozenset[int]]
+    chan: np.ndarray  # (ne, k) bool
+    cum_pad: np.ndarray  # (nv, L) padded with +inf
+    group_len: np.ndarray  # (nv,)
+
+
+@dataclass
+class RoundingPlan:
+    """Sampling tables for one (LP solution, scale, split) combination."""
+
+    scale: float
+    split: bool
+    k: int
+    classes: list[ClassTable]
+    width: int  # uniforms consumed per attempt
+
+
+@dataclass
+class BatchRoundingOutcome:
+    """Per-attempt results of one vectorized rounding batch.
+
+    For unweighted problems the allocations are feasible (Algorithm 1
+    output); for weighted problems they are partly feasible and must be
+    finished per attempt with Algorithm 3, exactly as in the seed pipeline.
+    """
+
+    allocations: list[Allocation]
+    welfares: np.ndarray  # (attempts,) welfare of the winning class
+    chosen_class: np.ndarray  # (attempts,)
+    class_welfares: np.ndarray  # (attempts, n_classes)
+    tentative_sizes: np.ndarray  # (attempts, n_classes)
+    removed_counts: np.ndarray  # (attempts, n_classes)
+
+
+def build_rounding_plan(
+    problem: AuctionProblem,
+    solution: AuctionLPSolution,
+    scale: float | None = None,
+    split: bool = True,
+    cols=None,
+) -> RoundingPlan:
+    """Compile the LP support into sampling tables (reused across batches).
+
+    ``cols`` is the compiled column arrays of a
+    :class:`~repro.engine.compiled.CompiledAuction` *whose columns back
+    this solution* — when provided (and the support is vertex-grouped, as
+    enumerated columns are) the tables are built with array gathers instead
+    of per-entry Python loops.  Both paths produce identical plans.
+    """
+    eff_scale = default_scale(problem) if scale is None else float(scale)
+    if eff_scale < 1.0:
+        raise ValueError("scale must be at least 1 for valid probabilities")
+    k = problem.k
+    if cols is not None:
+        fast = _fast_plan(solution.x, cols, eff_scale, split, k)
+        if fast is not None:
+            return fast
+    per_vertex = solution.per_vertex()
+    for v, entries in per_vertex.items():
+        if not 0 <= v < problem.n or any(
+            not 0 <= j < k for bundle, _, _ in entries for j in bundle
+        ):
+            raise ValueError(
+                "lp_solution does not belong to this problem: column for "
+                f"vertex {v} is out of range for n={problem.n}, k={k}"
+            )
+    if split:
+        threshold = math.sqrt(k)
+        class_dicts: list[dict] = [{}, {}]
+        for v, entries in per_vertex.items():
+            for entry in entries:
+                target = class_dicts[0] if len(entry[0]) <= threshold else class_dicts[1]
+                target.setdefault(v, []).append(entry)
+    else:
+        class_dicts = [per_vertex]
+
+    classes = []
+    for cls in class_dicts:
+        vertices = np.fromiter(cls.keys(), dtype=np.intp, count=len(cls))
+        group_len = np.fromiter(
+            (len(entries) for entries in cls.values()), dtype=np.intp, count=len(cls)
+        )
+        offsets = np.zeros(vertices.size + 1, dtype=np.intp)
+        np.cumsum(group_len, out=offsets[1:])
+        ne = int(offsets[-1])
+        cum = np.empty(ne)
+        values = np.empty(ne)
+        bundles: list[frozenset[int]] = []
+        chan = np.zeros((ne, k), dtype=bool)
+        e = 0
+        for entries in cls.values():
+            acc = 0.0
+            for bundle, x, value in entries:
+                acc += x / eff_scale  # same additions as the seed's accumulator
+                cum[e] = acc
+                values[e] = value
+                bundles.append(bundle)
+                chan[e, list(bundle)] = True
+                e += 1
+        longest = int(group_len.max(initial=0))
+        cum_pad = np.full((vertices.size, longest), np.inf)
+        for i in range(vertices.size):
+            cum_pad[i, : group_len[i]] = cum[offsets[i] : offsets[i + 1]]
+        classes.append(
+            ClassTable(vertices, offsets, cum, values, bundles, chan, cum_pad, group_len)
+        )
+    return RoundingPlan(
+        scale=eff_scale,
+        split=split,
+        k=k,
+        classes=classes,
+        width=sum(int(ct.vertices.size) for ct in classes),
+    )
+
+
+def build_plan_from_arrays(
+    problem: AuctionProblem,
+    x: np.ndarray,
+    cols,
+    scale: float | None = None,
+    split: bool = True,
+) -> RoundingPlan | None:
+    """Plan construction straight from an LP primal vector over compiled
+    column arrays — no :class:`AuctionLPSolution` needed.  Returns ``None``
+    when the column order is not vertex-grouped (use the generic path)."""
+    eff_scale = default_scale(problem) if scale is None else float(scale)
+    if eff_scale < 1.0:
+        raise ValueError("scale must be at least 1 for valid probabilities")
+    return _fast_plan(x, cols, eff_scale, split, problem.k)
+
+
+def _fast_plan(x, cols, eff_scale: float, split: bool, k: int):
+    """Array-gather plan construction over compiled column arrays.
+
+    Requires the support's vertices to be non-decreasing (true for
+    enumerated columns, where bidders are visited in order) so that
+    first-occurrence grouping degenerates to run-length encoding; returns
+    ``None`` otherwise and the generic path takes over.
+    """
+    sup = np.flatnonzero(x > 1e-9)
+    verts_all = cols.vertex[sup]
+    if verts_all.size and np.any(np.diff(verts_all) < 0):
+        return None
+    probs = x[sup] / eff_scale
+    sizes = cols.ch_counts[sup]
+    if split:
+        small = sizes <= math.sqrt(k)
+        masks = [small, ~small]
+    else:
+        masks = [np.ones(sup.size, dtype=bool)]
+    classes = []
+    for mask in masks:
+        idx = sup[mask]
+        verts = verts_all[mask]
+        boundaries = np.flatnonzero(np.diff(verts)) + 1
+        starts = np.concatenate([[0], boundaries]) if verts.size else np.empty(0, np.intp)
+        vertices = verts[starts].astype(np.intp) if verts.size else np.empty(0, np.intp)
+        offsets = np.concatenate([starts, [verts.size]]).astype(np.intp)
+        group_len = np.diff(offsets)
+        xs = probs[mask]
+        longest = int(group_len.max(initial=0))
+        # one row-wise cumsum gives every group's running sums (trailing
+        # zero pads don't perturb the in-group prefixes), bit-equal to the
+        # seed's sequential accumulator
+        prob_pad = np.zeros((vertices.size, longest))
+        if xs.size:
+            rows = np.repeat(np.arange(vertices.size), group_len)
+            ranks = np.arange(xs.size) - np.repeat(offsets[:-1], group_len)
+            prob_pad[rows, ranks] = xs
+        cum2d = np.cumsum(prob_pad, axis=1)
+        cum = cum2d[rows, ranks] if xs.size else np.empty(0)
+        valid = np.arange(longest)[None, :] < group_len[:, None]
+        cum_pad = np.where(valid, cum2d, np.inf)
+        classes.append(
+            ClassTable(
+                vertices=vertices,
+                offsets=offsets,
+                cum=cum,
+                values=cols.value[idx],
+                bundles=[cols.bundles[i] for i in idx],
+                chan=cols.chan_mask[idx],
+                cum_pad=cum_pad,
+                group_len=group_len,
+            )
+        )
+    return RoundingPlan(
+        scale=eff_scale,
+        split=split,
+        k=k,
+        classes=classes,
+        width=sum(int(ct.vertices.size) for ct in classes),
+    )
+
+
+def stack_draws(rngs, width: int) -> np.ndarray:
+    """One row of uniforms per generator — the harness's per-repetition form.
+
+    Each row equals what the seed implementation would draw from that
+    generator for a single attempt, so per-repetition child RNGs stay
+    bit-compatible with the sequential pipeline.
+    """
+    rng_list = list(rngs)
+    out = np.empty((len(rng_list), width))
+    for i, rng in enumerate(rng_list):
+        out[i] = rng.random(width)
+    return out
+
+
+# ----------------------------------------------------------------------
+# conflict resolution kernels (all attempts at once, vertices in π order)
+# ----------------------------------------------------------------------
+def _resolve_unweighted_batch(
+    compiled, chan: np.ndarray, order: np.ndarray, resolve: str
+) -> np.ndarray:
+    """Algorithm 1's scan, batched: returns the (attempts, n) killed mask."""
+    backward = compiled.structure.backward
+    survivors = resolve == "survivors"
+    ref = chan.copy() if survivors else chan
+    killed = np.zeros(chan.shape[:2], dtype=bool)
+    for v in order:
+        nbrs = backward[v]
+        if nbrs.size == 0:
+            continue
+        occupied = ref[:, nbrs, :].any(axis=1)  # (attempts, k)
+        conflict = (occupied & chan[:, v, :]).any(axis=1)
+        if conflict.any():
+            killed[:, v] = conflict
+            if survivors:
+                ref[conflict, v, :] = False
+    return killed
+
+
+def _resolve_weighted_batch(
+    compiled, chan: np.ndarray, order: np.ndarray, resolve: str
+) -> np.ndarray:
+    """Algorithm 2's partial resolution (Condition (5) threshold), batched."""
+    bwbar = compiled.structure.backward_wbar
+    survivors = resolve == "survivors"
+    ref = chan.copy() if survivors else chan
+    killed = np.zeros(chan.shape[:2], dtype=bool)
+    for v in order:
+        weights = bwbar[v]
+        if not weights.any():
+            continue
+        shares = (ref & chan[:, v, None, :]).any(axis=2)  # (attempts, n)
+        total = shares @ weights
+        drop = total >= 0.5
+        if drop.any():
+            killed[:, v] = drop
+            if survivors:
+                ref[drop, v, :] = False
+    return killed
+
+
+def round_batch(
+    compiled,
+    plan: RoundingPlan,
+    draws: np.ndarray,
+    resolve: str = "survivors",
+) -> BatchRoundingOutcome:
+    """Run the full rounding stage on a matrix of uniforms.
+
+    ``draws`` has one row per attempt; columns are consumed left to right
+    by the plan's classes.  Weighted problems get Algorithm 2's *partly
+    feasible* output — finish each attempt with
+    :func:`repro.core.conflict_resolution.make_fully_feasible`.
+    """
+    if resolve not in ("survivors", "tentative"):
+        raise ValueError(f"unknown resolve mode {resolve!r}")
+    problem = compiled.problem
+    n = problem.n
+    attempts = draws.shape[0]
+    if draws.shape[1] != plan.width:
+        raise ValueError(f"draws have width {draws.shape[1]}, plan needs {plan.width}")
+    resolver = (
+        _resolve_weighted_batch if problem.is_weighted else _resolve_unweighted_batch
+    )
+    pos = compiled.structure.pos
+
+    n_classes = len(plan.classes)
+    class_welfares = np.zeros((attempts, n_classes))
+    tentative_sizes = np.zeros((attempts, n_classes), dtype=np.intp)
+    removed_counts = np.zeros((attempts, n_classes), dtype=np.intp)
+    per_class_alloc: list[list[Allocation]] = []
+
+    col = 0
+    for ci, table in enumerate(plan.classes):
+        nv = int(table.vertices.size)
+        u = draws[:, col : col + nv]
+        col += nv
+        if nv == 0:
+            per_class_alloc.append([{} for _ in range(attempts)])
+            continue
+        # bundle selection: first cumulative bin exceeding the uniform
+        chosen = (table.cum_pad[None, :, :] <= u[:, :, None]).sum(axis=2)
+        has_choice = chosen < table.group_len[None, :]
+        a_idx, v_idx = np.nonzero(has_choice)
+        if a_idx.size == 0:  # nobody rounded anything in any attempt
+            per_class_alloc.append([{} for _ in range(attempts)])
+            continue
+        entries = table.offsets[v_idx] + chosen[a_idx, v_idx]
+        verts = table.vertices[v_idx]
+
+        chan = np.zeros((attempts, n, plan.k), dtype=bool)
+        chan[a_idx, verts] = table.chan[entries]
+        values = np.zeros((attempts, n))
+        values[a_idx, verts] = table.values[entries]
+
+        # only vertices that picked a bundle in some attempt need scanning
+        active = np.unique(verts)
+        order = active[np.argsort(pos[active], kind="stable")]
+        killed = resolver(compiled, chan, order, resolve)
+        alive = chan.any(axis=2) & ~killed
+
+        class_welfares[:, ci] = (values * alive).sum(axis=1)
+        tentative_sizes[:, ci] = has_choice.sum(axis=1)
+        removed_counts[:, ci] = (killed & chan.any(axis=2)).sum(axis=1)
+
+        entry_of = np.full((attempts, n), -1, dtype=np.intp)
+        entry_of[a_idx, verts] = entries
+        allocations: list[Allocation] = []
+        for a in range(attempts):
+            winners = np.flatnonzero(alive[a])
+            allocations.append(
+                {int(v): table.bundles[entry_of[a, v]] for v in winners}
+            )
+        per_class_alloc.append(allocations)
+
+    # per attempt, later classes win only on strictly greater welfare —
+    # the seed's best_value update rule
+    chosen_class = np.zeros(attempts, dtype=np.intp)
+    best = class_welfares[:, 0].copy() if n_classes else np.zeros(attempts)
+    for ci in range(1, n_classes):
+        better = class_welfares[:, ci] > best
+        chosen_class[better] = ci
+        best = np.maximum(best, class_welfares[:, ci])
+    allocations = [
+        per_class_alloc[int(chosen_class[a])][a] for a in range(attempts)
+    ]
+    return BatchRoundingOutcome(
+        allocations=allocations,
+        welfares=best,
+        chosen_class=chosen_class,
+        class_welfares=class_welfares,
+        tentative_sizes=tentative_sizes,
+        removed_counts=removed_counts,
+    )

@@ -1,11 +1,18 @@
-"""Experiment runners: one function per paper claim (see DESIGN.md index).
+"""Experiment runners: one function per paper claim (see the experiment
+index in DESIGN.md).
 
 Every runner is deterministic from its seed, returns an
 :class:`ExperimentOutput` holding a printable table plus machine-readable
 summary stats, and is sized so the full benchmark suite finishes in
 minutes on a laptop.  The benchmarks in ``benchmarks/`` are thin wrappers
-that time these runners and print/persist the tables; EXPERIMENTS.md
-records their output.
+that time these runners and persist the tables under
+``benchmarks/results/``.
+
+Repetition loops route through :mod:`repro.engine`: the LP is compiled and
+solved once per instance and the rounding repetitions run on the
+vectorized kernels with per-repetition child RNGs, which draw exactly the
+same uniforms as the original sequential loops — the tables and summary
+stats are bit-identical to the seed pipeline, only faster.
 """
 
 from __future__ import annotations
@@ -27,12 +34,9 @@ from repro.core.column_generation import solve_with_column_generation
 from repro.core.conflict_resolution import make_fully_feasible
 from repro.core.derandomize import derandomize_rounding
 from repro.core.exact import solve_exact
-from repro.core.rounding import (
-    default_scale,
-    round_unweighted,
-    round_weighted,
-)
+from repro.core.rounding import default_scale
 from repro.core.solver import SpectrumAuctionSolver
+from repro.engine import compile_auction, round_batch, stack_draws
 from repro.experiments import workloads
 from repro.geometry.disks import random_disk_instance
 from repro.geometry.links import random_links
@@ -66,10 +70,7 @@ from repro.mechanism.truthful import TruthfulMechanism
 from repro.util.rng import ensure_rng, spawn_rngs
 from repro.util.tables import Table
 from repro.valuations.explicit import XORValuation
-from repro.valuations.generators import (
-    random_additive_valuations,
-    random_xor_valuations,
-)
+from repro.valuations.generators import random_xor_valuations
 
 __all__ = ["ExperimentOutput"] + [f"run_e{i}" for i in range(1, 17)] + [
     "run_a1_split_ablation",
@@ -97,11 +98,24 @@ class ExperimentOutput:
         return body
 
 
-def _mean_rounded_welfare(problem, lp_solution, reps, seed, rounder) -> tuple[float, float]:
-    values = []
-    for child in spawn_rngs(seed, reps):
-        alloc, _ = rounder(problem, lp_solution, child)
-        values.append(problem.welfare(alloc))
+def _rounded_welfares(problem, lp_solution, reps, seed, **plan_kwargs) -> list[float]:
+    """Welfare of one rounding repetition per child RNG, engine-vectorized.
+
+    Each repetition draws the same uniforms its child generator would feed
+    the sequential Algorithm 1/2 loop, so the values match the seed
+    pipeline exactly (weighted problems: partly-feasible welfare, finish
+    with Algorithm 3 separately).
+    """
+    resolve = plan_kwargs.pop("resolve", "survivors")
+    compiled = compile_auction(problem)
+    plan = compiled.rounding_plan(lp_solution, **plan_kwargs)
+    draws = stack_draws(spawn_rngs(seed, reps), plan.width)
+    outcome = round_batch(compiled, plan, draws, resolve=resolve)
+    return [problem.welfare(alloc) for alloc in outcome.allocations]
+
+
+def _mean_rounded_welfare(problem, lp_solution, reps, seed) -> tuple[float, float]:
+    values = _rounded_welfares(problem, lp_solution, reps, seed)
     return float(np.mean(values)), float(np.max(values))
 
 
@@ -116,10 +130,8 @@ def run_e1(n: int = 40, ks=(1, 2, 4, 9, 16), reps: int = 20, seed: int = 11) -> 
     all_met = True
     for k in ks:
         problem = workloads.protocol_auction(n, k, seed=seed + k)
-        lp = AuctionLP(problem).solve()
-        mean_w, _ = _mean_rounded_welfare(
-            problem, lp, reps, seed + 100 + k, round_unweighted
-        )
+        lp = compile_auction(problem).solve_lp()
+        mean_w, _ = _mean_rounded_welfare(problem, lp, reps, seed + 100 + k)
         bound = 8.0 * math.sqrt(k) * problem.rho
         met = mean_w >= lp.value / bound - 1e-9
         all_met &= met
@@ -259,11 +271,14 @@ def run_e6(n: int = 30, ks=(1, 4, 9), reps: int = 15, seed: int = 61) -> Experim
     rounds_ok = True
     for k in ks:
         problem = workloads.physical_auction(n, k, seed=seed + k)
-        lp = AuctionLP(problem).solve()
+        compiled = compile_auction(problem)
+        lp = compiled.solve_lp()
         log_cap = math.ceil(math.log2(max(2, n)))
+        plan = compiled.rounding_plan(lp)
+        draws = stack_draws(spawn_rngs(seed + 100 + k, reps), plan.width)
+        outcome = round_batch(compiled, plan, draws)
         values, max_rounds = [], 0
-        for child in spawn_rngs(seed + 100 + k, reps):
-            partly, _ = round_weighted(problem, lp, child)
+        for partly in outcome.allocations:
             res = make_fully_feasible(problem, partly)
             values.append(problem.welfare(res.allocation))
             max_rounds = max(max_rounds, res.rounds)
@@ -292,7 +307,8 @@ def run_e7(n: int = 24, ks=(1, 4), reps: int = 10, seed: int = 71) -> Experiment
         lp = solver.solve_lp()
         welfare, sinr_ok, winners = [], 0, []
         for child in spawn_rngs(seed + 100 + k, reps):
-            result = SpectrumAuctionSolver(problem).solve(seed=child)
+            # engine path: the LP is solved once above and reused per rep
+            result = solver.solve(seed=child, lp_solution=lp)
             welfare.append(result.welfare)
             sinr_ok += bool(result.sinr_feasible)
             winners.append(len([v for v, s in result.allocation.items() if s]))
@@ -422,8 +438,8 @@ def run_e11(n: int = 10, k: int = 3, instances: int = 8, seed: int = 111) -> Exp
         inst_seed = int(child.integers(2**31))
         problem = workloads.protocol_auction(n, k, seed=inst_seed, bids_per_bidder=3)
         opt = solve_exact(problem).value
-        lp = AuctionLP(problem).solve()
-        _, best5 = _mean_rounded_welfare(problem, lp, 5, inst_seed + 1, round_unweighted)
+        lp = compile_auction(problem).solve_lp()
+        _, best5 = _mean_rounded_welfare(problem, lp, 5, inst_seed + 1)
         der = problem.welfare(derandomize_rounding(problem, lp).allocation)
         greedy = problem.welfare(greedy_channel_allocation(problem))
         # Local ratio on channel 0's projection (k=1 reference point).
@@ -496,7 +512,7 @@ def run_e13(n: int = 40, ks=(1, 4, 9), seed: int = 131) -> ExperimentOutput:
     all_met = True
     for k in ks:
         problem = workloads.protocol_auction(n, k, seed=seed + k)
-        lp = AuctionLP(problem).solve()
+        lp = compile_auction(problem).solve_lp()
         result = derandomize_rounding(problem, lp)
         welfare = problem.welfare(result.allocation)
         bound = lp.value / (8.0 * math.sqrt(k) * problem.rho)
@@ -628,16 +644,11 @@ def run_e16(n: int = 10, k: int = 3, instances: int = 6, orders: int = 10, seed:
 def run_a1_split_ablation(n: int = 40, k: int = 16, reps: int = 30, seed: int = 141) -> ExperimentOutput:
     """A1: the √k bundle-size split (Algorithm 1 line 1) on/off."""
     problem = workloads.protocol_auction(n, k, seed=seed, bids_per_bidder=4)
-    lp = AuctionLP(problem).solve()
+    lp = compile_auction(problem).solve_lp()
     table = Table(["variant", "mean_welfare"])
     out = {}
     for split in (True, False):
-        values = [
-            problem.welfare(
-                round_unweighted(problem, lp, child, split=split)[0]
-            )
-            for child in spawn_rngs(seed + split, reps)
-        ]
+        values = _rounded_welfares(problem, lp, reps, seed + split, split=split)
         out["split" if split else "no_split"] = float(np.mean(values))
         table.add_row("split" if split else "no_split", float(np.mean(values)))
     return ExperimentOutput("A1 bundle-size split ablation", table, out)
@@ -646,16 +657,11 @@ def run_a1_split_ablation(n: int = 40, k: int = 16, reps: int = 30, seed: int = 
 def run_a2_resolution_ablation(n: int = 40, k: int = 4, reps: int = 30, seed: int = 151) -> ExperimentOutput:
     """A2: conflict resolution against survivors vs tentative bundles."""
     problem = workloads.protocol_auction(n, k, seed=seed)
-    lp = AuctionLP(problem).solve()
+    lp = compile_auction(problem).solve_lp()
     table = Table(["variant", "mean_welfare"])
     out = {}
     for mode in ("survivors", "tentative"):
-        values = [
-            problem.welfare(
-                round_unweighted(problem, lp, child, resolve=mode)[0]
-            )
-            for child in spawn_rngs(seed, reps)
-        ]
+        values = _rounded_welfares(problem, lp, reps, seed, resolve=mode)
         out[mode] = float(np.mean(values))
         table.add_row(mode, float(np.mean(values)))
     return ExperimentOutput("A2 conflict-resolution reference ablation", table, out)
@@ -664,18 +670,15 @@ def run_a2_resolution_ablation(n: int = 40, k: int = 4, reps: int = 30, seed: in
 def run_a3_scaling_ablation(n: int = 40, k: int = 4, reps: int = 30, seed: int = 161) -> ExperimentOutput:
     """A3: rounding scale multiplier (paper: 2√kρ)."""
     problem = workloads.protocol_auction(n, k, seed=seed)
-    lp = AuctionLP(problem).solve()
+    lp = compile_auction(problem).solve_lp()
     base = default_scale(problem)
     table = Table(["scale_multiplier", "scale", "mean_welfare"])
     out = {}
     for mult in (0.25, 0.5, 1.0, 2.0):
         scale = max(1.0, base * mult)
-        values = [
-            problem.welfare(
-                round_unweighted(problem, lp, child, scale=scale)[0]
-            )
-            for child in spawn_rngs(seed + int(mult * 100), reps)
-        ]
+        values = _rounded_welfares(
+            problem, lp, reps, seed + int(mult * 100), scale=scale
+        )
         out[mult] = float(np.mean(values))
         table.add_row(mult, scale, float(np.mean(values)))
     return ExperimentOutput("A3 rounding-scale ablation", table, out)
@@ -728,13 +731,10 @@ def run_a5_derandomization_comparison(
     from repro.core.pairwise import pairwise_derandomize
 
     problem = workloads.protocol_auction(n, k, seed=seed)
-    lp = AuctionLP(problem).solve()
+    lp = compile_auction(problem).solve_lp()
     cond = problem.welfare(derandomize_rounding(problem, lp).allocation)
     pw = pairwise_derandomize(problem, lp, max_seeds=8000)
-    rand_vals = [
-        problem.welfare(round_unweighted(problem, lp, child)[0])
-        for child in spawn_rngs(seed, reps)
-    ]
+    rand_vals = _rounded_welfares(problem, lp, reps, seed)
     table = Table(["method", "welfare", "deterministic"])
     table.add_row("conditional expectations", cond, True)
     table.add_row(f"pairwise q={pw.q}", pw.welfare, True)
@@ -764,10 +764,12 @@ def run_a4_clip_ablation(n: int = 25, k: int = 2, reps: int = 10, seed: int = 17
     for clip in (True, False):
         structure = power_control_structure(links, clip=clip)
         problem = AuctionProblem(structure, k, vals)
-        lp = AuctionLP(problem).solve()
+        compiled = compile_auction(problem)
+        lp = compiled.solve_lp()
+        plan = compiled.rounding_plan(lp)
+        draws = stack_draws(spawn_rngs(seed + clip, reps), plan.width)
         values = []
-        for child in spawn_rngs(seed + clip, reps):
-            partly, _ = round_weighted(problem, lp, child)
+        for partly in round_batch(compiled, plan, draws).allocations:
             res = make_fully_feasible(problem, partly)
             values.append(problem.welfare(res.allocation))
         name = "clipped" if clip else "raw"

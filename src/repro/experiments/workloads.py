@@ -1,7 +1,8 @@
-"""Workload builders for the experiment suite (E1–E13, A1–A4).
+"""Workload builders for the experiment suite (E1–E16, A1–A6) and the
+batch-engine benchmarks.
 
 Each builder returns fully-specified problem instances from a seed, so
-benchmarks and EXPERIMENTS.md numbers are reproducible bit-for-bit.
+benchmark numbers are reproducible bit-for-bit.
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ __all__ = [
     "physical_auction",
     "power_control_auction",
     "theorem18_auction",
+    "protocol_auction_fleet",
 ]
 
 DEFAULT_LENGTHS = (0.02, 0.08)
@@ -52,6 +54,34 @@ def protocol_auction(
     structure = protocol_model(links, delta)
     vals = random_xor_valuations(n, k, bids_per_bidder=bids_per_bidder, seed=rng)
     return AuctionProblem(structure, k, vals)
+
+
+def protocol_auction_fleet(
+    regions: int,
+    epochs: int,
+    n: int,
+    k: int,
+    seed,
+    delta: float = 1.0,
+    bids_per_bidder: int = 4,
+) -> list[AuctionProblem]:
+    """The batch engine's reference workload: one auction per region/epoch.
+
+    Each region fixes a protocol-model conflict structure; every epoch
+    re-auctions it with fresh XOR valuations.  Problems of one region share
+    their structure object, so the engine compiles each region once.
+    """
+    rng = ensure_rng(seed)
+    fleet: list[AuctionProblem] = []
+    for _ in range(regions):
+        links = random_links(n, length_range=DEFAULT_LENGTHS, seed=rng)
+        structure = protocol_model(links, delta)
+        for _ in range(epochs):
+            vals = random_xor_valuations(
+                n, k, bids_per_bidder=bids_per_bidder, seed=rng
+            )
+            fleet.append(AuctionProblem(structure, k, vals))
+    return fleet
 
 
 def disk_auction(n: int, k: int, seed) -> AuctionProblem:

@@ -8,7 +8,7 @@ neighborhood* ``Γ_π(v)`` — the neighbors of ``v`` placed before it by π.
 
 Graphs are stored as dense boolean adjacency matrices: every instance in the
 paper's models has at most a few hundred vertices, where dense NumPy kernels
-beat sparse bookkeeping (see the HPC guide notes in DESIGN.md).
+beat sparse bookkeeping (see the performance notes in DESIGN.md).
 """
 
 from __future__ import annotations

@@ -64,12 +64,23 @@ class MechanismOutcome:
 
 class TruthfulMechanism:
     """Truthful-in-expectation spectrum auction for a fixed conflict
-    structure (interference is public; valuations are reported)."""
+    structure (interference is public; valuations are reported).
+
+    The structure is compiled once at construction: every
+    :meth:`run` — including the misreport probes of E8, which re-solve the
+    LP for each reported profile — reuses the engine's precomputed
+    interference coefficients instead of rebuilding the LP rows."""
 
     def __init__(self, structure, k: int, alpha: float | None = None) -> None:
+        from repro.engine import compile_structure
+
         self.structure = structure
         self.k = k
         self.alpha = alpha
+        # the structure's engine compilation, held for the mechanism's
+        # lifetime and passed to every run()'s solver — reuse survives
+        # eviction from the engine's bounded cache
+        self._compiled_structure = compile_structure(structure)
 
     def run(
         self,
@@ -81,7 +92,13 @@ class TruthfulMechanism:
         """Run the mechanism on reported valuations."""
         rng = ensure_rng(seed)
         problem = AuctionProblem(self.structure, self.k, valuations)
-        solution = SpectrumAuctionSolver(problem).solve_lp(lp_method)
+        from repro.engine import CompiledAuction
+
+        solver = SpectrumAuctionSolver(
+            problem,
+            compiled=CompiledAuction(problem, structure=self._compiled_structure),
+        )
+        solution = solver.solve_lp(lp_method)
         alpha = default_alpha(problem) if self.alpha is None else self.alpha
         decomposition = decompose_lp_solution(
             problem, solution, alpha=alpha, seed=rng

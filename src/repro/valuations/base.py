@@ -81,6 +81,19 @@ class Valuation(ABC):
         """
         return None
 
+    def support_items(self) -> list[tuple[frozenset[int], float]] | None:
+        """``(bundle, value(bundle))`` pairs over :meth:`support`.
+
+        Column enumeration calls this once per bidder instead of one
+        :meth:`value` query per support bundle; subclasses override it when
+        they can produce the pairs faster than repeated queries.  Order and
+        values must match ``[(T, value(T)) for T in support()]`` exactly.
+        """
+        supp = self.support()
+        if supp is None:
+            return None
+        return [(bundle, self.value(bundle)) for bundle in supp]
+
     def max_value(self) -> float:
         """max_T b_{v,T}; default via a zero-price demand query."""
         _, util = self.demand(np.zeros(self.k))

@@ -62,6 +62,9 @@ class ExplicitValuation(Valuation):
     def support(self) -> list[frozenset[int]]:
         return list(self.bids)
 
+    def support_items(self) -> list[tuple[frozenset[int], float]]:
+        return list(self.bids.items())
+
     def max_value(self) -> float:
         return max(self.bids.values(), default=0.0)
 
@@ -72,6 +75,7 @@ class XORValuation(Valuation):
     def __init__(self, k: int, bids: Mapping[frozenset[int], float]) -> None:
         super().__init__(k)
         self.bids = _normalize_bids(bids, k)
+        self._support_items: list[tuple[frozenset[int], float]] | None = None
 
     def value(self, bundle: frozenset[int]) -> float:
         self._check_bundle(bundle)
@@ -96,6 +100,30 @@ class XORValuation(Valuation):
 
     def support(self) -> list[frozenset[int]]:
         return list(self.bids)
+
+    def support_items(self) -> list[tuple[frozenset[int], float]]:
+        # value(T) for a bid T is the best bid *contained in* T, which may
+        # exceed the bid on T itself; the free-disposal closure is computed
+        # once on first use via bitmask containment (bids are fixed after
+        # construction) — column enumeration calls this per compile
+        if self._support_items is None:
+            masks = [sum(1 << j for j in bundle) for bundle in self.bids]
+            values = list(self.bids.values())
+            self._support_items = [
+                (
+                    bundle,
+                    max(
+                        (
+                            value
+                            for other, value in zip(masks, values)
+                            if other & mask == other
+                        ),
+                        default=0.0,
+                    ),
+                )
+                for bundle, mask in zip(self.bids, masks)
+            ]
+        return self._support_items
 
     def max_value(self) -> float:
         return max(self.bids.values(), default=0.0)

@@ -10,7 +10,6 @@ from repro.core.asymmetric import (
     AsymmetricAuctionProblem,
     round_asymmetric,
 )
-from repro.core.exact import solve_exact
 from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
 from repro.graphs.generators import (
     gnp_random_graph,

@@ -12,7 +12,6 @@ from repro.graphs.generators import clique
 from repro.interference.base import ConflictStructure, WeightedConflictStructure
 from repro.graphs.weighted_graph import WeightedConflictGraph
 from repro.valuations.explicit import XORValuation
-from repro.valuations.generators import random_xor_valuations
 
 
 def tiny_problem(k=2, rho=1.0):

@@ -5,9 +5,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
-from repro.core.auction import AuctionProblem
 from repro.core.auction_lp import AuctionLP
 from repro.core.conflict_resolution import check_condition5, make_fully_feasible
 from repro.core.derandomize import derandomize_rounding

@@ -21,7 +21,6 @@ from repro.core.rounding import (
 from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
 from repro.interference.base import ConflictStructure
 from repro.valuations.explicit import XORValuation
-from repro.valuations.generators import random_xor_valuations
 
 
 class TestSampleTentative:

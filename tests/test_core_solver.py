@@ -2,13 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.auction import AuctionProblem
 from repro.core.solver import SpectrumAuctionSolver
-from repro.geometry.links import random_links
-from repro.interference.power_control import power_control_structure
 from repro.valuations.generators import (
     random_additive_valuations,
     random_xor_valuations,

@@ -1,0 +1,213 @@
+"""Engine-vs-seed-pipeline equivalence.
+
+The engine's contract is *bit-for-bit* agreement with the seed pipeline:
+same LP matrices, same LP solutions, same RNG draw order, same conflict
+resolutions, same tie-breaking.  Every test here compares the engine
+against the original implementations (which remain in the tree as the
+paper-faithful reference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction_lp import AuctionLP
+from repro.core.conflict_resolution import make_fully_feasible
+from repro.core.rounding import round_unweighted, round_weighted
+from repro.engine import (
+    CompiledAuction,
+    compile_auction,
+    round_batch,
+    stack_draws,
+)
+from repro.engine.vectorized import build_rounding_plan
+from repro.experiments.workloads import physical_auction, protocol_auction
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+@pytest.fixture(scope="module")
+def unweighted_problem():
+    return protocol_auction(25, 4, seed=4001)
+
+
+@pytest.fixture(scope="module")
+def weighted_problem_big():
+    return physical_auction(20, 4, seed=4002)
+
+
+def legacy_solve(problem, seed, attempts=1):
+    """The seed ``SpectrumAuctionSolver.solve`` randomized path, verbatim."""
+    rng = ensure_rng(seed)
+    solution = AuctionLP(problem).solve()
+    best_alloc, best_welfare, rounds_alg3 = {}, -1.0, 0
+    for _ in range(attempts):
+        if problem.is_weighted:
+            partly, _ = round_weighted(problem, solution, rng)
+            res = make_fully_feasible(problem, partly)
+            allocation, rounds = res.allocation, res.rounds
+        else:
+            allocation, _ = round_unweighted(problem, solution, rng)
+            rounds = 0
+        welfare = problem.welfare(allocation)
+        if welfare > best_welfare:
+            best_alloc, best_welfare, rounds_alg3 = allocation, welfare, rounds
+    return best_alloc, max(best_welfare, 0.0), rounds_alg3
+
+
+class TestLPEquivalence:
+    @pytest.mark.parametrize("problem_fixture", ["unweighted_problem", "weighted_problem_big"])
+    def test_build_matches_auction_lp(self, problem_fixture, request):
+        problem = request.getfixturevalue(problem_fixture)
+        a_ref, b_ref, c_ref = AuctionLP(problem).build()
+        a_eng, b_eng, c_eng = CompiledAuction(problem).build()
+        assert (a_ref != a_eng).nnz == 0
+        assert np.array_equal(a_ref.toarray(), a_eng.toarray())
+        assert np.array_equal(b_ref, b_eng)
+        assert np.array_equal(c_ref, c_eng)
+
+    @pytest.mark.parametrize("problem_fixture", ["unweighted_problem", "weighted_problem_big"])
+    def test_lp_solution_bit_identical(self, problem_fixture, request):
+        problem = request.getfixturevalue(problem_fixture)
+        ref = AuctionLP(problem).solve()
+        eng = CompiledAuction(problem).solve_lp()
+        assert np.array_equal(ref.x, eng.x)
+        assert ref.value == eng.value
+        assert np.array_equal(ref.y, eng.y)
+        assert np.array_equal(ref.z, eng.z)
+        assert ref.columns == eng.columns
+
+    def test_columns_match_default_enumeration(self, unweighted_problem):
+        compiled = CompiledAuction(unweighted_problem)
+        assert compiled.columns == AuctionLP.default_columns(unweighted_problem)
+
+
+class TestRoundingEquivalence:
+    """Vectorized kernels consume the same uniforms as the Python loops."""
+
+    @pytest.mark.parametrize("split", [True, False])
+    @pytest.mark.parametrize("resolve", ["survivors", "tentative"])
+    def test_unweighted_exact(self, unweighted_problem, split, resolve):
+        problem = unweighted_problem
+        compiled = compile_auction(problem)
+        solution = compiled.solve_lp()
+        plan = compiled.rounding_plan(solution, split=split)
+        reps = 12
+        draws = stack_draws(spawn_rngs(555, reps), plan.width)
+        outcome = round_batch(compiled, plan, draws, resolve=resolve)
+        for i, child in enumerate(spawn_rngs(555, reps)):
+            ref_alloc, _ = round_unweighted(
+                problem, solution, child, split=split, resolve=resolve
+            )
+            assert outcome.allocations[i] == ref_alloc
+
+    def test_unweighted_scaled_exact(self, unweighted_problem):
+        problem = unweighted_problem
+        compiled = compile_auction(problem)
+        solution = compiled.solve_lp()
+        scale = 6.5
+        plan = compiled.rounding_plan(solution, scale=scale)
+        draws = stack_draws(spawn_rngs(556, 8), plan.width)
+        outcome = round_batch(compiled, plan, draws)
+        for i, child in enumerate(spawn_rngs(556, 8)):
+            ref_alloc, _ = round_unweighted(problem, solution, child, scale=scale)
+            assert outcome.allocations[i] == ref_alloc
+
+    @pytest.mark.parametrize("resolve", ["survivors", "tentative"])
+    def test_weighted_exact(self, weighted_problem_big, resolve):
+        problem = weighted_problem_big
+        compiled = compile_auction(problem)
+        solution = compiled.solve_lp()
+        plan = compiled.rounding_plan(solution)
+        reps = 10
+        draws = stack_draws(spawn_rngs(557, reps), plan.width)
+        outcome = round_batch(compiled, plan, draws, resolve=resolve)
+        for i, child in enumerate(spawn_rngs(557, reps)):
+            ref_alloc, _ = round_weighted(problem, solution, child, resolve=resolve)
+            assert outcome.allocations[i] == ref_alloc
+
+    def test_report_statistics_match(self, unweighted_problem):
+        problem = unweighted_problem
+        compiled = compile_auction(problem)
+        solution = compiled.solve_lp()
+        plan = compiled.rounding_plan(solution)
+        draws = stack_draws(spawn_rngs(558, 6), plan.width)
+        outcome = round_batch(compiled, plan, draws)
+        for i, child in enumerate(spawn_rngs(558, 6)):
+            _, report = round_unweighted(problem, solution, child)
+            assert outcome.chosen_class[i] == report.chosen_class
+            assert outcome.tentative_sizes[i].tolist() == report.tentative_sizes
+            assert outcome.removed_counts[i].tolist() == report.removed_counts
+
+    def test_fast_and_generic_plans_agree(self, unweighted_problem):
+        problem = unweighted_problem
+        compiled = compile_auction(problem)
+        solution = compiled.solve_lp()
+        for split in (True, False):
+            fast = build_rounding_plan(problem, solution, split=split, cols=compiled.cols)
+            generic = build_rounding_plan(problem, solution, split=split)
+            assert fast.width == generic.width
+            for f, g in zip(fast.classes, generic.classes):
+                assert np.array_equal(f.vertices, g.vertices)
+                assert np.array_equal(f.offsets, g.offsets)
+                assert np.array_equal(f.cum, g.cum)
+                assert np.array_equal(f.values, g.values)
+                assert f.bundles == g.bundles
+                assert np.array_equal(f.chan, g.chan)
+                assert np.array_equal(f.cum_pad, g.cum_pad)
+
+
+class TestSolveEquivalence:
+    @pytest.mark.parametrize("attempts", [1, 5])
+    def test_unweighted_solve(self, unweighted_problem, attempts):
+        for seed in (1, 7, 42):
+            ref_alloc, ref_welfare, _ = legacy_solve(unweighted_problem, seed, attempts)
+            result = compile_auction(unweighted_problem).solve(
+                seed=seed, rounding_attempts=attempts
+            )
+            assert result.allocation == ref_alloc
+            assert result.welfare == ref_welfare
+
+    @pytest.mark.parametrize("attempts", [1, 4])
+    def test_weighted_solve(self, weighted_problem_big, attempts):
+        for seed in (3, 11):
+            ref_alloc, ref_welfare, ref_rounds = legacy_solve(
+                weighted_problem_big, seed, attempts
+            )
+            result = compile_auction(weighted_problem_big).solve(
+                seed=seed, rounding_attempts=attempts
+            )
+            assert result.allocation == ref_alloc
+            assert result.welfare == ref_welfare
+            assert result.rounds_algorithm3 == ref_rounds
+
+    def test_facade_matches_engine(self, unweighted_problem):
+        from repro.core.solver import SpectrumAuctionSolver
+
+        facade = SpectrumAuctionSolver(unweighted_problem).solve(seed=9)
+        engine = compile_auction(unweighted_problem).solve(seed=9)
+        assert facade.allocation == engine.allocation
+        assert facade.welfare == engine.welfare
+
+
+class TestExperimentInvariants:
+    """The paper's guarantees survive the engine path (acceptance checks)."""
+
+    def test_e1_bounds_hold(self):
+        from repro.experiments.harness import run_e1
+
+        out = run_e1(n=15, ks=(1, 4), reps=10, seed=1)
+        assert out.summary["all_bounds_met"]
+
+    def test_e6_bounds_and_rounds_hold(self):
+        from repro.experiments.harness import run_e6
+
+        out = run_e6(n=12, ks=(2,), reps=5, seed=4)
+        assert out.summary["all_bounds_met"]
+        assert out.summary["rounds_within_log"]
+
+    def test_e13_bounds_hold(self):
+        from repro.experiments.harness import run_e13
+
+        out = run_e13(n=15, ks=(1, 4), seed=9)
+        assert out.summary["all_bounds_met"]

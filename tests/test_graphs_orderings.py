@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.graphs.conflict_graph import ConflictGraph
 from repro.graphs.generators import clique, gnp_random_graph, path, star

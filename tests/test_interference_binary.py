@@ -6,7 +6,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.geometry.disks import DiskInstance, random_disk_instance
+from repro.geometry.disks import random_disk_instance
 from repro.geometry.links import links_from_arrays, random_links
 from repro.graphs.generators import path
 from repro.graphs.inductive import rho_of_ordering

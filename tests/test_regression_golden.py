@@ -8,7 +8,6 @@ the golden value *and say why* in the commit.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.auction_lp import AuctionLP

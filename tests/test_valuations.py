@@ -11,7 +11,7 @@ from repro.valuations.additive import (
     CappedAdditiveValuation,
     UnitDemandValuation,
 )
-from repro.valuations.base import EMPTY_BUNDLE, enumerate_bundles
+from repro.valuations.base import EMPTY_BUNDLE, Valuation, enumerate_bundles
 from repro.valuations.explicit import (
     ExplicitValuation,
     SingleMindedValuation,
@@ -176,3 +176,38 @@ class TestGenerators:
         v = XORValuation(3, {frozenset({0, 1}): 5.0})
         bundle, util = brute_force_demand(v, np.array([1.0, 1.0, 9.0]))
         assert bundle == frozenset({0, 1}) and util == 3.0
+
+
+class TestSupportItems:
+    """support_items() must equal [(T, value(T)) for T in support()]."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            random_xor_valuations,
+            random_single_minded_valuations,
+            random_mixed_valuations,
+        ],
+    )
+    def test_matches_value_queries(self, factory):
+        for v in factory(5, 4, seed=31):
+            items = v.support_items()
+            supp = v.support()
+            if supp is None:
+                assert items is None
+                continue
+            assert [bundle for bundle, _ in items] == supp
+            for bundle, value in items:
+                assert value == v.value(bundle)
+
+    def test_xor_free_disposal_closure(self):
+        # a sub-bid worth more than the bid on the superset itself
+        v = XORValuation(3, {frozenset({0}): 9.0, frozenset({0, 1}): 4.0})
+        assert dict(v.support_items())[frozenset({0, 1})] == 9.0
+
+    def test_oracle_only_returns_none(self):
+        class OracleOnly(Valuation):
+            def value(self, bundle):
+                return float(len(bundle))
+
+        assert OracleOnly(3).support_items() is None
