@@ -46,8 +46,13 @@ from repro.engine import (
     fast_backend_available,
     round_batch,
     stack_draws,
+    warm_start_stats,
 )
-from repro.experiments.workloads import protocol_auction, protocol_auction_fleet
+from repro.experiments.workloads import (
+    protocol_auction,
+    protocol_auction_fleet,
+    reauction_fleet,
+)
 from repro.util.rng import ensure_rng, spawn_rngs
 
 OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
@@ -154,6 +159,61 @@ def bench_repeat_solves(unique: int = 10, repeats: int = 5, n: int = 40, k: int 
     }
 
 
+def bench_warm_reauction(epochs: int = 50, n: int = 40, k: int = 8):
+    """Warm-start workload: one region, stable bundle interests, re-priced
+    bids each epoch — consecutive LPs share their constraint matrix, so the
+    warm engine mutates the loaded HiGHS objective and re-solves from the
+    previous basis.
+
+    The cold engine stays bit-identical to the naive pipeline (asserted on
+    total welfare); the warm engine is asserted on the per-epoch LP optima
+    (its vertices, and hence allocations, are not pinned — see
+    ``BatchAuctionEngine(lp_warm_start=...)``).
+    """
+    fleet_naive = reauction_fleet(epochs, n, k, seed=321)
+    fleet_cold = reauction_fleet(epochs, n, k, seed=321)
+    fleet_warm = reauction_fleet(epochs, n, k, seed=321)
+    seeds = np.random.SeedSequence(9).spawn(epochs)
+    warm_n = reauction_fleet(1, n, k, seed=320)
+    naive_solve(warm_n[0], seed=1)
+    BatchAuctionEngine(executor="serial").solve_many(
+        reauction_fleet(1, n, k, seed=320), seed=1
+    )
+
+    def run_naive():
+        return sum(
+            naive_solve(p, seed=np.random.default_rng(s))[1]
+            for p, s in zip(fleet_naive, seeds)
+        )
+
+    naive_time, naive_welfare = _timed(run_naive)
+    cold_engine = BatchAuctionEngine(executor="serial")
+    cold_time, cold_batch = _timed(lambda: cold_engine.solve_many(fleet_cold, seed=9))
+    stats_before = warm_start_stats()
+    warm_engine = BatchAuctionEngine(executor="serial", lp_warm_start=True)
+    warm_time, warm_batch = _timed(lambda: warm_engine.solve_many(fleet_warm, seed=9))
+    stats_after = warm_start_stats()
+    warm_hits = stats_after["warm"] - stats_before["warm"]
+    assert cold_batch.total_welfare == naive_welfare, "cold engine diverged from seed"
+    assert abs(warm_batch.total_lp_value - cold_batch.total_lp_value) < 1e-6 * max(
+        1.0, cold_batch.total_lp_value
+    ), "warm-started LP optima diverged"
+    assert warm_hits >= epochs - 1, "warm path not exercised"
+    return {
+        "workload": f"{epochs} re-priced epochs of one region, n={n}, k={k}",
+        "instances": epochs,
+        "naive_seconds": naive_time,
+        "engine_cold_seconds": cold_time,
+        "engine_warm_seconds": warm_time,
+        "speedup_cold": naive_time / cold_time,
+        "speedup_warm": naive_time / warm_time,
+        "warm_solves": warm_hits,
+        "total_lp_value": cold_batch.total_lp_value,
+        "total_welfare_cold": cold_batch.total_welfare,
+        "total_welfare_warm": warm_batch.total_welfare,
+    }
+
+
 def bench_rounding(n: int = 40, k: int = 8, attempts: int = 200):
     """Vectorized rounding kernel vs the per-attempt Python loop."""
     problem = protocol_auction(n, k, seed=900)
@@ -193,29 +253,35 @@ def main() -> int:
         },
         "repeat_trace_50": bench_repeat_solves(),
         "distinct_fleet_50": bench_batch_50(),
+        "warm_reauction_50": bench_warm_reauction(),
         "vectorized_rounding": bench_rounding(),
     }
     repeat = results["repeat_trace_50"]["speedup_serial"]
     distinct = results["distinct_fleet_50"]["speedup_serial"]
+    warm = results["warm_reauction_50"]["speedup_warm"]
     results["headline"] = {
         "criterion": "engine >= 3x over 50 naive seed-pipeline "
         "SpectrumAuctionSolver-style solve calls (n=40, k=8 protocol auctions)",
         "repeat_trace_50": {"speedup": repeat, "met": repeat >= 3.0},
         "distinct_fleet_50": {"speedup": distinct, "met": distinct >= 3.0},
-        "note": "repeat_trace_50 is the repeated-solve workload the engine "
-        "targets (E7 repetitions, mechanism sampling: identical LPs "
-        "re-solved naively, cached by the engine); distinct_fleet_50 is the "
-        "cold lower bound where all 50 LPs are distinct and only structure "
-        "sharing, vectorized assembly/rounding, and the persistent LP "
-        "backend apply — it does not clear 3x, the repeat trace does.",
+        "warm_reauction_50": {"speedup": warm, "met": warm >= 3.0},
+        "note": "repeat_trace_50 re-solves identical problems (LPs cached); "
+        "distinct_fleet_50 is the cold lower bound — all 50 LPs distinct, "
+        "bit-identical to the seed pipeline, sped up by structure sharing, "
+        "vectorized assembly/rounding, the persistent single-threaded HiGHS "
+        "backend, and eager valuation closures; warm_reauction_50 re-prices "
+        "one region's bids so consecutive LPs share their matrix and the "
+        "warm-started backend mutates only the objective (optimal values "
+        "asserted, vertices not pinned).",
     }
-    headline = repeat
+    met = repeat >= 3.0 and distinct >= 3.0
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
-    print(f"\nheadline: engine {headline:.2f}x on the 50-solve repeat trace, "
-          f"{results['distinct_fleet_50']['speedup_serial']:.2f}x on 50 distinct auctions")
+    print(f"\nheadline: engine {repeat:.2f}x on the 50-solve repeat trace, "
+          f"{distinct:.2f}x on 50 distinct auctions, "
+          f"{warm:.2f}x warm-started re-auctions")
     print(f"wrote {OUTPUT}")
-    return 0 if headline >= 3.0 else 1
+    return 0 if met else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,180 @@
+"""Metro-scale scaling benchmark — writes BENCH_scale.json.
+
+Measures the large-n fast path (spatial-index graph construction, sparse
+compiled structures, size-aware LP solver selection) against the dense
+seed-equivalent pipeline on metro disk-model auctions of growing n, and
+persists the scaling curve.  Three configurations per n:
+
+* ``dense_seed_equivalent`` — what the system did before the fast path:
+  O(n²) distance-matrix graph construction, dense compile, simplex LP.
+  This is the baseline of the ≥5x acceptance criterion.
+* ``dense_auto_solver`` — dense construction but the new size-aware solver
+  policy, isolating how much of the win is solver selection vs spatial
+  indexing (reported for transparency).
+* ``sparse_fast_path`` — KD-tree CSR graphs, sparse compile, auto solver.
+
+Dense and sparse paths build the identical conflict graph and LP (pinned by
+the parity tests), so the per-n welfare assertion cross-checks the whole
+pipeline while timing it.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_scale.py            # full curve
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # CI: one
+        n=2000 sparse end-to-end solve under a time budget (exit 1 on miss)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.engine.compiled import (
+    CompiledAuction,
+    clear_auction_cache,
+    clear_structure_cache,
+)
+from repro.experiments.workloads import metro_disk_auction
+
+OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
+
+FULL_SIZES = (500, 1000, 2000, 5000)
+DENSE_MAX_N = 5000  # dense is O(n²); cap where we still measure it
+SMOKE_N = 2000
+SMOKE_BUDGET_SECONDS = 90.0
+
+
+def run_path(n: int, k: int, method: str, solver: str, seed: int = 42) -> dict:
+    """Build + compile + solve one metro auction; per-stage wall times."""
+    clear_structure_cache()
+    clear_auction_cache()
+    t0 = time.perf_counter()
+    problem = metro_disk_auction(n, k, seed=seed, method=method)
+    t_build = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    compiled = CompiledAuction(problem)
+    a, b, c = compiled._build_csc()
+    t_compile = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    raw = compiled._solve_raw(solver=solver)
+    t_lp = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    result = compiled.solve(seed=7, lp_solver=solver)  # LP cached: rounding only
+    t_round = time.perf_counter() - t0
+
+    return {
+        "n": n,
+        "k": k,
+        "method": method,
+        "solver": solver,
+        "edges": problem.graph.m,
+        "avg_degree": problem.graph.average_degree(),
+        "lp_rows": int(a.shape[0]),
+        "lp_cols": int(a.shape[1]),
+        "lp_nnz": int(a.nnz),
+        "graph_seconds": t_build,
+        "compile_seconds": t_compile,
+        "lp_seconds": t_lp,
+        "round_validate_seconds": t_round,
+        "end_to_end_seconds": t_build + t_compile + t_lp + t_round,
+        "lp_value": raw.value,
+        "welfare": result.welfare,
+        "feasible": bool(result.feasible),
+    }
+
+
+def bench_curve(sizes=FULL_SIZES, k: int = 6) -> dict:
+    points = []
+    for n in sizes:
+        sparse = run_path(n, k, method="spatial", solver="auto")
+        entry = {"n": n, "sparse_fast_path": sparse}
+        if n <= DENSE_MAX_N:
+            dense_seed = run_path(n, k, method="dense", solver="simplex")
+            dense_auto = run_path(n, k, method="dense", solver="auto")
+            # same instance, same LP, same solver policy: the dense and
+            # sparse builds must round to the identical outcome ...
+            assert dense_auto["welfare"] == sparse["welfare"], "dense/sparse diverged"
+            # ... and the seed-equivalent solver agrees on the LP optimum
+            assert abs(dense_seed["lp_value"] - sparse["lp_value"]) < 1e-6 * max(
+                1.0, abs(sparse["lp_value"])
+            )
+            entry["dense_seed_equivalent"] = dense_seed
+            entry["dense_auto_solver"] = dense_auto
+            entry["speedup_vs_dense_seed"] = (
+                dense_seed["end_to_end_seconds"] / sparse["end_to_end_seconds"]
+            )
+            entry["speedup_vs_dense_auto"] = (
+                dense_auto["end_to_end_seconds"] / sparse["end_to_end_seconds"]
+            )
+        points.append(entry)
+        line = (
+            f"n={n}: sparse {sparse['end_to_end_seconds']:.2f}s"
+        )
+        if "dense_seed_equivalent" in entry:
+            line += (
+                f", dense {entry['dense_seed_equivalent']['end_to_end_seconds']:.2f}s"
+                f" ({entry['speedup_vs_dense_seed']:.1f}x)"
+            )
+        print(line, flush=True)
+    return {"k": k, "points": points}
+
+
+def smoke(n: int = SMOKE_N, k: int = 6, budget: float = SMOKE_BUDGET_SECONDS) -> int:
+    """CI guard: one metro auction end-to-end on the sparse path."""
+    t0 = time.perf_counter()
+    entry = run_path(n, k, method="spatial", solver="auto")
+    wall = time.perf_counter() - t0
+    ok = wall <= budget and entry["feasible"]
+    print(
+        f"smoke n={n}: {wall:.1f}s (budget {budget:.0f}s), "
+        f"welfare={entry['welfare']}, feasible={entry['feasible']} -> "
+        f"{'OK' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI smoke run")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+
+    curve = bench_curve()
+    largest = next(p for p in curve["points"] if p["n"] == 5000)
+    results = {
+        "config": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "scaling": curve,
+        "headline": {
+            "criterion": "sparse fast path >= 5x over the dense seed-equivalent "
+            "path on an n=5000 disk-model auction, end-to-end in single-digit "
+            "seconds",
+            "n5000_speedup_vs_dense_seed": largest["speedup_vs_dense_seed"],
+            "n5000_sparse_end_to_end_seconds": largest["sparse_fast_path"][
+                "end_to_end_seconds"
+            ],
+            "met": largest["speedup_vs_dense_seed"] >= 5.0
+            and largest["sparse_fast_path"]["end_to_end_seconds"] < 10.0,
+        },
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results["headline"], indent=2))
+    print(f"wrote {OUTPUT}")
+    return 0 if results["headline"]["met"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

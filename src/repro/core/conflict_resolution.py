@@ -23,9 +23,30 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.auction import Allocation, AuctionProblem
 
 __all__ = ["FullResolutionResult", "check_condition5", "make_fully_feasible"]
+
+
+def _wbar_lookup(problem: AuctionProblem, allocation: Allocation):
+    """``(index, wbar_sub)`` over the allocation's winners.
+
+    Both Algorithm 3 and the Condition (5) check only read w̄ between
+    allocated vertices, so a |winners|² submatrix suffices — CSR-backed
+    metro-scale graphs never densify their n×n matrix here (entries are
+    identical either way, so the sums below are bit-equal).
+    """
+    verts = sorted(v for v, s in allocation.items() if s)
+    index = {v: i for i, v in enumerate(verts)}
+    idx = np.asarray(verts, dtype=np.intp)
+    graph = problem.graph
+    if graph.is_sparse:
+        sub = graph.wbar_csr[idx][:, idx].toarray() if idx.size else np.zeros((0, 0))
+    else:
+        sub = graph.wbar_matrix[np.ix_(idx, idx)]
+    return index, sub
 
 
 @dataclass
@@ -45,13 +66,13 @@ class FullResolutionResult:
 
 def check_condition5(problem: AuctionProblem, allocation: Allocation) -> bool:
     """Condition (5): Σ over earlier shared-channel vertices of w̄ < 1/2."""
-    wbar = problem.graph.wbar_matrix
+    index, wbar = _wbar_lookup(problem, allocation)
     pos = problem.ordering.pos
     items = sorted(
         ((v, s) for v, s in allocation.items() if s), key=lambda vs: pos[vs[0]]
     )
     for i, (v, sv) in enumerate(items):
-        total = sum(wbar[u, v] for u, su in items[:i] if su & sv)
+        total = sum(wbar[index[u], index[v]] for u, su in items[:i] if su & sv)
         if total >= 0.5:
             return False
     return True
@@ -68,7 +89,7 @@ def make_fully_feasible(
     if validate_input and not check_condition5(problem, allocation):
         raise ValueError("input allocation violates Condition (5)")
 
-    wbar = problem.graph.wbar_matrix
+    index, wbar = _wbar_lookup(problem, allocation)
     pos = problem.ordering.pos
     pending = {v for v, s in allocation.items() if s}
     values = {v: problem.valuations[v].value(allocation[v]) for v in pending}
@@ -90,7 +111,7 @@ def make_fully_feasible(
             if not bundle:  # pragma: no cover - cleared entries are removed
                 continue
             total = sum(
-                wbar[u, v]
+                wbar[index[u], index[v]]
                 for u, su in current.items()
                 if u != v and su and su & bundle
             )

@@ -26,7 +26,11 @@ from repro.engine.compiled import (
     compile_structure,
     structure_cache_stats,
 )
-from repro.engine.highs import fast_backend_available, solve_packing_lp_fast
+from repro.engine.highs import (
+    fast_backend_available,
+    solve_packing_lp_fast,
+    warm_start_stats,
+)
 from repro.engine.vectorized import (
     BatchRoundingOutcome,
     RoundingPlan,
@@ -47,6 +51,7 @@ __all__ = [
     "clear_auction_cache",
     "fast_backend_available",
     "solve_packing_lp_fast",
+    "warm_start_stats",
     "BatchRoundingOutcome",
     "RoundingPlan",
     "build_rounding_plan",

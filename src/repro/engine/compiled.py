@@ -66,8 +66,15 @@ class CompiledStructure:
     affects the later vertices ``affected_flat[affected_off[u] :
     affected_off[u+1]]`` with coefficients ``coeff_flat[...]`` (both sorted
     by vertex id).  ``backward`` lists Γ_π(v) per vertex for the rounding
-    kernels; ``backward_wbar`` keeps the same earlier-only mask applied to
-    the symmetric weights (weighted structures, row ``v`` holds w̄(·, v)).
+    kernels.
+
+    Weighted structures keep the backward symmetric weights in one of two
+    shapes: ``backward_wbar`` is the dense n×n matrix (row ``v`` holds
+    w̄(·, v) masked to earlier vertices) for dense-backed graphs, and
+    ``backward_w`` is the per-vertex weight list aligned with ``backward``
+    for CSR-backed graphs — the sparse compile never materializes an n×n
+    array.  Exactly one of the two is set for weighted structures; the
+    rounding kernels dispatch on which.
     """
 
     structure: object
@@ -82,12 +89,16 @@ class CompiledStructure:
     affected_deg: np.ndarray  # (n,)
     backward: list[np.ndarray]
     backward_wbar: np.ndarray | None
+    backward_w: list[np.ndarray] | None = None
+    sparse: bool = False
 
 
 def _build_structure(structure) -> CompiledStructure:
     from repro.interference.base import WeightedConflictStructure
 
     is_weighted = isinstance(structure, WeightedConflictStructure)
+    if structure.graph.is_sparse:
+        return _build_structure_sparse(structure, is_weighted)
     n = structure.n
     pos = structure.ordering.pos
     earlier = pos[None, :] < pos[:, None]  # earlier[v, u]: π(u) < π(v)
@@ -124,6 +135,45 @@ def _build_structure(structure) -> CompiledStructure:
         affected_deg=affected_deg,
         backward=backward,
         backward_wbar=backward_wbar,
+    )
+
+
+def _build_structure_sparse(structure, is_weighted: bool) -> CompiledStructure:
+    """CSR-backed compile: same flat arrays and per-vertex lists as the dense
+    build (bit-identical — both sort neighbor ids ascending), but O(m)
+    memory instead of several n×n intermediates.
+
+    The directed earlier-edge matrix ``B[v, u] = κ(u, v) · [π(u) < π(v)]``
+    yields the backward lists as its CSR rows and the affected lists as its
+    CSC columns.
+    """
+    n = structure.n
+    pos = structure.ordering.pos
+    src = structure.graph.wbar_csr if is_weighted else structure.graph.csr
+    coo = src.tocoo()
+    mask = pos[coo.col] < pos[coo.row]
+    data = coo.data[mask].astype(float) if is_weighted else np.ones(int(mask.sum()))
+    b = sp.csr_matrix((data, (coo.row[mask], coo.col[mask])), shape=(n, n))
+    b.sort_indices()
+    backward = np.split(b.indices.astype(np.intp), b.indptr[1:-1])
+    backward_w = np.split(b.data, b.indptr[1:-1]) if is_weighted else None
+    bc = b.tocsc()
+    bc.sort_indices()
+    return CompiledStructure(
+        structure=structure,
+        n=n,
+        is_weighted=is_weighted,
+        rho=float(structure.rho),
+        pos=pos,
+        perm=structure.ordering.perm,
+        affected_flat=bc.indices.astype(np.intp),
+        affected_off=bc.indptr.astype(np.intp),
+        coeff_flat=bc.data,
+        affected_deg=np.diff(bc.indptr).astype(np.intp),
+        backward=backward,
+        backward_wbar=None,
+        backward_w=backward_w,
+        sparse=True,
     )
 
 
@@ -243,16 +293,50 @@ class CompiledAuction:
     # ------------------------------------------------------------------
     @staticmethod
     def _enumerate_columns(problem: AuctionProblem) -> _ColumnArrays:
-        """Default column set flattened to arrays, via the shared enumerator
-        (same bundles, same order, same values as ``default_columns``)."""
-        verts: list[int] = []
-        vals: list[float] = []
+        """Default column set flattened to arrays.
+
+        Fast path: when every bidder exposes ``support_items`` the loop
+        consumes the pairs directly (bundles are frozensets and values floats
+        already, so this applies exactly ``iter_default_columns``'s filter
+        without the generator hop — the enumeration sits on the cold-path
+        budget of BENCH_engine.json).  Any oracle-only bidder falls back to
+        the shared enumerator, keeping the two in lockstep.
+        """
+        k = problem.k
         bundles: list[frozenset[int]] = []
-        for v, bundle, value in iter_default_columns(problem):
-            verts.append(v)
-            bundles.append(bundle)
-            vals.append(value)
-        return CompiledAuction._arrays_from_lists(verts, vals, bundles, problem.k)
+        val_parts: list[np.ndarray] = []
+        size_parts: list[np.ndarray] = []
+        chan_parts: list[np.ndarray] = []
+        counts = np.empty(len(problem.valuations), dtype=np.intp)
+        for v, valuation in enumerate(problem.valuations):
+            parts = valuation.support_column_arrays()
+            if parts is None:  # oracle-only or custom bidder: generic path
+                verts: list[int] = []
+                vals: list[float] = []
+                bundles = []
+                for u, bundle, value in iter_default_columns(problem):
+                    verts.append(u)
+                    bundles.append(bundle)
+                    vals.append(value)
+                return CompiledAuction._arrays_from_lists(verts, vals, bundles, k)
+            b, values, sizes, channels = parts
+            bundles.extend(b)
+            val_parts.append(values)
+            size_parts.append(sizes)
+            chan_parts.append(channels)
+            counts[v] = len(b)
+        m = len(bundles)
+        vertex = np.repeat(np.arange(len(counts), dtype=np.intp), counts)
+        value = np.concatenate(val_parts) if m else np.empty(0)
+        sizes = (
+            np.concatenate(size_parts) if m else np.empty(0, dtype=np.intp)
+        )
+        channels = (
+            np.concatenate(chan_parts) if m else np.empty(0, dtype=np.intp)
+        )
+        return CompiledAuction._arrays_from_parts(
+            vertex, value, sizes, channels, bundles, k
+        )
 
     @staticmethod
     def _flatten_columns(columns: list[Column], k: int) -> _ColumnArrays:
@@ -266,19 +350,36 @@ class CompiledAuction:
     @staticmethod
     def _arrays_from_lists(verts, vals, bundles, k) -> _ColumnArrays:
         m = len(bundles)
-        vertex = np.asarray(verts, dtype=np.intp)
-        value = np.asarray(vals, dtype=float)
         sizes = np.fromiter((len(b) for b in bundles), dtype=np.intp, count=m)
+        channels = np.fromiter(
+            (j for b in bundles for j in b), dtype=np.intp, count=int(sizes.sum())
+        )
+        return CompiledAuction._arrays_from_parts(
+            np.asarray(verts, dtype=np.intp),
+            np.asarray(vals, dtype=float),
+            sizes,
+            channels,
+            bundles,
+            k,
+        )
+
+    @staticmethod
+    def _arrays_from_parts(
+        vertex: np.ndarray,
+        value: np.ndarray,
+        sizes: np.ndarray,
+        channels: np.ndarray,
+        bundles: list[frozenset[int]],
+        k: int,
+    ) -> _ColumnArrays:
+        """Assemble :class:`_ColumnArrays` from pre-flattened pieces
+        (``channels`` holds each bundle's ids consecutively, any order)."""
+        m = len(bundles)
         ch_off = np.zeros(m + 1, dtype=np.intp)
         np.cumsum(sizes, out=ch_off[1:])
         chan_mask = np.zeros((m, k), dtype=bool)
         if m:
-            chan_mask[
-                np.repeat(np.arange(m), sizes),
-                np.fromiter(
-                    (j for b in bundles for j in b), dtype=np.intp, count=int(ch_off[-1])
-                ),
-            ] = True
+            chan_mask[np.repeat(np.arange(m), sizes), channels] = True
         # row-major nonzero yields each bundle's channels in ascending order
         ch_flat = np.nonzero(chan_mask)[1] if m else np.empty(0, dtype=np.intp)
         return _ColumnArrays(vertex, value, ch_flat, ch_off, sizes, chan_mask, bundles)
@@ -375,8 +476,16 @@ class CompiledAuction:
         a.has_sorted_indices = True
         return a, b, cols.value.copy()
 
-    def _solve_raw(self) -> _RawLP:
-        """Solve LP (1)/(4) once into the slim internal record."""
+    def _solve_raw(self, warm_start: bool = False, solver: str = "auto") -> _RawLP:
+        """Solve LP (1)/(4) once into the slim internal record.
+
+        ``warm_start`` passes the structure-keyed warm key to the LP
+        backend: consecutive solves of auctions sharing this compiled
+        structure (and bundle pattern) mutate the loaded model's objective
+        and restart from the previous basis.  Warm solves are optimal but
+        not vertex-pinned — callers opt in via the engine flag.  ``solver``
+        forwards the backend mode (``"auto"`` applies the size policy).
+        """
         with self._lock:
             if self._raw is not None:
                 return self._raw
@@ -385,7 +494,8 @@ class CompiledAuction:
             raw = _RawLP(np.zeros(0), 0.0, np.zeros((n, k)), np.zeros(n))
         else:
             a, b, c = self._build_csc()
-            sol = solve_packing_lp_fast(c, a, b)
+            warm_key = (id(self.structure), n, self.k) if warm_start else None
+            sol = solve_packing_lp_fast(c, a, b, warm_key=warm_key, solver=solver)
             raw = _RawLP(
                 sol.x, sol.value, sol.duals[: n * k].reshape(n, k), sol.duals[n * k :]
             )
@@ -468,11 +578,17 @@ class CompiledAuction:
         rounding_attempts: int = 1,
         verify_power_control: bool = True,
         lp_solution: AuctionLPSolution | None = None,
+        lp_warm_start: bool = False,
+        lp_solver: str = "auto",
     ) -> SolverResult:
         """LP → rounding → (Algorithm 3) → validation, on the compiled instance.
 
         ``lp_solution`` short-circuits the LP stage with a precomputed
         solution (repeat-rounding loops solve the LP once and pass it in).
+        ``lp_warm_start`` opts the LP stage into the shared-structure
+        warm-start path (optimal value guaranteed, vertex not pinned);
+        ``lp_solver`` forces a backend mode (benchmarks pin ``"simplex"``
+        to reproduce the pre-fast-path behavior).
         """
         from repro.engine.vectorized import round_batch
 
@@ -500,7 +616,7 @@ class CompiledAuction:
             best_welfare = problem.welfare(best_alloc)
         else:
             if lp_solution is None:
-                raw = self._solve_raw()
+                raw = self._solve_raw(warm_start=lp_warm_start, solver=lp_solver)
                 lp_value, lp_iterations = raw.value, 1
                 plan = self._default_plan()
             else:
@@ -520,6 +636,8 @@ class CompiledAuction:
             else:
                 best_idx = int(np.argmax(outcome.welfares))
                 best_alloc = outcome.allocations[best_idx]
+                # re-sum through problem.welfare: the kernel's NumPy pairwise
+                # total can differ by an ulp on non-integer valuations
                 best_welfare = problem.welfare(best_alloc)
 
         result = SolverResult(

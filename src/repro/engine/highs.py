@@ -9,6 +9,20 @@ batch workloads while returning *bit-identical* primal/dual solutions (the
 model and option values passed to HiGHS are the same; the equivalence tests
 pin this against :func:`repro.core.lp.solve_packing_lp`).
 
+On top of the persistent instance sits an opt-in **warm-start** path for
+re-solve sequences (``warm_key``): when consecutive solves under the same
+key share the constraint matrix and RHS — auctions compiled on one
+:class:`~repro.engine.compiled.CompiledStructure` with unchanged bundle
+patterns, e.g. re-auctions with updated bids or mechanism misreport probes
+— only the objective is mutated in the loaded model
+(``changeColsCost``) and HiGHS re-solves from the previous optimal basis.
+That skips model ingestion, presolve, and most simplex iterations (2–3x on
+the BENCH_engine re-auction trace).  Warm solves return *an* optimal
+solution with the same objective value, but on degenerate LPs possibly a
+different vertex than a cold solve — which is why the path is opt-in
+(``BatchAuctionEngine(lp_warm_start=True)``) and never used where
+bit-parity with the seed pipeline is pinned.
+
 The fast path relies on the private ``scipy.optimize._highspy`` bindings
 that scipy's own ``linprog(method="highs")`` is built on.  When the import
 fails (future scipy reshuffles), everything transparently falls back to
@@ -24,7 +38,20 @@ import scipy.sparse as sp
 
 from repro.core.lp import LPSolution, solve_packing_lp
 
-__all__ = ["solve_packing_lp_fast", "fast_backend_available"]
+__all__ = [
+    "solve_packing_lp_fast",
+    "fast_backend_available",
+    "warm_start_stats",
+    "choose_solver",
+    "IPM_MIN_ROWS",
+]
+
+# Above this row count the packing LPs' simplex paths degrade sharply while
+# interior point (with crossover, so a basic optimal solution still comes
+# back) stays near-linear — the n≈5000 metro auction solves ~5x faster.
+# Measured crossover on the BENCH_scale.json workloads (~2000 rows; set
+# above it so every seed-scale instance keeps the bit-parity simplex path).
+IPM_MIN_ROWS = 3000
 
 try:  # pragma: no cover - exercised indirectly by every engine test
     import scipy.optimize._highspy._core as _hcore
@@ -39,26 +66,101 @@ def fast_backend_available() -> bool:
     return _hcore is not None
 
 
-def _thread_highs():
-    """One ``Highs`` instance per thread (HiGHS objects are not thread-safe)."""
-    highs = getattr(_local, "highs", None)
+def choose_solver(m: int, n: int) -> str:
+    """The ``solver="auto"`` policy: simplex below :data:`IPM_MIN_ROWS` rows
+    (bit-compatible with the seed pipeline's linprog), interior point above."""
+    return "ipm" if m >= IPM_MIN_ROWS else "simplex"
+
+
+def _thread_highs(solver: str):
+    """One ``Highs`` instance per thread *and solver mode* (HiGHS objects are
+    not thread-safe, and keeping modes separate avoids option churn)."""
+    instances = getattr(_local, "instances", None)
+    if instances is None:
+        instances = _local.instances = {}
+        _local.loaded = None  # (warm_key, a, b) of the last simplex model
+        _local.warm_stats = {"warm": 0, "cold": 0}
+        _local.aux = {}
+    highs = instances.get(solver)
     if highs is None:
         highs = _hcore._Highs()
         options = _hcore.HighsOptions()
         options.output_flag = False
+        # single-threaded: the small LPs sit far below HiGHS's parallel
+        # thresholds, so the only effect of the default is per-run
+        # thread-pool setup; the solve path (and the solution) is unchanged
+        options.threads = 1
+        if solver == "ipm":
+            options.solver = "ipm"  # crossover stays on: basic solutions
         highs.passOptions(options)
-        _local.highs = highs
+        instances[solver] = highs
     return highs
 
 
+def warm_start_stats() -> dict[str, int]:
+    """This thread's warm/cold solve counters (for tests and benchmarks)."""
+    _thread_highs("simplex")
+    return dict(_local.warm_stats)
+
+
+def _aux_arrays(m: int, n: int):
+    """Cached (zeros_n, inf_n, neginf_m) bound arrays per dimension pair."""
+    aux = _local.aux
+    hit = aux.get((m, n))
+    if hit is None:
+        hit = (np.zeros(n), np.full(n, np.inf), np.full(m, -np.inf))
+        if len(aux) >= 32:
+            aux.pop(next(iter(aux)))
+        aux[(m, n)] = hit
+    return hit
+
+
+def _same_model(loaded, warm_key, a: sp.csc_matrix, b: np.ndarray) -> bool:
+    """Is the loaded model this key's matrix/RHS (so only costs changed)?
+
+    Identity checks first (re-solves of one compiled instance hand over the
+    same cached arrays); the equality fallback catches distinct compiled
+    auctions sharing one structure whose enumerated bundle patterns match.
+    """
+    if loaded is None or loaded[0] != warm_key:
+        return False
+    a_prev, b_prev = loaded[1], loaded[2]
+    if a_prev is a and b_prev is b:
+        return True
+    return (
+        a_prev.shape == a.shape
+        and a_prev.nnz == a.nnz
+        and np.array_equal(a_prev.indptr, a.indptr)
+        and np.array_equal(a_prev.indices, a.indices)
+        and np.array_equal(a_prev.data, a.data)
+        and np.array_equal(b_prev, b)
+    )
+
+
 def solve_packing_lp_fast(
-    c: np.ndarray, a_ub: sp.spmatrix, b_ub: np.ndarray
+    c: np.ndarray,
+    a_ub: sp.spmatrix,
+    b_ub: np.ndarray,
+    warm_key=None,
+    solver: str = "auto",
 ) -> LPSolution:
     """Solve ``max c·x s.t. a_ub x ≤ b_ub, x ≥ 0`` via the persistent backend.
 
     Same contract as :func:`repro.core.lp.solve_packing_lp` (maximization,
     duals ``y ≥ 0`` of the packing rows); raises ``RuntimeError`` on
     non-optimal status.
+
+    ``solver`` is ``"simplex"``, ``"ipm"``, or ``"auto"`` (the
+    :func:`choose_solver` size policy).  Both modes return optimal basic
+    solutions (IPM runs crossover); small LPs always take simplex, keeping
+    bit-parity with the seed pipeline.
+
+    ``warm_key`` (hashable, typically the compiled structure's identity plus
+    the LP dimensions) opts into the warm-start path: if the thread's loaded
+    model carries the same key, matrix, and RHS, only the objective is
+    mutated and HiGHS starts from the previous basis.  Callers must accept
+    any optimal vertex when passing a key (see module docstring).  Warm
+    starts apply to the simplex mode only (IPM has no basis to reuse).
     """
     if _hcore is None:
         return solve_packing_lp(c, a_ub, b_ub)
@@ -68,27 +170,44 @@ def solve_packing_lp_fast(
     m, n = a.shape
     if (m, n) != (b_ub.shape[0], c.shape[0]):
         raise ValueError(f"A has shape {a.shape}, expected ({b_ub.shape[0]}, {c.shape[0]})")
+    if solver not in ("auto", "simplex", "ipm"):
+        raise ValueError(f"solver must be 'auto', 'simplex', or 'ipm', got {solver!r}")
+    if solver == "auto":
+        solver = choose_solver(m, n)
 
-    lp = _hcore.HighsLp()
-    lp.num_col_ = n
-    lp.num_row_ = m
-    lp.a_matrix_.num_col_ = n
-    lp.a_matrix_.num_row_ = m
-    lp.a_matrix_.format_ = _hcore.MatrixFormat.kColwise
-    lp.a_matrix_.start_ = a.indptr
-    lp.a_matrix_.index_ = a.indices
-    lp.a_matrix_.value_ = a.data
-    lp.col_cost_ = -c  # HiGHS minimizes
-    lp.col_lower_ = np.zeros(n)
-    lp.col_upper_ = np.full(n, np.inf)
-    lp.row_lower_ = np.full(m, -np.inf)
-    lp.row_upper_ = b_ub
-
-    highs = _thread_highs()
-    highs.passModel(lp)
+    highs = _thread_highs(solver)
+    if (
+        solver == "simplex"
+        and warm_key is not None
+        and _same_model(_local.loaded, warm_key, a, b_ub)
+    ):
+        _local.warm_stats["warm"] += 1
+        idx = np.arange(n, dtype=np.int32)
+        highs.changeColsCost(n, idx, -c)  # basis survives: warm re-solve
+    else:
+        _local.warm_stats["cold"] += 1
+        zeros_n, inf_n, neginf_m = _aux_arrays(m, n)
+        lp = _hcore.HighsLp()
+        lp.num_col_ = n
+        lp.num_row_ = m
+        lp.a_matrix_.num_col_ = n
+        lp.a_matrix_.num_row_ = m
+        lp.a_matrix_.format_ = _hcore.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = a.indptr
+        lp.a_matrix_.index_ = a.indices
+        lp.a_matrix_.value_ = a.data
+        lp.col_cost_ = -c  # HiGHS minimizes
+        lp.col_lower_ = zeros_n
+        lp.col_upper_ = inf_n
+        lp.row_lower_ = neginf_m
+        lp.row_upper_ = b_ub
+        highs.passModel(lp)
+        if solver == "simplex":  # ipm uses its own instance; simplex state intact
+            _local.loaded = (warm_key, a, b_ub) if warm_key is not None else None
     highs.run()
     status = highs.getModelStatus()
     if status != _hcore.HighsModelStatus.kOptimal:
+        _local.loaded = None  # do not warm-start off a failed solve
         raise RuntimeError(
             f"LP solve failed (status {status}): {highs.modelStatusToString(status)}"
         )

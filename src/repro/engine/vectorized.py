@@ -301,11 +301,35 @@ def _resolve_unweighted_batch(
 def _resolve_weighted_batch(
     compiled, chan: np.ndarray, order: np.ndarray, resolve: str
 ) -> np.ndarray:
-    """Algorithm 2's partial resolution (Condition (5) threshold), batched."""
-    bwbar = compiled.structure.backward_wbar
+    """Algorithm 2's partial resolution (Condition (5) threshold), batched.
+
+    Dense-compiled structures use the full backward-w̄ matrix; sparse
+    compilations carry per-vertex neighbor/weight lists instead and restrict
+    the share test to the actual backward neighborhood — O(|Γ_π(v)|·k) per
+    vertex instead of O(n·k).  The Condition (5) total is then a sum over
+    the neighbor subset rather than a length-n dot product; as with the
+    welfare sums (see module docstring), only an instance sitting within one
+    ulp of the 0.5 threshold could resolve differently.
+    """
+    cs = compiled.structure
+    bwbar = cs.backward_wbar
     survivors = resolve == "survivors"
     ref = chan.copy() if survivors else chan
     killed = np.zeros(chan.shape[:2], dtype=bool)
+    if bwbar is None:  # sparse compile: flat backward lists
+        backward, backward_w = cs.backward, cs.backward_w
+        for v in order:
+            nbrs = backward[v]
+            if nbrs.size == 0:
+                continue
+            shares = (ref[:, nbrs, :] & chan[:, v, None, :]).any(axis=2)
+            total = shares @ backward_w[v]
+            drop = total >= 0.5
+            if drop.any():
+                killed[:, v] = drop
+                if survivors:
+                    ref[drop, v, :] = False
+        return killed
     for v in order:
         weights = bwbar[v]
         if not weights.any():

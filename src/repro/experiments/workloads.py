@@ -3,9 +3,20 @@ batch-engine benchmarks.
 
 Each builder returns fully-specified problem instances from a seed, so
 benchmark numbers are reproducible bit-for-bit.
+
+The metro-scale family (``metro_*``) models a metropolitan deployment:
+n up to ~10⁴ transmitters or links spread over an area that grows with n,
+so the conflict degree stays constant (the regime where the spatial-index
+builders and the sparse compile path are near-linear while the dense
+builders are O(n²)).  ``reauction_fleet`` is the warm-start reference
+workload: one region whose bidders keep their bundle interests across
+epochs and only re-price them — consecutive LPs share the constraint
+matrix, which the warm-started HiGHS path exploits.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.core.auction import AuctionProblem
 from repro.core.asymmetric import AsymmetricAuctionProblem
@@ -23,6 +34,7 @@ from repro.interference.physical import (
 from repro.interference.power_control import power_control_structure
 from repro.interference.protocol import protocol_model
 from repro.util.rng import ensure_rng
+from repro.valuations.explicit import XORValuation
 from repro.valuations.generators import (
     all_or_nothing_valuations,
     random_xor_valuations,
@@ -35,9 +47,15 @@ __all__ = [
     "power_control_auction",
     "theorem18_auction",
     "protocol_auction_fleet",
+    "reauction_fleet",
+    "metro_extent",
+    "metro_disk_auction",
+    "metro_protocol_auction",
+    "metro_fleet",
 ]
 
 DEFAULT_LENGTHS = (0.02, 0.08)
+DEFAULT_RADII = (0.05, 0.15)
 
 
 def protocol_auction(
@@ -91,6 +109,112 @@ def disk_auction(n: int, k: int, seed) -> AuctionProblem:
     structure = disk_transmitter_model(inst)
     vals = random_xor_valuations(n, k, seed=rng)
     return AuctionProblem(structure, k, vals)
+
+
+def reauction_fleet(
+    epochs: int,
+    n: int,
+    k: int,
+    seed,
+    delta: float = 1.0,
+    bids_per_bidder: int = 4,
+) -> list[AuctionProblem]:
+    """One region re-auctioned with re-priced bids: the warm-start workload.
+
+    Every epoch keeps each bidder's *bundle interests* (so the LP constraint
+    matrices are identical across epochs — realistic for license renewals
+    where demand sets are stable but prices move) and re-draws the values
+    with the XOR generator's distribution.
+    """
+    rng = ensure_rng(seed)
+    links = random_links(n, length_range=DEFAULT_LENGTHS, seed=rng)
+    structure = protocol_model(links, delta)
+    base = random_xor_valuations(n, k, bids_per_bidder=bids_per_bidder, seed=rng)
+    fleet: list[AuctionProblem] = []
+    for _ in range(epochs):
+        vals = []
+        for valuation in base:
+            bids = {}
+            for bundle in valuation.bids:
+                base_value = int(rng.integers(1, 101))
+                bids[bundle] = float(base_value * (1 + len(bundle)) // 2 + len(bundle))
+            vals.append(XORValuation(k, bids))
+        fleet.append(AuctionProblem(structure, k, vals))
+    return fleet
+
+
+def metro_extent(n: int, mean_reach: float, density: float = 12.0) -> float:
+    """Deployment-area side length giving an expected conflict degree of
+    ``density``: n disks of interaction reach ``mean_reach`` in a square of
+    side ``√(n·π·reach²/density)`` average ``density`` conflicts each."""
+    if n < 1 or density <= 0:
+        raise ValueError("need n >= 1 and density > 0")
+    return math.sqrt(n * math.pi * mean_reach**2 / density)
+
+
+def metro_disk_auction(
+    n: int,
+    k: int,
+    seed,
+    density: float = 12.0,
+    radius_range: tuple[float, float] = DEFAULT_RADII,
+    bids_per_bidder: int = 4,
+    method: str = "auto",
+) -> AuctionProblem:
+    """Metro-scale disk-model auction: constant conflict density at any n.
+
+    ``method`` is forwarded to the graph builder (``"dense"`` forces the
+    O(n²) path — the pre-spatial-index baseline BENCH_scale.json measures).
+    """
+    rng = ensure_rng(seed)
+    extent = metro_extent(n, sum(radius_range), density)  # mean r_i + r_j
+    inst = random_disk_instance(
+        n, extent=extent, radius_range=radius_range, seed=rng, method=method
+    )
+    structure = disk_transmitter_model(inst)
+    vals = random_xor_valuations(n, k, bids_per_bidder=bids_per_bidder, seed=rng)
+    return AuctionProblem(structure, k, vals)
+
+
+def metro_protocol_auction(
+    n: int,
+    k: int,
+    seed,
+    density: float = 12.0,
+    delta: float = 1.0,
+    length_range: tuple[float, float] = DEFAULT_LENGTHS,
+    bids_per_bidder: int = 4,
+    method: str = "auto",
+) -> AuctionProblem:
+    """Metro-scale protocol-model auction over links (constant density)."""
+    rng = ensure_rng(seed)
+    # interaction reach of a link ≈ its guard radius around the receiver
+    mean_reach = (1.0 + delta) * (length_range[0] + length_range[1]) / 2.0
+    extent = metro_extent(n, mean_reach, density)
+    links = random_links(n, extent=extent, length_range=length_range, seed=rng)
+    structure = protocol_model(links, delta, method=method)
+    vals = random_xor_valuations(n, k, bids_per_bidder=bids_per_bidder, seed=rng)
+    return AuctionProblem(structure, k, vals)
+
+
+def metro_fleet(
+    regions: int,
+    n: int,
+    k: int,
+    seed,
+    model: str = "disk",
+    method: str = "auto",
+    **kwargs,
+) -> list[AuctionProblem]:
+    """A fleet of metro-scale auctions, one per region."""
+    builders = {"disk": metro_disk_auction, "protocol": metro_protocol_auction}
+    if model not in builders:
+        raise ValueError(f"model must be one of {sorted(builders)}, got {model!r}")
+    rng = ensure_rng(seed)
+    return [
+        builders[model](n, k, seed=rng, method=method, **kwargs)
+        for _ in range(regions)
+    ]
 
 
 def physical_auction(

@@ -26,6 +26,14 @@ from repro.geometry.points import (
     sample_clustered_points,
     sample_uniform_points,
 )
+from repro.geometry.spatial import (
+    SPATIAL_INDEX_MIN_N,
+    candidate_pairs,
+    cross_candidate_pairs,
+    disk_intersection_pairs,
+    pair_distances,
+    resolve_method,
+)
 
 __all__ = [
     "DiskInstance",
@@ -46,4 +54,10 @@ __all__ = [
     "sample_clustered_points",
     "pairwise_distances",
     "cross_distances",
+    "SPATIAL_INDEX_MIN_N",
+    "candidate_pairs",
+    "cross_candidate_pairs",
+    "disk_intersection_pairs",
+    "pair_distances",
+    "resolve_method",
 ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.points import pairwise_distances, sample_uniform_points
+from repro.geometry.spatial import disk_intersection_pairs, resolve_method
 from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
 from repro.util.rng import ensure_rng
 
@@ -23,24 +24,38 @@ __all__ = [
 ]
 
 
-def disk_graph(points: np.ndarray, radii: np.ndarray) -> ConflictGraph:
-    """Disk intersection graph: edge iff ``d(i, j) ≤ r_i + r_j``."""
+def disk_graph(
+    points: np.ndarray, radii: np.ndarray, method: str = "auto"
+) -> ConflictGraph:
+    """Disk intersection graph: edge iff ``d(i, j) ≤ r_i + r_j``.
+
+    ``method`` selects the builder: ``"dense"`` computes the full distance
+    matrix (O(n²)); ``"spatial"`` enumerates candidate pairs with a KD-tree
+    and emits CSR adjacency directly (near-linear for constant-density
+    instances); ``"auto"`` picks by the spatial-index n-threshold.  Both
+    builders produce the identical edge set.
+    """
     pts = np.asarray(points, dtype=float)
     r = np.asarray(radii, dtype=float)
     if r.shape != (pts.shape[0],):
         raise ValueError("radii must have one entry per point")
     if (r <= 0).any():
         raise ValueError("radii must be positive")
+    if resolve_method(method, pts.shape[0]) == "spatial":
+        us, vs = disk_intersection_pairs(pts, r)
+        return ConflictGraph.from_edge_arrays(pts.shape[0], us, vs)
     dist = pairwise_distances(pts)
     adj = dist <= (r[:, None] + r[None, :])
     np.fill_diagonal(adj, False)
     return ConflictGraph.from_adjacency(adj)
 
 
-def unit_disk_graph(points: np.ndarray, radius: float) -> ConflictGraph:
+def unit_disk_graph(
+    points: np.ndarray, radius: float, method: str = "auto"
+) -> ConflictGraph:
     """Unit-disk graph: edge iff ``d(i, j) ≤ 2 · radius``."""
     n = np.asarray(points).shape[0]
-    return disk_graph(points, np.full(n, float(radius)))
+    return disk_graph(points, np.full(n, float(radius)), method=method)
 
 
 def radius_ordering(radii: np.ndarray) -> VertexOrdering:
@@ -56,10 +71,12 @@ def radius_ordering(radii: np.ndarray) -> VertexOrdering:
 class DiskInstance:
     """A sampled disk-graph instance bundling geometry, graph, and ordering."""
 
-    def __init__(self, points: np.ndarray, radii: np.ndarray) -> None:
+    def __init__(
+        self, points: np.ndarray, radii: np.ndarray, method: str = "auto"
+    ) -> None:
         self.points = np.asarray(points, dtype=float)
         self.radii = np.asarray(radii, dtype=float)
-        self.graph = disk_graph(self.points, self.radii)
+        self.graph = disk_graph(self.points, self.radii, method=method)
         self.ordering = radius_ordering(self.radii)
 
     @property
@@ -72,6 +89,7 @@ def random_disk_instance(
     extent: float = 1.0,
     radius_range: tuple[float, float] = (0.05, 0.15),
     seed=None,
+    method: str = "auto",
 ) -> DiskInstance:
     """Uniform points with i.i.d. uniform radii in ``radius_range``."""
     lo, hi = radius_range
@@ -80,4 +98,4 @@ def random_disk_instance(
     rng = ensure_rng(seed)
     points = sample_uniform_points(n, extent, rng)
     radii = rng.uniform(lo, hi, size=n)
-    return DiskInstance(points, radii)
+    return DiskInstance(points, radii, method=method)

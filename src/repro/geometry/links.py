@@ -43,21 +43,51 @@ class LinkSet:
         self.sender_idx = s
         self.receiver_idx = r
         self._sr: np.ndarray | None = None
+        self._lengths: np.ndarray | None = None
 
     @property
     def n(self) -> int:
         return self.sender_idx.shape[0]
 
     def sender_receiver_matrix(self) -> np.ndarray:
-        """``out[i, j] = d(s_i, r_j)`` (cached)."""
+        """``out[i, j] = d(s_i, r_j)`` (cached).
+
+        This is the dense n×n matrix — large-n spatial paths avoid it via
+        ``lengths`` (diagonal only) and KD-tree candidate queries.
+        """
         if self._sr is None:
             self._sr = self.metric.distance_submatrix(self.sender_idx, self.receiver_idx)
         return self._sr
 
     @property
     def lengths(self) -> np.ndarray:
-        """``d(s_i, r_i)`` for every link."""
-        return np.diagonal(self.sender_receiver_matrix()).copy()
+        """``d(s_i, r_i)`` for every link (a copy — safe to mutate).
+
+        Computed pairwise (never via the dense matrix) unless the matrix is
+        already cached; the Euclidean per-pair expression matches the dense
+        matrix entries bit for bit.
+        """
+        if self._lengths is None:
+            if self._sr is not None:
+                self._lengths = np.diagonal(self._sr).copy()
+            else:
+                xy = self.endpoint_coords()
+                if xy is not None:
+                    s_xy, r_xy = xy
+                    diff = s_xy - r_xy
+                    self._lengths = np.sqrt((diff * diff).sum(axis=-1))
+                else:
+                    self._lengths = np.diagonal(self.sender_receiver_matrix()).copy()
+        return self._lengths.copy()
+
+    def endpoint_coords(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """(sender, receiver) coordinate arrays when the metric is Euclidean;
+        ``None`` otherwise (no spatial index possible)."""
+        from repro.geometry.metric import EuclideanMetric
+
+        if isinstance(self.metric, EuclideanMetric):
+            return self.metric.coords[self.sender_idx], self.metric.coords[self.receiver_idx]
+        return None
 
     def sender_sender_matrix(self) -> np.ndarray:
         return self.metric.distance_submatrix(self.sender_idx, self.sender_idx)

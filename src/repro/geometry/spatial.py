@@ -1,0 +1,122 @@
+"""Spatial-index neighbor queries for metro-scale graph construction.
+
+Every geometric model in Section 4 (disk, protocol, distance-2, physical)
+declares conflicts between *near* pairs: disks intersect, guard zones are
+violated, interference exceeds a cutoff.  The dense builders compute a full
+n×n distance matrix — O(n²) time and memory — although the true edge set is
+locally bounded and therefore near-linear in n for constant-density
+deployments.  The helpers here use :class:`scipy.spatial.cKDTree` range
+queries to enumerate only candidate pairs within a conservative radius;
+callers then apply their *exact* predicate to the candidates.
+
+Parity contract: candidate generation is a strict superset of the true edge
+set (the query radius upper-bounds every pair-specific threshold), and the
+exact filters recompute distances with the same NumPy expressions as the
+dense builders — same subtraction, square, sum, sqrt — so the surviving
+edge set is bit-identical to the dense path, not merely approximately equal
+(pinned by ``tests/test_spatial_parity.py``).
+
+``SPATIAL_INDEX_MIN_N`` is the n-threshold heuristic shared by all builders
+with ``method="auto"``: below it the dense kernels win (one vectorized
+broadcast beats tree construction), above it the KD-tree path wins and the
+dense matrix would start to dominate memory.  The crossover was measured on
+the BENCH_scale.json workloads; it is deliberately conservative (dense is
+never *wrong*, only slower).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = [
+    "SPATIAL_INDEX_MIN_N",
+    "resolve_method",
+    "candidate_pairs",
+    "cross_candidate_pairs",
+    "pair_distances",
+    "disk_intersection_pairs",
+]
+
+SPATIAL_INDEX_MIN_N = 256
+
+
+def resolve_method(method: str, n: int, supported: bool = True) -> str:
+    """Resolve ``method in {"auto", "dense", "spatial"}`` to a concrete one.
+
+    ``supported=False`` (e.g. links in a non-Euclidean metric, where there
+    are no coordinates to index) forces the dense path under ``auto`` and
+    raises for an explicit ``spatial`` request.
+    """
+    if method not in ("auto", "dense", "spatial"):
+        raise ValueError(f"method must be 'auto', 'dense', or 'spatial', got {method!r}")
+    if method == "spatial" and not supported:
+        raise ValueError("spatial indexing needs Euclidean coordinates")
+    if method == "auto":
+        return "spatial" if supported and n >= SPATIAL_INDEX_MIN_N else "dense"
+    return method
+
+
+def candidate_pairs(points: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
+    """All pairs ``i < j`` with ``d(points_i, points_j) ≤ radius``.
+
+    Returns two index arrays (possibly empty).  The radius is inclusive, so
+    any predicate of the form ``d ≤ r_ij`` with ``r_ij ≤ radius`` sees every
+    satisfying pair among the candidates.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.shape[0] < 2:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r=float(radius), output_type="ndarray")
+    if pairs.size == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    return pairs[:, 0].astype(np.intp), pairs[:, 1].astype(np.intp)
+
+
+def cross_candidate_pairs(
+    a: np.ndarray, b: np.ndarray, radius: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (i, j) with ``d(a_i, b_j) ≤ radius`` between two point sets.
+
+    Used for directed predicates such as the protocol model's guard zones,
+    where the candidate relation pairs receivers of one link with senders of
+    another.  Returns (i_idx into ``a``, j_idx into ``b``).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    tree_a = cKDTree(a)
+    tree_b = cKDTree(b)
+    coo = tree_a.sparse_distance_matrix(tree_b, float(radius), output_type="coo_matrix")
+    return coo.row.astype(np.intp), coo.col.astype(np.intp)
+
+
+def pair_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-pair Euclidean distances, computed with the exact NumPy ops of
+    :func:`repro.geometry.points.pairwise_distances` so comparisons against
+    thresholds resolve identically to the dense builders."""
+    diff = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def disk_intersection_pairs(
+    points: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pairs ``i < j`` whose disks intersect: ``d(i, j) ≤ r_i + r_j``.
+
+    Candidates come from a KD-tree query at ``2 · max(r)`` (an upper bound
+    on every ``r_i + r_j``); the exact per-pair test then reproduces the
+    dense builder's comparison bit for bit.
+    """
+    pts = np.asarray(points, dtype=float)
+    r = np.asarray(radii, dtype=float)
+    us, vs = candidate_pairs(pts, 2.0 * float(r.max(initial=0.0)))
+    if us.size == 0:
+        return us, vs
+    keep = pair_distances(pts[us], pts[vs]) <= r[us] + r[vs]
+    return us[keep], vs[keep]

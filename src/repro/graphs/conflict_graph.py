@@ -6,9 +6,19 @@ edge between two bidders that may never share a channel.  A *vertex ordering*
 for every vertex ``v`` the paper's algorithms only inspect the *backward
 neighborhood* ``Γ_π(v)`` — the neighbors of ``v`` placed before it by π.
 
-Graphs are stored as dense boolean adjacency matrices: every instance in the
-paper's models has at most a few hundred vertices, where dense NumPy kernels
-beat sparse bookkeeping (see the performance notes in DESIGN.md).
+Graphs carry one of two interchangeable backends:
+
+* a dense boolean adjacency matrix — the default for instances built edge by
+  edge or from a matrix, where dense NumPy kernels beat sparse bookkeeping
+  on the few-hundred-vertex instances of the paper's experiments;
+* a CSR matrix (``scipy.sparse``) — produced by the spatial-index builders
+  in :mod:`repro.geometry.spatial` for metro-scale instances, where the
+  dense n×n matrix would not fit (n ≈ 10⁴ ⇒ 10⁸ entries).
+
+Every query method works on either backend.  ``adjacency`` densifies a CSR
+graph lazily (and keeps the result), so legacy dense consumers keep working;
+large-n code paths should prefer ``csr`` / ``neighbors`` /
+``backward_neighbors``, which never materialize the dense matrix.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 __all__ = ["ConflictGraph", "VertexOrdering"]
 
@@ -83,7 +94,9 @@ class ConflictGraph:
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if n < 0:
             raise ValueError("n must be non-negative")
-        self._adj = np.zeros((n, n), dtype=bool)
+        self._n = n
+        self._adj: np.ndarray | None = np.zeros((n, n), dtype=bool)
+        self._csr: sp.csr_matrix | None = None
         for u, v in edges:
             self._add_edge(u, v)
 
@@ -100,44 +113,123 @@ class ConflictGraph:
         g._adj = adj.copy()
         return g
 
+    @classmethod
+    def from_csr(cls, csr: sp.spmatrix) -> "ConflictGraph":
+        """Build from a symmetric boolean CSR matrix *without densifying*.
+
+        The dense matrix is only materialized if some consumer later reads
+        ``adjacency``; all query methods work directly on the CSR arrays.
+        """
+        m = sp.csr_matrix(csr, dtype=bool)
+        if m.shape[0] != m.shape[1]:
+            raise ValueError("adjacency must be a square matrix")
+        m.sum_duplicates()
+        m.sort_indices()
+        m.eliminate_zeros()
+        if m.diagonal().any():
+            raise ValueError("self-loops are not allowed")
+        if (m != m.T).nnz != 0:
+            raise ValueError("adjacency must be symmetric")
+        g = cls(0)
+        g._n = m.shape[0]
+        g._adj = None
+        g._csr = m
+        return g
+
+    @classmethod
+    def from_edge_arrays(cls, n: int, us: np.ndarray, vs: np.ndarray) -> "ConflictGraph":
+        """Build from arrays of edge endpoints (each edge listed once, u ≠ v),
+        symmetrizing into CSR; the spatial-index builders' entry point."""
+        us = np.asarray(us, dtype=np.intp)
+        vs = np.asarray(vs, dtype=np.intp)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise ValueError("edge endpoint arrays must be equal-length 1-D")
+        if us.size and (us == vs).any():
+            raise ValueError("self-loops are not allowed")
+        rows = np.concatenate([us, vs])
+        cols = np.concatenate([vs, us])
+        data = np.ones(rows.size, dtype=bool)
+        coo = sp.coo_matrix((data, (rows, cols)), shape=(n, n))
+        return cls.from_csr(coo.tocsr())
+
     def _add_edge(self, u: int, v: int) -> None:
         if u == v:
             raise ValueError(f"self-loop at vertex {u}")
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ValueError(f"edge ({u},{v}) out of range for n={self.n}")
-        self._adj[u, v] = True
-        self._adj[v, u] = True
+        adj = self.adjacency  # edge-by-edge construction is dense-only
+        adj[u, v] = True
+        adj[v, u] = True
 
     @property
     def n(self) -> int:
-        return self._adj.shape[0]
+        return self._n
+
+    @property
+    def is_sparse(self) -> bool:
+        """True when the graph is CSR-backed and never been densified."""
+        return self._adj is None
 
     @property
     def m(self) -> int:
         """Number of edges."""
+        if self._adj is None:
+            return int(self._csr.nnz) // 2
         return int(self._adj.sum()) // 2
 
     @property
     def adjacency(self) -> np.ndarray:
-        """The boolean adjacency matrix (do not mutate)."""
+        """The boolean adjacency matrix (do not mutate).
+
+        CSR-backed graphs densify on first access and keep the result —
+        fine for small n, avoid on metro-scale graphs (use ``csr``).
+        """
+        if self._adj is None:
+            self._adj = self._csr.toarray()
         return self._adj
 
+    @property
+    def csr(self) -> sp.csr_matrix:
+        """Canonical boolean CSR adjacency (built from dense on demand)."""
+        if self._csr is None:
+            self._csr = sp.csr_matrix(self._adj)
+            self._csr.sort_indices()
+        return self._csr
+
     def has_edge(self, u: int, v: int) -> bool:
+        if self._adj is None:
+            return bool(self._csr[u, v])
         return bool(self._adj[u, v])
 
     def neighbors(self, v: int) -> np.ndarray:
+        if self._adj is None:
+            c = self._csr
+            return c.indices[c.indptr[v] : c.indptr[v + 1]].astype(np.intp)
         return np.flatnonzero(self._adj[v])
 
+    def degrees(self) -> np.ndarray:
+        """Vector of vertex degrees."""
+        if self._adj is None:
+            return np.diff(self._csr.indptr).astype(np.intp)
+        return self._adj.sum(axis=1)
+
     def degree(self, v: int) -> int:
+        if self._adj is None:
+            return int(self._csr.indptr[v + 1] - self._csr.indptr[v])
         return int(self._adj[v].sum())
 
     def max_degree(self) -> int:
-        return int(self._adj.sum(axis=1).max(initial=0))
+        return int(self.degrees().max(initial=0))
 
     def average_degree(self) -> float:
-        return float(self._adj.sum()) / self.n if self.n else 0.0
+        return float(self.degrees().sum()) / self.n if self.n else 0.0
 
     def edges(self) -> Iterator[tuple[int, int]]:
+        if self._adj is None:
+            coo = sp.triu(self._csr, k=1).tocoo()
+            order = np.lexsort((coo.col, coo.row))
+            yield from zip(coo.row[order].tolist(), coo.col[order].tolist())
+            return
         us, vs = np.nonzero(np.triu(self._adj))
         yield from zip(us.tolist(), vs.tolist())
 
@@ -148,22 +240,29 @@ class ConflictGraph:
             return True
         if len(set(idx.tolist())) != idx.size:
             raise ValueError("vertex set contains duplicates")
+        if self._adj is None:
+            return self._csr[idx][:, idx].nnz == 0
         return not self._adj[np.ix_(idx, idx)].any()
 
     def backward_neighbors(self, v: int, ordering: VertexOrdering) -> np.ndarray:
         """``Γ_π(v)``: neighbors of ``v`` that precede it in the ordering."""
+        if self._adj is None:
+            nbrs = self.neighbors(v)
+            return nbrs[ordering.pos[nbrs] < ordering.pos[v]]
         return np.flatnonzero(self._adj[v] & ordering.earlier_mask(v))
 
     def subgraph(self, vertices: Sequence[int]) -> tuple["ConflictGraph", np.ndarray]:
         """Induced subgraph; returns (graph, original-vertex array) where the
         new vertex ``i`` corresponds to ``original[i]``."""
         idx = np.asarray(vertices, dtype=np.intp)
+        if self._adj is None:
+            return ConflictGraph.from_csr(self._csr[idx][:, idx]), idx
         sub = ConflictGraph(idx.size)
         sub._adj = self._adj[np.ix_(idx, idx)].copy()
         return sub, idx
 
     def complement(self) -> "ConflictGraph":
-        comp = ~self._adj
+        comp = ~self.adjacency
         np.fill_diagonal(comp, False)
         return ConflictGraph.from_adjacency(comp)
 

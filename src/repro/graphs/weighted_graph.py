@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
 
@@ -28,7 +29,15 @@ __all__ = ["WeightedConflictGraph"]
 
 
 class WeightedConflictGraph:
-    """Directed edge-weighted conflict graph on vertices ``0..n-1``."""
+    """Directed edge-weighted conflict graph on vertices ``0..n-1``.
+
+    Like :class:`~repro.graphs.conflict_graph.ConflictGraph`, the weights
+    live either in a dense matrix (the default) or in CSR form
+    (:meth:`from_csr`, used by the sparse physical-model builder where the
+    cutoff makes most of the n² weights zero).  ``weights`` and
+    ``wbar_matrix`` densify a CSR graph lazily; large-n consumers should use
+    ``w_csr`` / ``wbar_csr`` instead.
+    """
 
     def __init__(self, weights: np.ndarray) -> None:
         w = np.array(weights, dtype=float)
@@ -39,8 +48,38 @@ class WeightedConflictGraph:
         if not np.isfinite(w).all():
             raise ValueError("edge weights must be finite")
         np.fill_diagonal(w, 0.0)
-        self._w = w
-        self._wbar = w + w.T
+        self._n = w.shape[0]
+        self._w: np.ndarray | None = w
+        self._wbar: np.ndarray | None = w + w.T
+        self._w_csr: sp.csr_matrix | None = None
+        self._wbar_csr: sp.csr_matrix | None = None
+
+    @classmethod
+    def from_csr(cls, weights: sp.spmatrix) -> "WeightedConflictGraph":
+        """Build from a CSR matrix of directed weights *without densifying*."""
+        w = sp.csr_matrix(weights, dtype=float)
+        if w.shape[0] != w.shape[1]:
+            raise ValueError("weights must be a square matrix")
+        w.sum_duplicates()
+        w.sort_indices()
+        w.eliminate_zeros()
+        if (w.data < 0).any():
+            raise ValueError("edge weights must be non-negative")
+        if not np.isfinite(w.data).all():
+            raise ValueError("edge weights must be finite")
+        if w.diagonal().any():
+            w = w.copy()
+            w.setdiag(0.0)
+            w.eliminate_zeros()
+        g = cls.__new__(cls)
+        g._n = w.shape[0]
+        g._w = None
+        g._wbar = None
+        g._w_csr = w
+        wbar = (w + w.T).tocsr()
+        wbar.sort_indices()
+        g._wbar_csr = wbar
+        return g
 
     @classmethod
     def from_conflict_graph(cls, graph: ConflictGraph) -> "WeightedConflictGraph":
@@ -49,26 +88,62 @@ class WeightedConflictGraph:
         Independence coincides with the unweighted definition because a
         single incoming edge already contributes weight 1 ≥ 1.
         """
+        if graph.is_sparse:
+            return cls.from_csr(graph.csr.astype(float))
         return cls(graph.adjacency.astype(float))
 
     @property
     def n(self) -> int:
-        return self._w.shape[0]
+        return self._n
+
+    @property
+    def is_sparse(self) -> bool:
+        """True when the graph is CSR-backed and never been densified."""
+        return self._w is None
 
     @property
     def weights(self) -> np.ndarray:
-        """Directed weight matrix ``w[u, v] = w(u → v)`` (do not mutate)."""
+        """Directed weight matrix ``w[u, v] = w(u → v)`` (do not mutate).
+
+        CSR-backed graphs densify on first access and keep the result."""
+        if self._w is None:
+            self._w = self._w_csr.toarray()
         return self._w
 
     @property
     def wbar_matrix(self) -> np.ndarray:
         """Symmetrized weights ``w̄ = w + wᵀ`` (do not mutate)."""
+        if self._wbar is None:
+            self._wbar = self.wbar_csr.toarray()
         return self._wbar
 
+    @property
+    def w_csr(self) -> sp.csr_matrix:
+        """Directed weights in CSR form (built from dense on demand)."""
+        if self._w_csr is None:
+            self._w_csr = sp.csr_matrix(self._w)
+            self._w_csr.sort_indices()
+        return self._w_csr
+
+    @property
+    def wbar_csr(self) -> sp.csr_matrix:
+        """Symmetrized weights in CSR form (built from dense on demand)."""
+        if self._wbar_csr is None:
+            if self._wbar is not None:
+                self._wbar_csr = sp.csr_matrix(self._wbar)
+            else:
+                self._wbar_csr = (self.w_csr + self.w_csr.T).tocsr()
+            self._wbar_csr.sort_indices()
+        return self._wbar_csr
+
     def w(self, u: int, v: int) -> float:
+        if self._w is None:
+            return float(self._w_csr[u, v])
         return float(self._w[u, v])
 
     def wbar(self, u: int, v: int) -> float:
+        if self._wbar is None:
+            return float(self._wbar_csr[u, v])
         return float(self._wbar[u, v])
 
     def is_independent(self, vertices: Iterable[int]) -> bool:
@@ -78,31 +153,50 @@ class WeightedConflictGraph:
             return True
         if len(set(idx.tolist())) != idx.size:
             raise ValueError("vertex set contains duplicates")
-        incoming = self._w[np.ix_(idx, idx)].sum(axis=0)
+        if self._w is None:
+            incoming = np.asarray(
+                self._w_csr[idx][:, idx].sum(axis=0)
+            ).ravel()
+        else:
+            incoming = self._w[np.ix_(idx, idx)].sum(axis=0)
         return bool((incoming < 1.0).all())
 
     def incoming_weight(self, members: Sequence[int], v: int) -> float:
         """Σ_{u ∈ members} w(u, v) — interference received by ``v``."""
         idx = np.asarray(members, dtype=np.intp)
-        return float(self._w[idx, v].sum()) if idx.size else 0.0
+        if idx.size == 0:
+            return 0.0
+        if self._w is None:
+            return float(self._w_csr[idx, [v]].sum())
+        return float(self._w[idx, v].sum())
 
     def backward_wbar(self, v: int, ordering: VertexOrdering) -> np.ndarray:
         """Vector of ``w̄(u, v)`` restricted to vertices before ``v`` in π
         (zero elsewhere)."""
-        out = np.where(ordering.earlier_mask(v), self._wbar[:, v], 0.0)
-        return out
+        if self._wbar is None:
+            col = np.asarray(self._wbar_csr[:, [v]].todense()).ravel()
+            return np.where(ordering.earlier_mask(v), col, 0.0)
+        return np.where(ordering.earlier_mask(v), self._wbar[:, v], 0.0)
 
     def threshold_graph(self, threshold: float = 1.0) -> ConflictGraph:
         """Binary graph keeping pairs whose symmetric weight reaches
         ``threshold`` — pairs that can never coexist."""
+        if self._wbar is None:
+            keep = self.wbar_csr >= threshold
+            keep = sp.csr_matrix(keep)
+            keep.setdiag(False)
+            keep.eliminate_zeros()
+            return ConflictGraph.from_csr(keep)
         adj = self._wbar >= threshold
         np.fill_diagonal(adj, False)
         return ConflictGraph.from_adjacency(adj)
 
     def subgraph(self, vertices: Sequence[int]) -> tuple["WeightedConflictGraph", np.ndarray]:
         idx = np.asarray(vertices, dtype=np.intp)
+        if self._w is None:
+            return WeightedConflictGraph.from_csr(self._w_csr[idx][:, idx]), idx
         return WeightedConflictGraph(self._w[np.ix_(idx, idx)]), idx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        nnz = int(np.count_nonzero(self._w))
+        nnz = self._w_csr.nnz if self._w is None else int(np.count_nonzero(self._w))
         return f"WeightedConflictGraph(n={self.n}, nonzero_weights={nnz})"

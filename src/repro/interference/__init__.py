@@ -28,6 +28,7 @@ from repro.interference.physical import (
     linear_power,
     mean_power,
     physical_model_structure,
+    sparse_physical_structure,
     uniform_power,
 )
 from repro.interference.power_control import (
@@ -76,6 +77,7 @@ __all__ = [
     "mean_power",
     "is_monotone_power",
     "physical_model_structure",
+    "sparse_physical_structure",
     "tau_constant",
     "theorem17_weight_matrix",
     "power_control_structure",

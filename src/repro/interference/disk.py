@@ -48,7 +48,22 @@ def disk_transmitter_model(instance: DiskInstance) -> ConflictStructure:
 
 
 def graph_square(graph: ConflictGraph) -> ConflictGraph:
-    """G²: join vertices at hop distance ≤ 2."""
+    """G²: join vertices at hop distance ≤ 2.
+
+    CSR-backed graphs square sparsely (CSR matmul keeps the quadratic blowup
+    bounded by the true two-hop neighborhoods); dense graphs use the dense
+    product.  Identical edge sets either way.
+    """
+    if graph.is_sparse:
+        import scipy.sparse as sp
+
+        a = graph.csr.astype(np.int32)
+        coo = ((a + a @ a) > 0).tocoo()
+        keep = coo.row != coo.col
+        sq = sp.csr_matrix(
+            (coo.data[keep], (coo.row[keep], coo.col[keep])), shape=coo.shape
+        )
+        return ConflictGraph.from_csr(sq)
     a = graph.adjacency
     two_hops = (a.astype(np.uint8) @ a.astype(np.uint8)) > 0
     sq = a | two_hops

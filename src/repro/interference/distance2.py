@@ -10,18 +10,27 @@ number of mutually-compatible *larger* links conflicting with any link is
 O(1); in our convention the backward neighborhood holds the larger links, so
 π sorts by decreasing ``r(e)``.  Following the proof's packing constants we
 certify the explicit bound below.
+
+Both conflict-graph builders express the conflict relation through the
+edge/vertex incidence matrix ``B`` (``B[v, e] = 1`` iff ``v`` is an endpoint
+of ``e``): shared endpoints are ``BᵀB`` and host-edge connections are
+``BᵀAB``, so the dense and sparse paths compute the same edge set and the
+sparse path (CSR matmuls) never materializes the m×m matrix.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.geometry.disks import DiskInstance
+from repro.geometry.spatial import resolve_method
 from repro.graphs.conflict_graph import ConflictGraph, VertexOrdering
 from repro.interference.base import ConflictStructure
 
 __all__ = [
     "host_edges",
+    "host_edge_arrays",
     "distance2_matching_graph",
     "distance2_matching_model",
     "DISTANCE2_MATCHING_RHO_BOUND",
@@ -39,9 +48,38 @@ def host_edges(graph: ConflictGraph) -> list[tuple[int, int]]:
     return list(graph.edges())
 
 
+def host_edge_arrays(
+    graph: ConflictGraph, edges: list[tuple[int, int]] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Endpoint arrays ``(ea, eb)`` of the host edge list, vectorized.
+
+    Sparse hosts read the upper-triangular CSR structure directly; dense
+    hosts use the same row-major ``nonzero`` order as :func:`host_edges`.
+    """
+    if edges is not None:
+        arr = np.asarray(edges, dtype=np.intp).reshape(len(edges), 2)
+        return arr[:, 0].copy(), arr[:, 1].copy()
+    if graph.is_sparse:
+        coo = sp.triu(graph.csr, k=1).tocoo()
+        order = np.lexsort((coo.col, coo.row))
+        return coo.row[order].astype(np.intp), coo.col[order].astype(np.intp)
+    ea, eb = np.nonzero(np.triu(graph.adjacency))
+    return ea.astype(np.intp), eb.astype(np.intp)
+
+
+def _incidence(n: int, ea: np.ndarray, eb: np.ndarray) -> sp.csr_matrix:
+    """Vertex/edge incidence ``B[v, e] = 1`` iff ``v ∈ e`` (CSR, int32)."""
+    m = ea.size
+    rows = np.concatenate([ea, eb])
+    cols = np.concatenate([np.arange(m, dtype=np.intp)] * 2)
+    data = np.ones(2 * m, dtype=np.int32)
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, m))
+
+
 def distance2_matching_graph(
     host: ConflictGraph,
     edges: list[tuple[int, int]] | None = None,
+    method: str = "auto",
 ) -> tuple[ConflictGraph, list[tuple[int, int]]]:
     """Conflict graph on host edges for the distance-2 matching constraint.
 
@@ -49,11 +87,26 @@ def distance2_matching_graph(
     endpoint or the host contains an edge between ``{a, b}`` and ``{c, d}``
     (so any two selected links have no connecting path shorter than 2 edges).
     """
-    e_list = host_edges(host) if edges is None else edges
-    m = len(e_list)
+    if edges is None:
+        ea, eb = host_edge_arrays(host)
+        e_list = list(zip(ea.tolist(), eb.tolist()))
+    else:
+        e_list = edges
+        ea, eb = host_edge_arrays(host, e_list)
+    m = ea.size
+    if resolve_method(method, m) == "spatial":
+        b = _incidence(host.n, ea, eb)
+        a_host = host.csr.astype(np.int32)
+        conflict = (b.T @ b + b.T @ (a_host @ b)) > 0
+        coo = sp.csr_matrix(conflict).tocoo()
+        keep = coo.row != coo.col
+        graph = ConflictGraph.from_csr(
+            sp.csr_matrix(
+                (coo.data[keep], (coo.row[keep], coo.col[keep])), shape=(m, m)
+            )
+        )
+        return graph, e_list
     adj_host = host.adjacency
-    ea = np.array([e[0] for e in e_list], dtype=np.intp)
-    eb = np.array([e[1] for e in e_list], dtype=np.intp)
     conflict = np.zeros((m, m), dtype=bool)
     # Shared endpoint.
     for x, y in ((ea, ea), (ea, eb), (eb, ea), (eb, eb)):
@@ -65,13 +118,16 @@ def distance2_matching_graph(
     return ConflictGraph.from_adjacency(conflict), e_list
 
 
-def distance2_matching_model(instance: DiskInstance) -> ConflictStructure:
+def distance2_matching_model(
+    instance: DiskInstance, method: str = "auto"
+) -> ConflictStructure:
     """Distance-2 matching structure on a disk-graph host.
 
     The ordering sorts links by decreasing ``r(e) = r(u) + r(v)``.
     """
-    graph, e_list = distance2_matching_graph(instance.graph)
-    r_e = np.array([instance.radii[a] + instance.radii[b] for a, b in e_list])
+    graph, e_list = distance2_matching_graph(instance.graph, method=method)
+    ea, eb = host_edge_arrays(instance.graph, e_list)
+    r_e = instance.radii[ea] + instance.radii[eb]
     ordering = VertexOrdering.by_key(r_e, descending=True)
     return ConflictStructure(
         graph=graph,

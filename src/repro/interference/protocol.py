@@ -26,6 +26,12 @@ import math
 import numpy as np
 
 from repro.geometry.links import LinkSet, length_ordering
+from repro.geometry.spatial import (
+    candidate_pairs,
+    cross_candidate_pairs,
+    pair_distances,
+    resolve_method,
+)
 from repro.graphs.conflict_graph import ConflictGraph
 from repro.interference.base import ConflictStructure
 
@@ -48,10 +54,32 @@ def protocol_rho_bound(delta: float) -> int:
     return math.ceil(math.pi / math.asin(delta / (2.0 * (delta + 1.0)))) - 1
 
 
-def protocol_conflict_graph(links: LinkSet, delta: float) -> ConflictGraph:
-    """Conflict graph of the protocol model with guard parameter Δ."""
+def protocol_conflict_graph(
+    links: LinkSet, delta: float, method: str = "auto"
+) -> ConflictGraph:
+    """Conflict graph of the protocol model with guard parameter Δ.
+
+    The spatial builder pairs every receiver with the senders inside its
+    worst-case guard radius ``(1 + Δ) · max(len)`` via KD-trees, then
+    applies the exact per-link guard-zone test — identical edges to the
+    dense all-pairs path, near-linear work on constant-density deployments.
+    """
     if delta <= 0:
         raise ValueError("the protocol model requires Δ > 0")
+    xy = links.endpoint_coords()
+    if resolve_method(method, links.n, supported=xy is not None) == "spatial":
+        s_xy, r_xy = xy
+        lengths = links.lengths
+        guard = (1.0 + delta) * lengths
+        # candidates (i, j): sender of link j inside the worst-case guard
+        # radius of link i's receiver
+        i_idx, j_idx = cross_candidate_pairs(r_xy, s_xy, float(guard.max(initial=0.0)))
+        off_diag = i_idx != j_idx
+        i_idx, j_idx = i_idx[off_diag], j_idx[off_diag]
+        # exact test, same operand order as the dense sr matrix entries
+        keep = pair_distances(s_xy[j_idx], r_xy[i_idx]) < guard[i_idx]
+        us, vs = i_idx[keep], j_idx[keep]
+        return ConflictGraph.from_edge_arrays(links.n, us, vs)
     sr = links.sender_receiver_matrix()  # sr[i, j] = d(s_i, r_j)
     lengths = links.lengths
     # Link j's sender violates link i's guard zone iff
@@ -62,10 +90,12 @@ def protocol_conflict_graph(links: LinkSet, delta: float) -> ConflictGraph:
     return ConflictGraph.from_adjacency(adj)
 
 
-def protocol_model(links: LinkSet, delta: float) -> ConflictStructure:
+def protocol_model(
+    links: LinkSet, delta: float, method: str = "auto"
+) -> ConflictStructure:
     """Full protocol-model structure: graph + length ordering + certified ρ."""
     return ConflictStructure(
-        graph=protocol_conflict_graph(links, delta),
+        graph=protocol_conflict_graph(links, delta, method=method),
         ordering=length_ordering(links, descending=True),
         rho=protocol_rho_bound(delta),
         rho_source=f"Proposition 13 with Δ={delta}",
@@ -73,11 +103,16 @@ def protocol_model(links: LinkSet, delta: float) -> ConflictStructure:
     )
 
 
-def ieee80211_conflict_graph(links: LinkSet, delta: float) -> ConflictGraph:
+def ieee80211_conflict_graph(
+    links: LinkSet, delta: float, method: str = "auto"
+) -> ConflictGraph:
     """Bidirectional (802.11) conflicts: any endpoint pair within
     ``(1 + Δ) · max(len_i, len_j)`` creates an edge."""
     if delta <= 0:
         raise ValueError("the 802.11 model requires Δ > 0")
+    xy = links.endpoint_coords()
+    if resolve_method(method, links.n, supported=xy is not None) == "spatial":
+        return _ieee80211_spatial(links, delta, *xy)
     ss = links.sender_sender_matrix()
     rr = links.receiver_receiver_matrix()
     sr = links.sender_receiver_matrix()
@@ -89,10 +124,44 @@ def ieee80211_conflict_graph(links: LinkSet, delta: float) -> ConflictGraph:
     return ConflictGraph.from_adjacency(adj)
 
 
-def ieee80211_model(links: LinkSet, delta: float) -> ConflictStructure:
+def _ieee80211_spatial(
+    links: LinkSet, delta: float, s_xy: np.ndarray, r_xy: np.ndarray
+) -> ConflictGraph:
+    """KD-tree 802.11 builder: candidate link pairs from endpoint proximity,
+    then the exact four-distance test of the dense path."""
+    n = links.n
+    lengths = links.lengths
+    radius = (1.0 + delta) * float(lengths.max(initial=0.0))
+    # one tree over all 2n endpoints; endpoint pairs within the worst-case
+    # limit induce the candidate link pairs
+    endpoints = np.concatenate([s_xy, r_xy])
+    a_idx, b_idx = candidate_pairs(endpoints, radius)
+    la, lb = a_idx % n, b_idx % n
+    off_diag = la != lb
+    # dedupe to unordered link pairs (p < q)
+    p = np.minimum(la[off_diag], lb[off_diag])
+    q = np.maximum(la[off_diag], lb[off_diag])
+    packed = np.unique(p * n + q)
+    p, q = packed // n, packed % n
+    closest = np.minimum(
+        np.minimum(
+            pair_distances(s_xy[p], s_xy[q]), pair_distances(r_xy[p], r_xy[q])
+        ),
+        np.minimum(
+            pair_distances(s_xy[p], r_xy[q]), pair_distances(s_xy[q], r_xy[p])
+        ),
+    )
+    limit = (1.0 + delta) * np.maximum(lengths[p], lengths[q])
+    keep = closest < limit
+    return ConflictGraph.from_edge_arrays(n, p[keep], q[keep])
+
+
+def ieee80211_model(
+    links: LinkSet, delta: float, method: str = "auto"
+) -> ConflictStructure:
     """802.11 structure with Wan's ρ ≤ 23 certificate."""
     return ConflictStructure(
-        graph=ieee80211_conflict_graph(links, delta),
+        graph=ieee80211_conflict_graph(links, delta, method=method),
         ordering=length_ordering(links, descending=True),
         rho=IEEE80211_RHO_BOUND,
         rho_source="Wan [31] for the IEEE 802.11 model",

@@ -23,6 +23,19 @@ from repro.valuations.base import EMPTY_BUNDLE, Valuation
 __all__ = ["ExplicitValuation", "XORValuation", "SingleMindedValuation"]
 
 
+def _column_arrays(items: list[tuple[frozenset[int], float]]):
+    """Pre-flattened LP-column arrays over positive-value support items
+    (the :meth:`Valuation.support_column_arrays` contract)."""
+    entries = [(b, v) for b, v in items if b and v > 0]
+    bundles = [b for b, _ in entries]
+    values = np.array([v for _, v in entries], dtype=float)
+    sizes = np.fromiter((len(b) for b in bundles), dtype=np.intp, count=len(bundles))
+    channels = np.fromiter(
+        (j for b in bundles for j in b), dtype=np.intp, count=int(sizes.sum())
+    )
+    return bundles, values, sizes, channels
+
+
 def _normalize_bids(bids: Mapping[frozenset[int], float], k: int) -> dict[frozenset[int], float]:
     out: dict[frozenset[int], float] = {}
     for bundle, value in bids.items():
@@ -45,6 +58,10 @@ class ExplicitValuation(Valuation):
     def __init__(self, k: int, bids: Mapping[frozenset[int], float]) -> None:
         super().__init__(k)
         self.bids = _normalize_bids(bids, k)
+        self._column_arrays = _column_arrays(list(self.bids.items()))
+
+    def support_column_arrays(self):
+        return self._column_arrays
 
     def value(self, bundle: frozenset[int]) -> float:
         self._check_bundle(bundle)
@@ -75,7 +92,29 @@ class XORValuation(Valuation):
     def __init__(self, k: int, bids: Mapping[frozenset[int], float]) -> None:
         super().__init__(k)
         self.bids = _normalize_bids(bids, k)
-        self._support_items: list[tuple[frozenset[int], float]] | None = None
+        # the free-disposal closure is computed eagerly: column enumeration
+        # sits on the engine's cold solve path, valuation construction does
+        # not (fleets are generated before solving starts)
+        masks = [sum(1 << j for j in bundle) for bundle in self.bids]
+        values = list(self.bids.values())
+        self._support_items: list[tuple[frozenset[int], float]] = [
+            (
+                bundle,
+                max(
+                    (
+                        value
+                        for other, value in zip(masks, values)
+                        if other & mask == other
+                    ),
+                    default=0.0,
+                ),
+            )
+            for bundle, mask in zip(self.bids, masks)
+        ]
+        self._column_arrays = _column_arrays(self._support_items)
+
+    def support_column_arrays(self):
+        return self._column_arrays
 
     def value(self, bundle: frozenset[int]) -> float:
         self._check_bundle(bundle)
@@ -103,26 +142,8 @@ class XORValuation(Valuation):
 
     def support_items(self) -> list[tuple[frozenset[int], float]]:
         # value(T) for a bid T is the best bid *contained in* T, which may
-        # exceed the bid on T itself; the free-disposal closure is computed
-        # once on first use via bitmask containment (bids are fixed after
-        # construction) — column enumeration calls this per compile
-        if self._support_items is None:
-            masks = [sum(1 << j for j in bundle) for bundle in self.bids]
-            values = list(self.bids.values())
-            self._support_items = [
-                (
-                    bundle,
-                    max(
-                        (
-                            value
-                            for other, value in zip(masks, values)
-                            if other & mask == other
-                        ),
-                        default=0.0,
-                    ),
-                )
-                for bundle, mask in zip(self.bids, masks)
-            ]
+        # exceed the bid on T itself (free-disposal closure, precomputed in
+        # __init__)
         return self._support_items
 
     def max_value(self) -> float:

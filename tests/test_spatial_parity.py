@@ -1,0 +1,236 @@
+"""Sparse/dense parity: spatial-index builders and the sparse compile path.
+
+Two layers of pinning:
+
+* **graph parity** — for every interference model the KD-tree builder must
+  emit *exactly* the dense builder's edge set (the spatial path generates a
+  candidate superset and re-applies the dense predicate with identical
+  floating-point expressions, so this is equality, not approximation);
+* **kernel parity** — auctions compiled from CSR-backed structures must
+  round to bit-identical allocations for the same seed as their
+  dense-compiled twins, across all four model families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.auction import AuctionProblem
+from repro.engine.compiled import CompiledAuction, _build_structure
+from repro.geometry.disks import DiskInstance, disk_graph
+from repro.geometry.links import links_from_arrays
+from repro.geometry.spatial import SPATIAL_INDEX_MIN_N, resolve_method
+from repro.graphs.weighted_graph import WeightedConflictGraph
+from repro.interference.base import WeightedConflictStructure
+from repro.interference.disk import (
+    disk_transmitter_model,
+    distance2_coloring_model,
+    graph_square,
+)
+from repro.interference.distance2 import distance2_matching_graph
+from repro.interference.physical import (
+    linear_power,
+    physical_model_structure,
+    sparse_physical_structure,
+)
+from repro.interference.protocol import (
+    ieee80211_conflict_graph,
+    protocol_conflict_graph,
+    protocol_model,
+)
+from repro.valuations.generators import random_xor_valuations
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def disk_scenes(draw, max_n=60):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    extent = draw(st.floats(min_value=0.5, max_value=4.0))
+    points = rng.random((n, 2)) * extent
+    radii = rng.uniform(0.03, 0.2, size=n)
+    return points, radii
+
+
+@st.composite
+def link_scenes(draw, max_n=50):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    extent = draw(st.floats(min_value=0.5, max_value=3.0))
+    senders = rng.random((n, 2)) * extent
+    angle = rng.uniform(0, 2 * np.pi, size=n)
+    length = rng.uniform(0.01, 0.12, size=n)
+    receivers = senders + length[:, None] * np.stack(
+        [np.cos(angle), np.sin(angle)], axis=1
+    )
+    return links_from_arrays(senders, receivers)
+
+
+def assert_graphs_equal(dense, sparse):
+    assert sparse.is_sparse
+    assert dense.n == sparse.n and dense.m == sparse.m
+    assert np.array_equal(dense.adjacency, sparse.csr.toarray())
+
+
+@SETTINGS
+@given(disk_scenes())
+def test_disk_graph_parity(scene):
+    points, radii = scene
+    dense = disk_graph(points, radii, method="dense")
+    sparse = disk_graph(points, radii, method="spatial")
+    assert_graphs_equal(dense, sparse)
+
+
+@SETTINGS
+@given(disk_scenes(max_n=40))
+def test_graph_square_parity(scene):
+    points, radii = scene
+    dense = graph_square(disk_graph(points, radii, method="dense"))
+    sparse = graph_square(disk_graph(points, radii, method="spatial"))
+    assert_graphs_equal(dense, sparse)
+
+
+@SETTINGS
+@given(link_scenes(), st.floats(min_value=0.2, max_value=2.5))
+def test_protocol_graph_parity(links, delta):
+    dense = protocol_conflict_graph(links, delta, method="dense")
+    sparse = protocol_conflict_graph(links, delta, method="spatial")
+    assert_graphs_equal(dense, sparse)
+
+
+@SETTINGS
+@given(link_scenes(), st.floats(min_value=0.2, max_value=2.5))
+def test_ieee80211_graph_parity(links, delta):
+    dense = ieee80211_conflict_graph(links, delta, method="dense")
+    sparse = ieee80211_conflict_graph(links, delta, method="spatial")
+    assert_graphs_equal(dense, sparse)
+
+
+@SETTINGS
+@given(disk_scenes(max_n=25))
+def test_distance2_matching_parity(scene):
+    points, radii = scene
+    host_dense = DiskInstance(points, radii, method="dense").graph
+    host_sparse = DiskInstance(points, radii, method="spatial").graph
+    md, ed = distance2_matching_graph(host_dense, method="dense")
+    ms, es = distance2_matching_graph(host_sparse, method="spatial")
+    assert ed == es
+    assert_graphs_equal(md, ms)
+
+
+@SETTINGS
+@given(link_scenes(max_n=35), st.floats(min_value=1e-4, max_value=0.5))
+def test_physical_sparse_equals_thresholded_dense(links, cutoff):
+    power = linear_power(links, 3.0)
+    dense = physical_model_structure(links, power, 3.0, 1.5, 0.0)
+    sparse = sparse_physical_structure(
+        links, power, 3.0, 1.5, 0.0, weight_cutoff=cutoff
+    )
+    expected = dense.graph.weights.copy()
+    expected[expected < cutoff] = 0.0
+    assert np.array_equal(expected, sparse.graph.w_csr.toarray())
+    assert sparse.metadata["epsilon"] == dense.metadata["physical_model"].epsilon(power)
+
+
+def test_auto_method_threshold():
+    assert resolve_method("auto", SPATIAL_INDEX_MIN_N - 1) == "dense"
+    assert resolve_method("auto", SPATIAL_INDEX_MIN_N) == "spatial"
+    assert resolve_method("auto", 10**6, supported=False) == "dense"
+    with pytest.raises(ValueError):
+        resolve_method("spatial", 10, supported=False)
+    with pytest.raises(ValueError):
+        resolve_method("fastest", 10)
+
+
+# ----------------------------------------------------------------------
+# sparse compile + rounding kernels: bit-identical solves
+# ----------------------------------------------------------------------
+def _solve_pair(problem_dense, problem_sparse, seed=1234, attempts=3):
+    rd = CompiledAuction(problem_dense).solve(seed=seed, rounding_attempts=attempts)
+    rs = CompiledAuction(problem_sparse).solve(seed=seed, rounding_attempts=attempts)
+    assert rd.allocation == rs.allocation
+    assert rd.welfare == rs.welfare
+    assert rd.lp_value == rs.lp_value
+    assert rd.feasible and rs.feasible
+
+
+def _compare_compiled(struct_dense, struct_sparse):
+    cd = _build_structure(struct_dense)
+    cs = _build_structure(struct_sparse)
+    assert not cd.sparse and cs.sparse
+    assert np.array_equal(cd.affected_flat, cs.affected_flat)
+    assert np.array_equal(cd.affected_off, cs.affected_off)
+    assert np.array_equal(cd.coeff_flat, cs.coeff_flat)
+    assert all(np.array_equal(a, b) for a, b in zip(cd.backward, cs.backward))
+
+
+@pytest.mark.parametrize("model", ["disk", "distance2", "protocol"])
+def test_sparse_compile_and_rounding_bit_identical_unweighted(model):
+    rng = np.random.default_rng(99)
+    if model in ("disk", "distance2"):
+        points = rng.random((80, 2)) * 1.5
+        radii = rng.uniform(0.04, 0.12, size=80)
+        build = disk_transmitter_model if model == "disk" else distance2_coloring_model
+        sd = build(DiskInstance(points, radii, method="dense"))
+        ss = build(DiskInstance(points, radii, method="spatial"))
+    else:
+        senders = rng.random((70, 2)) * 1.2
+        angle = rng.uniform(0, 2 * np.pi, size=70)
+        receivers = senders + 0.05 * np.stack([np.cos(angle), np.sin(angle)], axis=1)
+        links = links_from_arrays(senders, receivers)
+        links2 = links_from_arrays(senders, receivers)
+        sd = protocol_model(links, 1.0, method="dense")
+        ss = protocol_model(links2, 1.0, method="spatial")
+    _compare_compiled(sd, ss)
+    n = sd.n
+    vals = random_xor_valuations(n, 6, seed=5)
+    _solve_pair(AuctionProblem(sd, 6, vals), AuctionProblem(ss, 6, vals))
+
+
+def test_sparse_compile_and_rounding_bit_identical_weighted():
+    """Physical model: a CSR-backed weighted structure (sparse kernels, flat
+    backward weights) rounds identically to a dense twin of the same graph."""
+    rng = np.random.default_rng(7)
+    senders = rng.random((60, 2)) * 1.2
+    angle = rng.uniform(0, 2 * np.pi, size=60)
+    receivers = senders + 0.05 * np.stack([np.cos(angle), np.sin(angle)], axis=1)
+    links = links_from_arrays(senders, receivers)
+    power = linear_power(links, 3.0)
+    sparse = sparse_physical_structure(links, power, 3.0, 1.5, 0.0, weight_cutoff=1e-3)
+    dense = WeightedConflictStructure(
+        graph=WeightedConflictGraph(sparse.graph.w_csr.toarray()),
+        ordering=sparse.ordering,
+        rho=sparse.rho,
+        metadata=dict(sparse.metadata),
+    )
+    cd = _build_structure(dense)
+    cs = _build_structure(sparse)
+    assert cs.sparse and cs.backward_wbar is None and cs.backward_w is not None
+    assert all(np.array_equal(a, b) for a, b in zip(cd.backward, cs.backward))
+    vals = random_xor_valuations(60, 6, seed=11)
+    _solve_pair(AuctionProblem(dense, 6, vals), AuctionProblem(sparse, 6, vals))
+
+
+def test_sparse_structure_metadata_and_rho():
+    rng = np.random.default_rng(3)
+    senders = rng.random((50, 2))
+    receivers = senders + 0.03
+    links = links_from_arrays(senders, receivers)
+    power = linear_power(links, 3.0)
+    st_ = sparse_physical_structure(links, power, 3.0, 1.5, 0.0, weight_cutoff=1e-2)
+    assert st_.metadata["model"] == "physical-sparse"
+    assert st_.rho >= 1.0
+    with pytest.raises(ValueError):
+        sparse_physical_structure(links, power, weight_cutoff=0.0)
+    with pytest.raises(ValueError):
+        sparse_physical_structure(links, power, weight_cutoff=1.5)
