@@ -1,0 +1,251 @@
+"""Auction-service load benchmark — writes BENCH_service.json.
+
+Drives the AuctionService with open-loop traffic over metro scenes and
+records throughput, latency percentiles, and cache accounting for a
+tuned configuration against the **no-cache/no-coalescing baseline of the
+same service** (structure/problem cache capacity 0, coalescing window 0,
+same engine, same trace):
+
+* ``sustained_repeat_n1000`` — the acceptance scenario: a repeat-heavy
+  Poisson trace (85% of requests reuse one of 8 valuation profiles)
+  against one n≈1000 metro disk scene, replayed at maximum service rate.
+  The tuned service collapses repeated profiles onto cached compiled
+  auctions (one LP solve per profile) and stage-batches coalesced
+  groups; the baseline recompiles and re-solves per request.
+* ``sustained_distinct_n1000`` — the adversarial mix: every request is a
+  fresh profile, so only the compiled structure is reusable and the
+  honest speedup is modest.
+* ``burst_realtime`` — 4 bursts of 12 simultaneous requests through the
+  threaded queue/shard pool in real time: what the coalescing window and
+  shard affinity do to tail latency.
+* ``smoke_repeat_n300`` — a scaled-down repeat scenario cheap enough for
+  the CI regression gate to re-measure (see check_regression.py).
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments.workloads import metro_disk_scene
+from repro.service import (
+    AuctionService,
+    SceneRegistry,
+    burst_trace,
+    poisson_trace,
+)
+
+OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_service.json"
+
+HEADLINE_MIN_SPEEDUP = 3.0
+SMOKE_MIN_SPEEDUP = 2.0
+
+
+def _service(registry: SceneRegistry, tuned: bool, **overrides) -> AuctionService:
+    """The benchmark's two configurations of the same service."""
+    options: dict = {"registry": registry, "executor": "serial"}
+    if tuned:
+        options.update(coalesce_window=0.05, max_batch=16)
+    else:  # baseline: no caches, no coalescing — everything else identical
+        options.update(
+            coalesce_window=0.0,
+            max_batch=1,
+            structure_cache_size=0,
+            problem_cache_size=0,
+        )
+    options.update(overrides)
+    return AuctionService(**options)
+
+
+def _summarize(service: AuctionService, results, wall: float) -> dict:
+    snap = service.metrics_snapshot()
+    caches = snap["caches"]
+    lat = snap["latency_seconds"]
+    return {
+        "requests": snap["requests_completed"],
+        "wall_seconds": wall,
+        "throughput_rps": snap["requests_completed"] / wall,
+        "latency_p50_ms": lat["p50"] * 1e3,
+        "latency_p95_ms": lat["p95"] * 1e3,
+        "latency_p99_ms": lat["p99"] * 1e3,
+        "mean_batch_size": snap["mean_batch_size"],
+        "problem_cache_hit_rate": caches["problems"]["hit_rate"],
+        "structure_cache_hit_rate": caches["structures"]["hit_rate"],
+        "lp_solves": caches["lp_warm_solves"]["warm"]
+        + caches["lp_warm_solves"]["cold"],
+        "total_welfare": float(sum(r.welfare for r in results)),
+        "all_feasible": bool(all(r.feasible for r in results)),
+    }
+
+
+def bench_sustained(
+    n: int,
+    *,
+    k: int = 6,
+    num_requests: int = 48,
+    repeat_fraction: float = 0.85,
+    unique_profiles: int = 8,
+    scene_seed: int = 1000,
+    trace_seed: int = 41,
+) -> dict:
+    """Max-rate replay of one Poisson trace under tuned vs baseline config.
+
+    Both configurations replay the *identical* trace (same valuations,
+    same per-request seeds) in simulated time — no sleeping — so the
+    wall clock measures pure service throughput.  Welfare totals must
+    agree: the tuned path's caching and coalescing are result-invariant.
+    """
+    registry = SceneRegistry()
+    scene_id = registry.register(metro_disk_scene(n, seed=scene_seed))
+    trace = poisson_trace(
+        registry,
+        [scene_id],
+        k=k,
+        rate=100.0,
+        num_requests=num_requests,
+        seed=trace_seed,
+        repeat_fraction=repeat_fraction,
+        unique_profiles=unique_profiles,
+    )
+    entry = {
+        "workload": (
+            f"{num_requests} requests, 1 metro disk scene n={n}, k={k}, "
+            f"repeat_fraction={repeat_fraction}, "
+            f"{unique_profiles} reusable profiles"
+        ),
+    }
+    for label, tuned in (("baseline", False), ("tuned", True)):
+        service = _service(registry, tuned)
+        start = time.perf_counter()
+        results = service.run_trace(trace)
+        wall = time.perf_counter() - start
+        entry[label] = _summarize(service, results, wall)
+    assert entry["tuned"]["total_welfare"] == entry["baseline"]["total_welfare"], (
+        "tuned service diverged from baseline on the same trace"
+    )
+    entry["speedup"] = (
+        entry["tuned"]["throughput_rps"] / entry["baseline"]["throughput_rps"]
+    )
+    return entry
+
+
+def bench_burst(
+    n: int = 300, *, k: int = 6, burst_size: int = 12, bursts: int = 4
+) -> dict:
+    """Real-time bursts through the threaded queue and shard pool."""
+    registry = SceneRegistry()
+    scene_a = registry.register(metro_disk_scene(n, seed=1300))
+    scene_b = registry.register(metro_disk_scene(n, seed=1301))
+    trace = burst_trace(
+        registry,
+        [scene_a, scene_b],
+        k=k,
+        burst_size=burst_size,
+        bursts=bursts,
+        gap=1.0,
+        seed=43,
+        repeat_fraction=0.75,
+        unique_profiles=4,
+    )
+    service = _service(
+        registry, tuned=True, executor="thread", num_shards=2, coalesce_window=0.01
+    )
+    start = time.perf_counter()
+    with service:
+        results = service.run_trace(trace, realtime=True)
+        service.drain()
+    wall = time.perf_counter() - start
+    entry = _summarize(service, results, wall)
+    entry["workload"] = (
+        f"{bursts} bursts x {burst_size} requests, 2 scenes n={n}, k={k}, "
+        f"realtime open-loop, threaded 2-shard pool"
+    )
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small repeat-heavy scenario only; exit nonzero below "
+        f"{SMOKE_MIN_SPEEDUP}x",
+    )
+    args = parser.parse_args(argv)
+
+    # warm imports/HiGHS on a throwaway scene so neither config pays cold-start
+    bench_sustained(60, num_requests=4, unique_profiles=2, scene_seed=9, trace_seed=9)
+
+    if args.smoke:
+        smoke = bench_sustained(300, num_requests=24, scene_seed=1200, trace_seed=42)
+        ok = smoke["speedup"] >= SMOKE_MIN_SPEEDUP and smoke["tuned"]["all_feasible"]
+        print(
+            f"service smoke n=300: {smoke['speedup']:.2f}x "
+            f"(floor {SMOKE_MIN_SPEEDUP}x), tuned "
+            f"{smoke['tuned']['throughput_rps']:.1f} rps -> "
+            f"{'OK' if ok else 'FAIL'}"
+        )
+        return 0 if ok else 1
+
+    repeat = bench_sustained(1000)
+    print(
+        f"sustained repeat n=1000: {repeat['speedup']:.2f}x "
+        f"({repeat['tuned']['throughput_rps']:.1f} vs "
+        f"{repeat['baseline']['throughput_rps']:.1f} rps)",
+        flush=True,
+    )
+    distinct = bench_sustained(
+        1000, num_requests=16, repeat_fraction=0.0, unique_profiles=0, trace_seed=44
+    )
+    print(f"sustained distinct n=1000: {distinct['speedup']:.2f}x", flush=True)
+    burst = bench_burst()
+    print(
+        f"burst realtime: p95 {burst['latency_p95_ms']:.0f}ms, "
+        f"mean batch {burst['mean_batch_size']:.1f}",
+        flush=True,
+    )
+    smoke = bench_sustained(300, num_requests=24, scene_seed=1200, trace_seed=42)
+
+    results = {
+        "config": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "sustained_repeat_n1000": repeat,
+        "sustained_distinct_n1000": distinct,
+        "burst_realtime": burst,
+        "smoke_repeat_n300": smoke,
+        "headline": {
+            "criterion": (
+                "tuned service >= 3x throughput of the no-cache/no-coalescing "
+                "baseline configuration on a repeat-heavy n=1000 metro trace, "
+                "p50/p95 latency and cache hit rate reported"
+            ),
+            "speedup": repeat["speedup"],
+            "tuned_throughput_rps": repeat["tuned"]["throughput_rps"],
+            "tuned_latency_p50_ms": repeat["tuned"]["latency_p50_ms"],
+            "tuned_latency_p95_ms": repeat["tuned"]["latency_p95_ms"],
+            "problem_cache_hit_rate": repeat["tuned"]["problem_cache_hit_rate"],
+            "met": repeat["speedup"] >= HEADLINE_MIN_SPEEDUP,
+        },
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results["headline"], indent=2))
+    print(f"wrote {OUTPUT}")
+    return 0 if results["headline"]["met"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,297 @@
+"""CI perf-regression gate: re-measure smoke workloads, compare to baselines.
+
+The repo commits three benchmark baselines — BENCH_engine.json (PR 1),
+BENCH_scale.json (PR 2), BENCH_service.json (PR 4) — that CI used to run
+but never compare against, so a PR could quietly halve the engine's
+speedups.  This script closes the loop:
+
+1. **measure** — re-run budgeted versions of the baseline workloads
+   (the n=40 engine fleets, one n=1000 scale point, the n=300 service
+   smoke scenario; a couple of CPU-seconds each, best-of ``--repeats``);
+2. **compare** — each checked metric's *slowdown factor* against the
+   committed baseline must stay under the noise tolerance.
+
+Speedup-ratio metrics (engine vs naive, sparse vs dense, tuned service
+vs no-cache baseline) are self-normalizing — both sides of the ratio run
+on the same machine — so they carry a tight default tolerance
+(``--tolerance``, 1.5x).  Absolute wall-clock metrics depend on the host,
+so they get a looser default (``--time-tolerance``, 2.5x) that still
+catches order-of-magnitude rot.
+
+Exit status is the gate: 0 when every check passes, 1 otherwise.
+``--measured FILE`` skips measurement and compares a recorded
+measurement instead — that is how the test suite proves an injected
+slowdown fails the gate, and how a CI failure can be replayed locally.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+
+REPO = pathlib.Path(__file__).parent.parent
+BASELINE_FILES = {
+    "engine": REPO / "BENCH_engine.json",
+    "scale": REPO / "BENCH_scale.json",
+    "service": REPO / "BENCH_service.json",
+}
+
+SPEEDUP_TOLERANCE = 1.5
+SECONDS_TOLERANCE = 2.5
+
+
+def _lookup(data: dict, path: str) -> float:
+    """Fetch a float at a dotted path; integer segments index lists."""
+    node = data
+    for segment in path.split("."):
+        node = node[int(segment)] if isinstance(node, list) else node[segment]
+    return float(node)
+
+
+@dataclass(frozen=True)
+class Check:
+    """One gated metric: where it lives and how slowdown is computed."""
+
+    source: str  # baseline family: engine | scale | service
+    path: str  # dotted path into both the baseline and the measured dict
+    # "speedup": self-normalized ratio, higher is better, tight tolerance.
+    # "seconds" / "throughput": absolute wall-clock-dependent values (lower /
+    # higher is better), compared under the looser --time-tolerance.
+    kind: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.source}:{self.path}"
+
+    def slowdown(self, baseline: float, measured: float) -> float:
+        if self.kind == "seconds":
+            return measured / baseline if baseline > 0 else float("inf")
+        return baseline / measured if measured > 0 else float("inf")
+
+
+CHECKS = [
+    Check("engine", "repeat_trace_50.speedup_serial", "speedup"),
+    Check("engine", "distinct_fleet_50.speedup_serial", "speedup"),
+    Check("engine", "warm_reauction_50.speedup_warm", "speedup"),
+    Check("engine", "vectorized_rounding.speedup", "speedup"),
+    # scaling.points[1] is the n=1000 point of the committed curve
+    Check("scale", "scaling.points.1.speedup_vs_dense_auto", "speedup"),
+    Check("scale", "scaling.points.1.sparse_fast_path.end_to_end_seconds", "seconds"),
+    Check("service", "smoke_repeat_n300.speedup", "speedup"),
+    Check("service", "smoke_repeat_n300.tuned.throughput_rps", "throughput"),
+]
+
+
+# ----------------------------------------------------------------------
+# measurement (mirrors the baseline JSON shapes; budgeted versions)
+# ----------------------------------------------------------------------
+def measure(repeats: int = 2) -> dict:
+    """Re-run the gated workloads, best-of ``repeats`` per metric.
+
+    Returns ``{"engine": ..., "scale": ..., "service": ...}`` with the
+    same nested shape as the committed baseline files, restricted to the
+    paths in :data:`CHECKS`.  Best-of keeps one noisy scheduler stall
+    from failing the gate while a genuine regression still fails every
+    repeat.
+    """
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    import bench_engine
+    import bench_scale
+    import bench_service
+
+    def best(values: list[dict], path: str, kind: str) -> float:
+        picked = [_lookup(v, path) for v in values]
+        return min(picked) if kind == "seconds" else max(picked)
+
+    # one warm pass so imports/HiGHS setup are not billed to the first repeat
+    bench_engine.bench_repeat_solves(unique=2, repeats=2, n=12, k=2)
+    bench_service.bench_sustained(
+        60, num_requests=4, unique_profiles=2, scene_seed=9, trace_seed=9
+    )
+
+    engine_runs = [
+        {
+            "repeat_trace_50": bench_engine.bench_repeat_solves(),
+            "distinct_fleet_50": bench_engine.bench_batch_50(),
+            "warm_reauction_50": bench_engine.bench_warm_reauction(),
+            "vectorized_rounding": bench_engine.bench_rounding(),
+        }
+        for _ in range(repeats)
+    ]
+    scale_runs = []
+    for _ in range(repeats):
+        sparse = bench_scale.run_path(1000, 6, method="spatial", solver="auto")
+        dense = bench_scale.run_path(1000, 6, method="dense", solver="auto")
+        scale_runs.append(
+            {
+                "scaling": {
+                    "points": [
+                        None,  # align with the baseline: index 1 is n=1000
+                        {
+                            "speedup_vs_dense_auto": dense["end_to_end_seconds"]
+                            / sparse["end_to_end_seconds"],
+                            "sparse_fast_path": sparse,
+                        },
+                    ]
+                }
+            }
+        )
+    service_runs = [
+        {
+            "smoke_repeat_n300": bench_service.bench_sustained(
+                300, num_requests=24, scene_seed=1200, trace_seed=42
+            )
+        }
+        for _ in range(repeats)
+    ]
+
+    runs = {"engine": engine_runs, "scale": scale_runs, "service": service_runs}
+    measured: dict = {"engine": {}, "scale": {}, "service": {}}
+    for chk in CHECKS:
+        _assign(measured[chk.source], chk.path, best(runs[chk.source], chk.path, chk.kind))
+    return measured
+
+
+def _assign(data: dict, path: str, value: float) -> None:
+    """Set a dotted path (creating dicts/lists) — inverse of :func:`_lookup`."""
+    segments = path.split(".")
+    node = data
+    for here, ahead in zip(segments[:-1], segments[1:]):
+        if isinstance(node, list):
+            here = int(here)
+            while len(node) <= here:
+                node.append(None)
+            if node[here] is None:
+                node[here] = [] if ahead.isdigit() else {}
+            node = node[here]
+        else:
+            node = node.setdefault(here, [] if ahead.isdigit() else {})
+    last = segments[-1]
+    if isinstance(node, list):
+        last = int(last)
+        while len(node) <= last:
+            node.append(None)
+        node[last] = value
+    else:
+        node[last] = value
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+def compare(
+    measured: dict,
+    baselines: dict,
+    tolerance: float = SPEEDUP_TOLERANCE,
+    time_tolerance: float = SECONDS_TOLERANCE,
+    checks: list[Check] = CHECKS,
+) -> list[dict]:
+    """Evaluate every check; returns one row per metric (``ok`` flags).
+
+    ``measured`` and ``baselines`` both map source name → nested dict.
+    A metric missing on either side is reported as failed rather than
+    skipped — a silently vanished baseline must not pass the gate.
+    """
+    rows = []
+    for chk in checks:
+        tol = tolerance if chk.kind == "speedup" else time_tolerance
+        row = {"check": chk.name, "kind": chk.kind, "tolerance": tol}
+        try:
+            base = _lookup(baselines[chk.source], chk.path)
+            got = _lookup(measured[chk.source], chk.path)
+        except (KeyError, IndexError, TypeError) as exc:
+            row.update(ok=False, error=f"missing metric: {exc!r}")
+            rows.append(row)
+            continue
+        slowdown = chk.slowdown(base, got)
+        row.update(
+            baseline=base,
+            measured=got,
+            slowdown=slowdown,
+            ok=bool(slowdown <= tol),
+        )
+        rows.append(row)
+    return rows
+
+
+def load_baselines(files: dict[str, pathlib.Path] = BASELINE_FILES) -> dict:
+    return {name: json.loads(path.read_text()) for name, path in files.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=SPEEDUP_TOLERANCE,
+        help="max slowdown factor for speedup-ratio metrics (default %(default)s)",
+    )
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=SECONDS_TOLERANCE,
+        help="max slowdown factor for wall-clock metrics (default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="measurement repeats, best-of (default %(default)s)",
+    )
+    parser.add_argument(
+        "--measured",
+        type=pathlib.Path,
+        default=None,
+        help="compare this recorded measurement JSON instead of re-measuring",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        help="also write measurement + comparison rows to this path",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = load_baselines()
+    if args.measured is not None:
+        measured = json.loads(args.measured.read_text())
+    else:
+        measured = measure(repeats=max(1, args.repeats))
+    rows = compare(
+        measured,
+        baselines,
+        tolerance=args.tolerance,
+        time_tolerance=args.time_tolerance,
+    )
+    failures = [row for row in rows if not row["ok"]]
+    width = max(len(row["check"]) for row in rows)
+    for row in rows:
+        if "error" in row:
+            print(f"FAIL {row['check']:<{width}}  {row['error']}")
+            continue
+        print(
+            f"{'ok  ' if row['ok'] else 'FAIL'} {row['check']:<{width}}  "
+            f"baseline {row['baseline']:8.3f}  measured {row['measured']:8.3f}  "
+            f"slowdown {row['slowdown']:5.2f}x (tol {row['tolerance']}x)"
+        )
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps({"measured": measured, "checks": rows}, indent=2) + "\n"
+        )
+    if failures:
+        print(f"\nperf regression gate: {len(failures)}/{len(rows)} checks failed")
+        return 1
+    print(f"\nperf regression gate: all {len(rows)} checks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,18 @@ Fleets of auctions go through the batch engine instead of a solver loop::
     from repro import BatchAuctionEngine
     batch = BatchAuctionEngine().solve_many(problems, seed=3)
 
-See DESIGN.md for the system inventory, the engine architecture, and the
-experiment index; BENCH_engine.json records the engine-vs-seed baseline.
+Long-lived request serving goes through the auction service
+(:mod:`repro.service`): register scenes, submit requests (or replay an
+open-loop traffic trace), read the metrics::
+
+    from repro import AuctionService
+    service = AuctionService()
+    scene_id = service.register_scene(structure)
+
+See DESIGN.md for the system inventory, the engine and service
+architecture, and the experiment index; BENCH_engine.json,
+BENCH_scale.json, and BENCH_service.json record the performance
+baselines that CI's regression gate enforces.
 """
 
 from repro.core import (
@@ -85,6 +95,7 @@ from repro.engine import (
     compile_structure,
 )
 from repro.io import load_problem, problem_from_dict, problem_to_dict, save_problem
+from repro.service import AuctionRequest, AuctionService, SceneRegistry
 from repro.mechanism import TruthfulMechanism, decompose_lp_solution, vcg_payments
 from repro.valuations import (
     AdditiveValuation,
@@ -114,6 +125,9 @@ __all__ = [
     "CompiledAuction",
     "compile_auction",
     "compile_structure",
+    "AuctionService",
+    "AuctionRequest",
+    "SceneRegistry",
     "AuctionLP",
     "solve_with_column_generation",
     "solve_exact",

@@ -20,6 +20,7 @@ from repro.engine.batch import BatchAuctionEngine, BatchResult
 from repro.engine.compiled import (
     CompiledAuction,
     CompiledStructure,
+    auction_cache_stats,
     clear_auction_cache,
     clear_structure_cache,
     compile_auction,
@@ -47,6 +48,7 @@ __all__ = [
     "compile_auction",
     "compile_structure",
     "structure_cache_stats",
+    "auction_cache_stats",
     "clear_structure_cache",
     "clear_auction_cache",
     "fast_backend_available",

@@ -94,6 +94,8 @@ class BatchAuctionEngine:
         executor: str = "auto",
         max_workers: int | None = None,
         lp_warm_start: bool = False,
+        structure_cache=None,
+        auction_cache=None,
     ) -> None:
         """``lp_warm_start=True`` lets instances sharing a compiled structure
         (and bundle pattern) re-solve the LP by mutating the loaded HiGHS
@@ -101,6 +103,11 @@ class BatchAuctionEngine:
         still optimal, but on degenerate LPs the returned vertex — and hence
         the rounded allocation — may differ from a cold solve, so the flag
         defaults to off where bit-parity with the seed pipeline matters.
+
+        ``structure_cache`` / ``auction_cache`` inject caller-owned
+        :class:`~repro.util.lru.LRUCache` instances for the compilation
+        layers (``None`` keeps the process-wide defaults); the auction
+        service uses this to bound and account its caches per service.
         """
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
@@ -112,6 +119,8 @@ class BatchAuctionEngine:
         }
         self.executor = executor
         self.max_workers = max_workers
+        self.structure_cache = structure_cache
+        self.auction_cache = auction_cache
 
     # ------------------------------------------------------------------
     def _resolve_executor(self, n_tasks: int) -> tuple[str, int]:
@@ -133,9 +142,41 @@ class BatchAuctionEngine:
         for problem in problems:
             if id(problem) not in compiled:
                 compiled[id(problem)] = compile_auction(
-                    problem, structure=compile_structure(problem.structure)
+                    problem,
+                    structure=compile_structure(
+                        problem.structure, cache=self.structure_cache
+                    ),
+                    cache=self.auction_cache,
                 )
         return compiled
+
+    def solve_compiled(
+        self, tasks: list[tuple[CompiledAuction, object]]
+    ) -> list[SolverResult]:
+        """Stage-batched solve of ``(compiled auction, seed)`` pairs.
+
+        Runs each pipeline layer across all tasks before the next (columns
+        → assembly → LP → plans → rounding).  Results are identical to
+        calling ``compiled.solve(seed=...)`` per task — every stage is
+        cached per compiled auction — but keeping one kernel hot across the
+        batch is measurably faster (BENCH_engine.json).  This is the entry
+        point the auction service's coalesced batches go through: unlike
+        :meth:`solve_many` it takes explicit per-task seeds, so a request's
+        result does not depend on which batch it was coalesced into.
+        """
+        warm = self.solve_kwargs.get("lp_warm_start", False)
+        distinct: dict[int, CompiledAuction] = {}
+        for ca, _ in tasks:
+            distinct.setdefault(id(ca), ca)
+        for ca in distinct.values():
+            ca.cols
+            ca._build_csc()
+        for ca in distinct.values():
+            ca._solve_raw(warm_start=warm)
+        if not self.solve_kwargs.get("derandomize"):
+            for ca in distinct.values():
+                ca._default_plan()
+        return [ca.solve(seed=seed, **self.solve_kwargs) for ca, seed in tasks]
 
     # ------------------------------------------------------------------
     def solve_many(self, problems, seed=None) -> BatchResult:
@@ -164,23 +205,7 @@ class BatchAuctionEngine:
                         )
                     )
             else:
-                # stage-batched serial execution: run each pipeline layer
-                # across all instances before the next (columns → assembly →
-                # LP → plans → rounding).  Results are identical to the
-                # per-instance loop — every stage is cached per compiled
-                # auction — but keeping one kernel hot across the batch is
-                # ~25% faster than interleaving them (BENCH_engine.json).
-                warm = self.solve_kwargs.get("lp_warm_start", False)
-                distinct = list(compiled.values())
-                for ca in distinct:
-                    ca.cols
-                    ca._build_csc()
-                for ca in distinct:
-                    ca._solve_raw(warm_start=warm)
-                if not self.solve_kwargs.get("derandomize"):
-                    for ca in distinct:
-                        ca._default_plan()
-                results = [ca.solve(seed=child, **self.solve_kwargs) for ca, child in tasks]
+                results = self.solve_compiled(tasks)
             # only LP solves performed by *this* batch (compiled instances may
             # arrive from the global cache with their LP already solved)
             lp_solves = (

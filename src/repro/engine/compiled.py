@@ -40,6 +40,7 @@ from repro.core.conflict_resolution import make_fully_feasible
 from repro.core.derandomize import derandomize_rounding
 from repro.core.result import SolverResult
 from repro.engine.highs import solve_packing_lp_fast
+from repro.util.lru import LRUCache
 from repro.util.rng import ensure_rng
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "compile_structure",
     "compile_auction",
     "structure_cache_stats",
+    "auction_cache_stats",
     "clear_structure_cache",
     "clear_auction_cache",
 ]
@@ -177,48 +179,38 @@ def _build_structure_sparse(structure, is_weighted: bool) -> CompiledStructure:
     )
 
 
-_MAX_STRUCTURES = 64
-_structure_cache: dict[int, CompiledStructure] = {}
-_structure_lock = threading.Lock()
-_structure_stats = {"hits": 0, "misses": 0}
+_structure_cache = LRUCache(64, name="compiled-structures")
 
 
-def compile_structure(structure) -> CompiledStructure:
+def compile_structure(
+    structure, cache: LRUCache | None = None
+) -> CompiledStructure:
     """Compile (or fetch from cache) the structure-level precomputations.
 
     The cache is keyed by object identity, so two problems built on the
     *same* structure object — the sharing pattern of mechanism probes and
     epoch re-auctions — compile once.  Cached compilations strongly
     reference their structure (which both keeps the memory bounded-but-
-    pinned to at most ``_MAX_STRUCTURES`` entries, FIFO-evicted, and makes
-    ``id()`` reuse impossible while an entry lives); call
-    :func:`clear_structure_cache` to release them eagerly.
+    pinned to the cache capacity, LRU-evicted, and makes ``id()`` reuse
+    impossible while an entry lives); call :func:`clear_structure_cache`
+    to release them eagerly.
+
+    ``cache`` swaps in a caller-owned :class:`~repro.util.lru.LRUCache`
+    (the :class:`~repro.service.AuctionService` injects per-service caches
+    so its capacity and eviction accounting are isolated); ``None`` uses
+    the process-wide default.
     """
-    key = id(structure)
-    with _structure_lock:
-        hit = _structure_cache.get(key)
-        if hit is not None:
-            _structure_stats["hits"] += 1
-            return hit
-    compiled = _build_structure(structure)
-    with _structure_lock:
-        _structure_stats["misses"] += 1
-        while len(_structure_cache) >= _MAX_STRUCTURES:
-            _structure_cache.pop(next(iter(_structure_cache)))
-        _structure_cache[key] = compiled
-    return compiled
+    cache = _structure_cache if cache is None else cache
+    return cache.get_or_create(id(structure), lambda: _build_structure(structure))
 
 
 def structure_cache_stats() -> dict[str, int]:
-    """Copy of the structure-cache hit/miss counters (for tests/benches)."""
-    with _structure_lock:
-        return dict(_structure_stats, size=len(_structure_cache))
+    """Copy of the default structure-cache counters (for tests/benches)."""
+    return _structure_cache.stats()
 
 
 def clear_structure_cache() -> None:
-    with _structure_lock:
-        _structure_cache.clear()
-        _structure_stats["hits"] = _structure_stats["misses"] = 0
+    _structure_cache.clear()
 
 
 # ----------------------------------------------------------------------
@@ -679,36 +671,34 @@ def attach_power_assignment(problem: AuctionProblem, result: SolverResult) -> No
     result.sinr_feasible = all_ok
 
 
-_MAX_AUCTIONS = 128
-_auction_cache: dict[int, CompiledAuction] = {}
-_auction_lock = threading.Lock()
+_auction_cache = LRUCache(128, name="compiled-auctions")
 
 
 def compile_auction(
-    problem: AuctionProblem, structure: CompiledStructure | None = None
+    problem: AuctionProblem,
+    structure: CompiledStructure | None = None,
+    cache: LRUCache | None = None,
 ) -> CompiledAuction:
     """Compile (or fetch from cache) one problem.
 
     Keyed by problem object identity like the structure cache (same
-    bounded-but-pinned FIFO semantics, at most ``_MAX_AUCTIONS`` entries;
-    :func:`clear_auction_cache` releases them eagerly), so every layer
-    asking for the same problem — harness helpers, the batch engine, the
-    solver facade — shares one compiled instance and therefore one LP
-    solve.
+    bounded-but-pinned LRU semantics; :func:`clear_auction_cache` releases
+    the default cache eagerly), so every layer asking for the same problem
+    — harness helpers, the batch engine, the solver facade — shares one
+    compiled instance and therefore one LP solve.  ``cache`` injects a
+    caller-owned :class:`~repro.util.lru.LRUCache` in place of the
+    process-wide default.
     """
-    key = id(problem)
-    with _auction_lock:
-        hit = _auction_cache.get(key)
-        if hit is not None:
-            return hit
-    compiled = CompiledAuction(problem, structure=structure)
-    with _auction_lock:
-        while len(_auction_cache) >= _MAX_AUCTIONS:
-            _auction_cache.pop(next(iter(_auction_cache)))
-        _auction_cache[key] = compiled
-    return compiled
+    cache = _auction_cache if cache is None else cache
+    return cache.get_or_create(
+        id(problem), lambda: CompiledAuction(problem, structure=structure)
+    )
+
+
+def auction_cache_stats() -> dict[str, int]:
+    """Copy of the default auction-cache counters (for tests/benches)."""
+    return _auction_cache.stats()
 
 
 def clear_auction_cache() -> None:
-    with _auction_lock:
-        _auction_cache.clear()
+    _auction_cache.clear()

@@ -49,6 +49,8 @@ __all__ = [
     "protocol_auction_fleet",
     "reauction_fleet",
     "metro_extent",
+    "metro_disk_scene",
+    "metro_protocol_scene",
     "metro_disk_auction",
     "metro_protocol_auction",
     "metro_fleet",
@@ -152,6 +154,43 @@ def metro_extent(n: int, mean_reach: float, density: float = 12.0) -> float:
     return math.sqrt(n * math.pi * mean_reach**2 / density)
 
 
+def metro_disk_scene(
+    n: int,
+    seed,
+    density: float = 12.0,
+    radius_range: tuple[float, float] = DEFAULT_RADII,
+    method: str = "auto",
+):
+    """Metro-scale disk-model conflict structure (no valuations).
+
+    The scene half of :func:`metro_disk_auction`: what the auction service
+    registers once and serves many request profiles against.
+    """
+    rng = ensure_rng(seed)
+    extent = metro_extent(n, sum(radius_range), density)  # mean r_i + r_j
+    inst = random_disk_instance(
+        n, extent=extent, radius_range=radius_range, seed=rng, method=method
+    )
+    return disk_transmitter_model(inst)
+
+
+def metro_protocol_scene(
+    n: int,
+    seed,
+    density: float = 12.0,
+    delta: float = 1.0,
+    length_range: tuple[float, float] = DEFAULT_LENGTHS,
+    method: str = "auto",
+):
+    """Metro-scale protocol-model conflict structure (no valuations)."""
+    rng = ensure_rng(seed)
+    # interaction reach of a link ≈ its guard radius around the receiver
+    mean_reach = (1.0 + delta) * (length_range[0] + length_range[1]) / 2.0
+    extent = metro_extent(n, mean_reach, density)
+    links = random_links(n, extent=extent, length_range=length_range, seed=rng)
+    return protocol_model(links, delta, method=method)
+
+
 def metro_disk_auction(
     n: int,
     k: int,
@@ -167,11 +206,9 @@ def metro_disk_auction(
     O(n²) path — the pre-spatial-index baseline BENCH_scale.json measures).
     """
     rng = ensure_rng(seed)
-    extent = metro_extent(n, sum(radius_range), density)  # mean r_i + r_j
-    inst = random_disk_instance(
-        n, extent=extent, radius_range=radius_range, seed=rng, method=method
+    structure = metro_disk_scene(
+        n, seed=rng, density=density, radius_range=radius_range, method=method
     )
-    structure = disk_transmitter_model(inst)
     vals = random_xor_valuations(n, k, bids_per_bidder=bids_per_bidder, seed=rng)
     return AuctionProblem(structure, k, vals)
 
@@ -188,11 +225,14 @@ def metro_protocol_auction(
 ) -> AuctionProblem:
     """Metro-scale protocol-model auction over links (constant density)."""
     rng = ensure_rng(seed)
-    # interaction reach of a link ≈ its guard radius around the receiver
-    mean_reach = (1.0 + delta) * (length_range[0] + length_range[1]) / 2.0
-    extent = metro_extent(n, mean_reach, density)
-    links = random_links(n, extent=extent, length_range=length_range, seed=rng)
-    structure = protocol_model(links, delta, method=method)
+    structure = metro_protocol_scene(
+        n,
+        seed=rng,
+        density=density,
+        delta=delta,
+        length_range=length_range,
+        method=method,
+    )
     vals = random_xor_valuations(n, k, bids_per_bidder=bids_per_bidder, seed=rng)
     return AuctionProblem(structure, k, vals)
 

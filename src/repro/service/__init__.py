@@ -1,0 +1,41 @@
+"""Auction service layer: serve allocation requests over the batch engine.
+
+Four modules (see DESIGN.md → "The auction service"):
+
+* :mod:`repro.service.scenes` — content-hash scene registry, so
+  structurally identical interference scenes share one canonical object
+  and therefore one compilation;
+* :mod:`repro.service.service` — :class:`AuctionService`: coalescing
+  request queue, per-service LRU compilation caches, shard-affinity
+  routing, graceful drain;
+* :mod:`repro.service.traffic` — open-loop Poisson/burst/replay traffic
+  over the metro workload family;
+* :mod:`repro.service.metrics` — throughput, latency percentiles, cache
+  hit rates, persisted as JSON.
+"""
+
+from repro.service.metrics import ServiceMetrics
+from repro.service.scenes import SceneRegistry, scene_fingerprint
+from repro.service.service import AuctionRequest, AuctionService
+from repro.service.traffic import (
+    TrafficRequest,
+    TrafficTrace,
+    burst_trace,
+    load_trace,
+    poisson_trace,
+    save_trace,
+)
+
+__all__ = [
+    "AuctionRequest",
+    "AuctionService",
+    "SceneRegistry",
+    "scene_fingerprint",
+    "ServiceMetrics",
+    "TrafficRequest",
+    "TrafficTrace",
+    "poisson_trace",
+    "burst_trace",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,92 @@
+"""Scene registry: content-addressed conflict structures.
+
+A *scene* is one interference situation — a conflict structure (graph +
+ordering π + ρ) over a fixed transmitter/link population.  The service
+serves many auction requests against a mostly-stable set of scenes
+(cf. Hoefer–Kesselheim's framing of secondary spectrum redistribution as
+repeated allocation over a fixed interference scene), so scenes are
+registered once and requests refer to them by id.
+
+Ids are **content hashes**: two structurally identical scenes — same
+graph, same ordering, same ρ — registered independently (two frontends,
+a restart, a replayed trace) map to the same id and therefore to the
+same canonical structure object, which is what makes the engine's
+identity-keyed compilation caches effective across registrants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import numpy as np
+
+from repro.interference.base import WeightedConflictStructure
+
+__all__ = ["scene_fingerprint", "SceneRegistry"]
+
+
+def _update_array(h, array: np.ndarray) -> None:
+    h.update(np.ascontiguousarray(array).tobytes())
+
+
+def scene_fingerprint(structure) -> str:
+    """Deterministic content hash of a conflict structure.
+
+    Covers everything the compiled LP depends on: vertex count, ρ, the
+    ordering permutation, and the (weighted) edge set.  Sparse- and
+    dense-backed graphs of the same scene hash identically — the hash
+    walks the canonical CSR form, which both backends expose.  Metadata
+    (model name, geometry) is deliberately excluded: it does not change
+    the optimization problem.
+    """
+    h = hashlib.sha256()
+    weighted = isinstance(structure, WeightedConflictStructure)
+    h.update(b"weighted" if weighted else b"unweighted")
+    h.update(np.int64(structure.n).tobytes())
+    h.update(np.float64(structure.rho).tobytes())
+    _update_array(h, np.asarray(structure.ordering.perm, dtype=np.int64))
+    csr = structure.graph.wbar_csr if weighted else structure.graph.csr
+    csr.sort_indices()
+    _update_array(h, csr.indptr.astype(np.int64))
+    _update_array(h, csr.indices.astype(np.int64))
+    _update_array(h, csr.data.astype(np.float64))
+    return h.hexdigest()[:16]
+
+
+class SceneRegistry:
+    """Maps scene ids to canonical structure objects.
+
+    Re-registering an identical structure returns the existing id and
+    keeps the first object as canonical — callers should drop their copy
+    and use :meth:`get` so identity-keyed caches downstream see one
+    object per scene.
+    """
+
+    def __init__(self) -> None:
+        self._scenes: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def register(self, structure) -> str:
+        """Register a structure; returns its content-hash scene id."""
+        scene_id = scene_fingerprint(structure)
+        with self._lock:
+            self._scenes.setdefault(scene_id, structure)
+        return scene_id
+
+    def get(self, scene_id: str):
+        """The canonical structure for ``scene_id`` (KeyError if unknown)."""
+        with self._lock:
+            return self._scenes[scene_id]
+
+    def __contains__(self, scene_id: str) -> bool:
+        with self._lock:
+            return scene_id in self._scenes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._scenes)
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._scenes)

@@ -1,0 +1,400 @@
+"""The long-lived auction service: queue, coalesce, route, solve, account.
+
+:class:`AuctionService` turns the batch engine into a request-driven
+system.  The moving parts, in request order:
+
+* **Scene registry** (:mod:`repro.service.scenes`) — conflict structures
+  are registered once under a content-hash id; requests reference scenes
+  by id, so the per-request payload is just valuations + a seed.
+* **Compilation caches** — an LRU of :class:`CompiledStructure`\\ s keyed
+  by structure identity (one entry per scene) and an LRU of
+  :class:`CompiledAuction`\\ s keyed by ``(scene, k, profile_key)`` for
+  requests that declare a reusable valuation profile.  A repeated profile
+  therefore pays for its LP exactly once; both caches expose
+  hit/miss/eviction counters through the metrics snapshot.  Capacity 0
+  disables a cache — the benchmark's baseline configuration.
+* **Coalescing queue** — submitted requests land on one queue; the
+  dispatcher batches whatever arrives within ``coalesce_window`` seconds
+  of the first pending request (up to ``max_batch``), groups the batch by
+  scene, and hands each group to the engine's stage-batched
+  :meth:`~repro.engine.batch.BatchAuctionEngine.solve_compiled` — one
+  compiled-structure pass, one LP stage, one rounding stage per group.
+  Each request carries its own seed, so its result is independent of
+  which batch it was coalesced into (pinned by the service tests).
+* **Shard-affinity routing** — groups are routed to a worker shard by
+  scene id hash.  The warm-start basis of the persistent HiGHS backend is
+  thread-local, so pinning a scene to one shard thread is what makes
+  warm-started re-solves actually hit their basis.
+* **Metrics** (:mod:`repro.service.metrics`) — throughput, p50/p95/p99
+  latency, batch sizes, cache hit rates, warm/cold LP solve counts.
+
+``executor="serial"`` keeps the dispatcher thread but runs every group
+inline in it — deterministic ordering, no shard threads — and is the
+configuration the determinism tests pin.  :meth:`solve_batch` /
+:meth:`run_trace` bypass the queue entirely for synchronous, simulated
+replays.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.auction import AuctionProblem
+from repro.core.result import SolverResult
+from repro.engine.batch import BatchAuctionEngine
+from repro.engine.compiled import CompiledAuction, compile_structure
+from repro.engine.highs import warm_start_stats
+from repro.service.metrics import ServiceMetrics
+from repro.service.scenes import SceneRegistry
+from repro.util.lru import LRUCache
+
+__all__ = ["AuctionRequest", "AuctionService"]
+
+_EXECUTORS = ("serial", "thread")
+
+
+@dataclass
+class AuctionRequest:
+    """One allocation request against a registered scene.
+
+    ``profile_key`` declares that this exact valuation profile may recur
+    (license renewals, mechanism re-pricing probes): requests sharing
+    ``(scene_id, k, profile_key)`` share one compiled auction and one LP
+    solve through the service's problem cache.  ``None`` marks the
+    profile as one-off — nothing is cached beyond the scene's compiled
+    structure.  ``seed`` drives the rounding RNG; fixing it makes the
+    request's outcome reproducible bit-for-bit.
+    """
+
+    scene_id: str
+    k: int
+    valuations: list
+    seed: int | None = None
+    profile_key: str | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Pending:
+    request: AuctionRequest
+    future: Future
+    submitted_at: float
+
+
+class AuctionService:
+    """Long-lived auction server over :class:`BatchAuctionEngine`."""
+
+    def __init__(
+        self,
+        *,
+        registry: SceneRegistry | None = None,
+        executor: str = "thread",
+        num_shards: int = 2,
+        coalesce_window: float = 0.005,
+        max_batch: int = 32,
+        structure_cache_size: int = 32,
+        problem_cache_size: int = 256,
+        rounding_attempts: int = 1,
+        lp_warm_start: bool = False,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if coalesce_window < 0 or max_batch < 1:
+            raise ValueError("coalesce_window must be >= 0 and max_batch >= 1")
+        self.registry = registry or SceneRegistry()
+        self.executor = executor
+        self.num_shards = num_shards if executor == "thread" else 1
+        self.coalesce_window = coalesce_window
+        self.max_batch = max_batch
+        self.metrics = metrics or ServiceMetrics()
+        self.structure_cache = LRUCache(structure_cache_size, name="structures")
+        self.problem_cache = LRUCache(problem_cache_size, name="problems")
+        # the engine is used purely through solve_compiled, stage-batching
+        # each coalesced group in whichever shard thread it lands on
+        self.engine = BatchAuctionEngine(
+            executor="serial",
+            rounding_attempts=rounding_attempts,
+            lp_warm_start=lp_warm_start,
+            structure_cache=self.structure_cache,
+        )
+        self._queue: queue.SimpleQueue[_Pending] = queue.SimpleQueue()
+        self._queued = 0  # SimpleQueue.qsize is unreliable; track explicitly
+        self._inflight = 0
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._warm_totals = {"warm": 0, "cold": 0}
+        self._closed = False
+        self._dispatcher: threading.Thread | None = None
+        self._shards: list[ThreadPoolExecutor] = []
+
+    # ------------------------------------------------------------------
+    # scenes
+    # ------------------------------------------------------------------
+    def register_scene(self, structure) -> str:
+        """Register (or re-register) a conflict structure; returns scene id."""
+        return self.registry.register(structure)
+
+    def _shard_of(self, scene_id: str) -> int:
+        return int(scene_id, 16) % self.num_shards
+
+    # ------------------------------------------------------------------
+    # compilation (through the service-owned caches)
+    # ------------------------------------------------------------------
+    def _compiled_for(self, request: AuctionRequest) -> CompiledAuction:
+        structure = self.registry.get(request.scene_id)
+        compiled_structure = compile_structure(structure, cache=self.structure_cache)
+
+        def build() -> CompiledAuction:
+            problem = AuctionProblem(structure, request.k, list(request.valuations))
+            return CompiledAuction(problem, structure=compiled_structure)
+
+        if request.profile_key is None:
+            return build()
+        key = (request.scene_id, request.k, request.profile_key)
+        return self.problem_cache.get_or_create(key, build)
+
+    # ------------------------------------------------------------------
+    # synchronous path (used by simulated replay and the dispatcher)
+    # ------------------------------------------------------------------
+    def _solve_group(self, group: list[tuple[AuctionRequest, CompiledAuction]]):
+        before = warm_start_stats()
+        results = self.engine.solve_compiled(
+            [(compiled, req.seed) for req, compiled in group]
+        )
+        after = warm_start_stats()
+        with self._state_lock:
+            self._warm_totals["warm"] += after["warm"] - before["warm"]
+            self._warm_totals["cold"] += after["cold"] - before["cold"]
+        return results
+
+    def solve_batch(self, requests: list[AuctionRequest]) -> list[SolverResult]:
+        """Solve one coalesced batch synchronously, grouped by scene.
+
+        This is the queueless entry point: results come back in request
+        order, and every request's latency is recorded from batch start
+        (the queue-based path records from its actual submit instead).
+        """
+        start = self.metrics.record_submit()
+        for _ in requests[1:]:
+            self.metrics.record_submit(start)
+        self.metrics.record_batch(len(requests))
+        groups: dict[str, list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.scene_id, []).append(i)
+        results: list[SolverResult | None] = [None] * len(requests)
+        for indices in groups.values():
+            group = [(requests[i], self._compiled_for(requests[i])) for i in indices]
+            for i, result in zip(indices, self._solve_group(group)):
+                results[i] = result
+                self.metrics.record_done(time.perf_counter() - start)
+        return results  # type: ignore[return-value]
+
+    def run_trace(self, trace, realtime: bool = False) -> list[SolverResult]:
+        """Replay a :class:`~repro.service.traffic.TrafficTrace`.
+
+        ``realtime=False`` (default) simulates the open-loop arrival
+        process without sleeping: requests whose arrival stamps fall
+        within ``coalesce_window`` of the first pending one are coalesced
+        — deterministically, since only the recorded stamps matter — and
+        each batch is solved inline.  ``realtime=True`` sleeps to each
+        arrival stamp and submits through the queue, exercising the
+        dispatcher and shard pool under genuine open-loop load.
+        """
+        requests = list(trace)
+        if realtime:
+            t0 = time.perf_counter()
+            futures = []
+            for item in requests:
+                delay = item.arrival - (time.perf_counter() - t0)
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(self.submit(item.request))
+            return [f.result() for f in futures]
+        results: list[SolverResult] = []
+        i = 0
+        while i < len(requests):
+            cutoff = requests[i].arrival + self.coalesce_window
+            j = i + 1
+            while (
+                j < len(requests)
+                and j - i < self.max_batch
+                and requests[j].arrival <= cutoff
+            ):
+                j += 1
+            results.extend(self.solve_batch([item.request for item in requests[i:j]]))
+            i = j
+        return results
+
+    # ------------------------------------------------------------------
+    # queued path (dispatcher + shard pool)
+    # ------------------------------------------------------------------
+    def _start_locked(self) -> None:
+        """Start dispatcher + shard pool (caller holds ``_state_lock``)."""
+        if self._dispatcher is None:
+            if self.executor == "thread":
+                self._shards = [
+                    ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix=f"auction-shard-{i}"
+                    )
+                    for i in range(self.num_shards)
+                ]
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="auction-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
+
+    def submit(self, request: AuctionRequest) -> Future:
+        """Enqueue one request; returns a future resolving to its result."""
+        if request.scene_id not in self.registry:
+            raise KeyError(f"unknown scene {request.scene_id!r}; register it first")
+        future: Future = Future()
+        # closed-check and accounting under one lock hold: once _queued is
+        # incremented a concurrent close() cannot observe an empty queue, so
+        # the dispatcher stays alive until this request is picked up
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            self._start_locked()
+            self._queued += 1
+            self._inflight += 1
+        pending = _Pending(request, future, self.metrics.record_submit())
+        self._queue.put(pending)
+        return future
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.02)
+            except queue.Empty:
+                with self._state_lock:
+                    if self._closed and self._queued == 0:
+                        return
+                continue
+            batch = [first]
+            deadline = time.perf_counter() + self.coalesce_window
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            with self._state_lock:
+                self._queued -= len(batch)
+            self.metrics.record_batch(len(batch))
+            groups: dict[str, list[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault(pending.request.scene_id, []).append(pending)
+            for scene_id, pendings in groups.items():
+                if self.executor == "thread":
+                    self._shards[self._shard_of(scene_id)].submit(
+                        self._run_pendings, pendings
+                    )
+                else:
+                    self._run_pendings(pendings)
+
+    def _run_pendings(self, pendings: list[_Pending]) -> None:
+        try:
+            group = [(p.request, self._compiled_for(p.request)) for p in pendings]
+            results = self._solve_group(group)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the futures
+            now = time.perf_counter()
+            for p in pendings:
+                self.metrics.record_done(now - p.submitted_at, failed=True)
+                p.future.set_exception(exc)
+            self._mark_finished(len(pendings))
+            return
+        for p, result in zip(pendings, results):
+            self.metrics.record_done(time.perf_counter() - p.submitted_at)
+            p.future.set_result(result)
+        self._mark_finished(len(pendings))
+
+    def _mark_finished(self, count: int) -> None:
+        with self._idle:
+            self._inflight -= count
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted request has resolved.
+
+        Returns ``False`` on timeout (requests still in flight).
+        """
+        with self._idle:
+            return self._idle.wait_for(lambda: self._inflight == 0, timeout=timeout)
+
+    def close(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: stop intake, finish every accepted request,
+        then stop the workers.
+
+        Accepted requests are never dropped: even when the ``timeout``-
+        bounded drain wait expires (return value ``False``), close still
+        completes the remaining backlog before returning — ``timeout``
+        bounds the *reporting*, not the shutdown.  Submitting after close
+        raises.  Idempotent.
+        """
+        with self._state_lock:
+            if self._closed:
+                return True
+            self._closed = True
+            dispatcher = self._dispatcher
+        drained = self.drain(timeout=timeout)
+        if dispatcher is not None:
+            dispatcher.join()
+        for shard in self._shards:
+            shard.shutdown(wait=True)
+        self._shards = []
+        return drained
+
+    def __enter__(self) -> "AuctionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict:
+        with self._state_lock:
+            warm = dict(self._warm_totals)
+        return {
+            "structures": self.structure_cache.stats(),
+            "problems": self.problem_cache.stats(),
+            "lp_warm_solves": warm,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Metrics + cache accounting + static configuration, one dict."""
+        snapshot = self.metrics.snapshot(caches=self.cache_stats())
+        snapshot["config"] = {
+            "executor": self.executor,
+            "num_shards": self.num_shards,
+            "coalesce_window": self.coalesce_window,
+            "max_batch": self.max_batch,
+            "structure_cache_capacity": self.structure_cache.capacity,
+            "problem_cache_capacity": self.problem_cache.capacity,
+            "lp_warm_start": self.engine.solve_kwargs["lp_warm_start"],
+            "scenes": len(self.registry),
+        }
+        return snapshot
+
+    def write_metrics(self, path):
+        """Persist :meth:`metrics_snapshot` as JSON; returns the path."""
+        import json
+        import pathlib
+
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.metrics_snapshot(), indent=2) + "\n")
+        return path

@@ -1,6 +1,7 @@
 """Shared utilities: seeded RNG handling, allocation validation, tables."""
 
 from repro.util.ascii_plot import bar_chart
+from repro.util.lru import LRUCache
 from repro.util.rng import ensure_rng, spawn_rngs
 from repro.util.tables import Table
 from repro.util.validation import (
@@ -11,6 +12,7 @@ from repro.util.validation import (
 
 __all__ = [
     "bar_chart",
+    "LRUCache",
     "ensure_rng",
     "spawn_rngs",
     "Table",

@@ -1,0 +1,121 @@
+"""Thread-safe LRU cache with hit/miss/eviction accounting.
+
+One cache class backs every keyed cache in the system: the engine's
+module-level compilation caches (:mod:`repro.engine.compiled`) and the
+per-service caches the :class:`~repro.service.AuctionService` injects so
+its capacity and eviction counters are isolated from other services in
+the process.  ``capacity=0`` disables storage entirely — every lookup is
+a miss and nothing is retained — which is how the benchmark's
+"no-cache" baseline configuration is expressed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction and counters.
+
+    ``get`` refreshes recency; ``put`` evicts the stalest entries once
+    ``capacity`` is exceeded.  All operations hold one re-entrant lock, so
+    the cache can be shared across the service's shard threads.
+    ``get_or_create`` runs its factory *outside* the lock (compilation can
+    take milliseconds) and double-checks on insert, keeping the first
+    created value on a race.
+    """
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default=None):
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: Hashable, value) -> None:
+        with self._lock:
+            if self.capacity == 0:
+                return
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], object]):
+        """Fetch ``key``, building it via ``factory`` on a miss.
+
+        The factory runs unlocked; if another thread inserted the key in
+        the meantime its value wins (and this thread's build is dropped),
+        so all callers observe one shared entry per key.
+        """
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._misses += 1
+        value = factory()
+        with self._lock:
+            if key in self._data:
+                return self._data[key]
+            if self.capacity == 0:
+                return value
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+            return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    def stats(self) -> dict:
+        """Counters snapshot: hits, misses, evictions, size, capacity, hit_rate."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hit_rate": self._hits / total if total else 0.0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"LRUCache({label} size={s['size']}/{s['capacity']} "
+            f"hits={s['hits']} misses={s['misses']} evictions={s['evictions']})"
+        )

@@ -1,0 +1,141 @@
+"""The perf-regression gate must pass on faithful measurements and fail on
+injected slowdowns — without re-running any benchmark (pure comparison)."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_MODULE_PATH = (
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_regression"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def baselines(gate):
+    return gate.load_baselines()
+
+
+def _as_measured(gate, baselines):
+    """A perfect measurement: exactly the committed baseline values."""
+    measured = {"engine": {}, "scale": {}, "service": {}}
+    for chk in gate.CHECKS:
+        gate._assign(
+            measured[chk.source],
+            chk.path,
+            gate._lookup(baselines[chk.source], chk.path),
+        )
+    return measured
+
+
+def _slowed(gate, baselines, factor):
+    """Every gated metric degraded by ``factor``."""
+    measured = _as_measured(gate, baselines)
+    for chk in gate.CHECKS:
+        value = gate._lookup(measured[chk.source], chk.path)
+        worse = value * factor if chk.kind == "seconds" else value / factor
+        gate._assign(measured[chk.source], chk.path, worse)
+    return measured
+
+
+class TestCompare:
+    def test_baseline_vs_itself_passes(self, gate, baselines):
+        rows = gate.compare(_as_measured(gate, baselines), baselines)
+        assert len(rows) == len(gate.CHECKS)
+        assert all(row["ok"] for row in rows)
+
+    def test_injected_slowdown_fails(self, gate, baselines):
+        rows = gate.compare(_slowed(gate, baselines, 3.0), baselines)
+        assert all(not row["ok"] for row in rows)
+        assert all(row["slowdown"] == pytest.approx(3.0) for row in rows)
+
+    def test_slowdown_within_tolerance_passes(self, gate, baselines):
+        rows = gate.compare(_slowed(gate, baselines, 1.2), baselines)
+        assert all(row["ok"] for row in rows)
+
+    def test_speedup_tolerance_tighter_than_time_tolerance(self, gate, baselines):
+        rows = gate.compare(_slowed(gate, baselines, 2.0), baselines)
+        by_kind = {row["kind"]: row["ok"] for row in rows}
+        assert by_kind["speedup"] is False  # 2.0 > 1.5
+        assert by_kind["seconds"] is True  # 2.0 < 2.5
+
+    def test_missing_metric_is_a_failure(self, gate, baselines):
+        measured = _as_measured(gate, baselines)
+        del measured["engine"]["repeat_trace_50"]
+        rows = gate.compare(measured, baselines)
+        failed = [row for row in rows if not row["ok"]]
+        assert len(failed) == 1
+        assert "missing metric" in failed[0]["error"]
+
+    def test_improvements_pass(self, gate, baselines):
+        rows = gate.compare(_slowed(gate, baselines, 0.5), baselines)
+        assert all(row["ok"] for row in rows)
+
+
+class TestLookupAssign:
+    def test_roundtrip_through_lists(self, gate):
+        data = {}
+        gate._assign(data, "scaling.points.1.speedup", 2.5)
+        assert data["scaling"]["points"][0] is None
+        assert gate._lookup(data, "scaling.points.1.speedup") == 2.5
+
+    def test_lookup_baseline_paths_exist(self, gate, baselines):
+        for chk in gate.CHECKS:
+            value = gate._lookup(baselines[chk.source], chk.path)
+            assert value > 0
+
+
+class TestMainExitCodes:
+    """The CLI contract CI relies on, driven by --measured (no benchmarking)."""
+
+    def _write(self, tmp_path, measured):
+        path = tmp_path / "measured.json"
+        path.write_text(json.dumps(measured))
+        return str(path)
+
+    def test_green_on_faithful_measurement(self, gate, baselines, tmp_path, capsys):
+        path = self._write(tmp_path, _as_measured(gate, baselines))
+        assert gate.main(["--measured", path]) == 0
+        assert "all" in capsys.readouterr().out
+
+    def test_nonzero_on_injected_slowdown(self, gate, baselines, tmp_path, capsys):
+        path = self._write(tmp_path, _slowed(gate, baselines, 2.5))
+        assert gate.main(["--measured", path]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_tolerance_flags_respected(self, gate, baselines, tmp_path):
+        path = self._write(tmp_path, _slowed(gate, baselines, 2.5))
+        assert (
+            gate.main(
+                ["--measured", path, "--tolerance", "5", "--time-tolerance", "5"]
+            )
+            == 0
+        )
+
+    def test_json_report_written(self, gate, baselines, tmp_path):
+        measured_path = self._write(tmp_path, _as_measured(gate, baselines))
+        report = tmp_path / "report.json"
+        gate.main(["--measured", measured_path, "--json", str(report)])
+        data = json.loads(report.read_text())
+        assert len(data["checks"]) == len(gate.CHECKS)
+        assert all(row["ok"] for row in data["checks"])
+
+    def test_does_not_mutate_baseline_files(self, gate, baselines, tmp_path):
+        before = copy.deepcopy(baselines)
+        path = self._write(tmp_path, _slowed(gate, baselines, 2.5))
+        gate.main(["--measured", path])
+        assert gate.load_baselines() == before

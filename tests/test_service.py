@@ -1,0 +1,387 @@
+"""Auction service behavior: scenes, determinism, coalescing, caches, drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import metro_disk_scene, metro_protocol_scene
+from repro.service import (
+    AuctionRequest,
+    AuctionService,
+    SceneRegistry,
+    burst_trace,
+    load_trace,
+    poisson_trace,
+    save_trace,
+    scene_fingerprint,
+)
+from repro.valuations.generators import random_xor_valuations
+
+N = 24
+K = 3
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return metro_disk_scene(N, seed=501)
+
+
+def make_service(scene, **overrides):
+    options = {"executor": "serial", "coalesce_window": 0.01, "max_batch": 8}
+    options.update(overrides)
+    service = AuctionService(**options)
+    service.register_scene(scene)
+    return service
+
+
+def make_trace(service, num_requests=14, repeat_fraction=0.7, seed=77, **kwargs):
+    [scene_id] = service.registry.ids()
+    return poisson_trace(
+        service.registry,
+        [scene_id],
+        k=K,
+        rate=500.0,
+        num_requests=num_requests,
+        seed=seed,
+        repeat_fraction=repeat_fraction,
+        unique_profiles=kwargs.pop("unique_profiles", 3),
+        **kwargs,
+    )
+
+
+def allocations(results):
+    return [r.allocation for r in results]
+
+
+class TestSceneRegistry:
+    def test_fingerprint_is_content_addressed(self):
+        a = metro_disk_scene(N, seed=601)
+        b = metro_disk_scene(N, seed=601)  # identical generation, new object
+        c = metro_disk_scene(N, seed=602)
+        assert a is not b
+        assert scene_fingerprint(a) == scene_fingerprint(b)
+        assert scene_fingerprint(a) != scene_fingerprint(c)
+
+    def test_fingerprint_covers_weighted_scenes(self):
+        from repro.experiments.workloads import physical_auction
+
+        a = physical_auction(10, 2, seed=603).structure
+        b = physical_auction(10, 2, seed=603).structure
+        c = physical_auction(10, 2, seed=604).structure
+        assert scene_fingerprint(a) == scene_fingerprint(b)
+        assert scene_fingerprint(a) != scene_fingerprint(c)
+
+    def test_reregistration_keeps_canonical_object(self, scene):
+        registry = SceneRegistry()
+        first = registry.register(scene)
+        clone = metro_disk_scene(N, seed=501)
+        second = registry.register(clone)
+        assert first == second
+        assert registry.get(first) is scene  # first registrant wins
+        assert len(registry) == 1
+
+    def test_unknown_scene_rejected(self, scene):
+        service = make_service(scene)
+        request = AuctionRequest(
+            scene_id="feedfacefeedface",
+            k=K,
+            valuations=random_xor_valuations(N, K, seed=1),
+        )
+        with pytest.raises(KeyError):
+            service.submit(request)
+
+
+class TestDeterminism:
+    def test_same_trace_same_seed_identical_allocations(self, scene):
+        first = make_service(scene)
+        second = make_service(scene)
+        trace = make_trace(first)
+        res_a = first.run_trace(trace)
+        res_b = second.run_trace(trace)
+        assert allocations(res_a) == allocations(res_b)
+        assert all(r.feasible for r in res_a)
+
+    def test_queued_serial_matches_sync_path(self, scene):
+        sync = make_service(scene)
+        queued = make_service(scene)
+        trace = make_trace(sync, num_requests=10)
+        expected = sync.run_trace(trace)
+        futures = [queued.submit(item.request) for item in trace]
+        got = [f.result(timeout=60) for f in futures]
+        assert queued.close(timeout=60)
+        assert allocations(expected) == allocations(got)
+
+    def test_threaded_shards_match_serial(self, scene):
+        serial = make_service(scene)
+        threaded = make_service(
+            scene, executor="thread", num_shards=2, coalesce_window=0.002
+        )
+        trace = make_trace(serial, num_requests=10)
+        expected = serial.run_trace(trace)
+        futures = [threaded.submit(item.request) for item in trace]
+        got = [f.result(timeout=60) for f in futures]
+        assert threaded.close(timeout=60)
+        assert allocations(expected) == allocations(got)
+
+
+class TestCoalescing:
+    def test_batched_equals_one_by_one(self, scene):
+        batched = make_service(scene, coalesce_window=10.0, max_batch=64)
+        single = make_service(scene, coalesce_window=0.0, max_batch=1)
+        trace = make_trace(batched, num_requests=12)
+        res_batched = batched.run_trace(trace)
+        res_single = single.run_trace(trace)
+        assert allocations(res_batched) == allocations(res_single)
+        # and the two really took different batching paths
+        assert batched.metrics_snapshot()["max_batch_size"] > 1
+        assert single.metrics_snapshot()["max_batch_size"] == 1
+
+    def test_window_zero_never_batches(self, scene):
+        service = make_service(scene, coalesce_window=0.0)
+        trace = make_trace(service, num_requests=6)
+        service.run_trace(trace)
+        assert service.metrics_snapshot()["max_batch_size"] == 1
+
+    def test_batch_groups_respect_scene_boundaries(self, scene):
+        service = make_service(scene, coalesce_window=10.0, max_batch=64)
+        other_id = service.register_scene(metro_protocol_scene(N, seed=502))
+        [disk_id] = [s for s in service.registry.ids() if s != other_id]
+        requests = [
+            AuctionRequest(
+                scene_id=sid,
+                k=K,
+                valuations=random_xor_valuations(N, K, seed=900 + i),
+                seed=i,
+            )
+            for i, sid in enumerate([disk_id, other_id, disk_id, other_id])
+        ]
+        results = service.solve_batch(requests)
+        assert len(results) == 4
+        assert all(r.feasible for r in results)
+
+
+class TestCacheAccounting:
+    def test_repeat_profiles_hit_problem_cache(self, scene):
+        service = make_service(scene)
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=910)
+        requests = [
+            AuctionRequest(scene_id, K, vals, seed=i, profile_key="renewal")
+            for i in range(5)
+        ]
+        service.solve_batch(requests)
+        stats = service.cache_stats()
+        assert stats["problems"]["misses"] == 1
+        assert stats["problems"]["hits"] == 4
+        # one compiled auction ⇒ exactly one LP solve for all five requests
+        warm = stats["lp_warm_solves"]
+        assert warm["warm"] + warm["cold"] == 1
+
+    def test_distinct_requests_bypass_problem_cache(self, scene):
+        service = make_service(scene)
+        [scene_id] = service.registry.ids()
+        requests = [
+            AuctionRequest(
+                scene_id, K, random_xor_valuations(N, K, seed=920 + i), seed=i
+            )
+            for i in range(3)
+        ]
+        service.solve_batch(requests)
+        stats = service.cache_stats()
+        assert stats["problems"]["hits"] == stats["problems"]["misses"] == 0
+        warm = stats["lp_warm_solves"]
+        assert warm["warm"] + warm["cold"] == 3
+
+    def test_problem_cache_eviction_accounted(self, scene):
+        service = make_service(scene, problem_cache_size=2)
+        [scene_id] = service.registry.ids()
+        for i in range(4):
+            service.solve_batch(
+                [
+                    AuctionRequest(
+                        scene_id,
+                        K,
+                        random_xor_valuations(N, K, seed=930 + i),
+                        seed=i,
+                        profile_key=f"profile-{i}",
+                    )
+                ]
+            )
+        stats = service.cache_stats()["problems"]
+        assert stats["evictions"] == 2
+        assert stats["size"] == 2
+
+    def test_structure_compiled_once_per_scene(self, scene):
+        service = make_service(scene)
+        trace = make_trace(service, num_requests=8)
+        service.run_trace(trace)
+        stats = service.cache_stats()["structures"]
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 7
+
+    def test_disabled_caches_recompile_everything(self, scene):
+        service = make_service(
+            scene, structure_cache_size=0, problem_cache_size=0
+        )
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=940)
+        requests = [
+            AuctionRequest(scene_id, K, vals, seed=i, profile_key="renewal")
+            for i in range(3)
+        ]
+        service.solve_batch(requests)
+        stats = service.cache_stats()
+        assert stats["problems"]["hits"] == 0
+        warm = stats["lp_warm_solves"]
+        assert warm["warm"] + warm["cold"] == 3  # one LP per request
+
+
+class TestLifecycle:
+    def test_graceful_drain_on_close(self, scene):
+        service = make_service(scene, executor="thread", num_shards=2)
+        trace = make_trace(service, num_requests=8)
+        futures = [service.submit(item.request) for item in trace]
+        assert service.close(timeout=60)
+        assert all(f.done() for f in futures)
+        assert all(f.result().feasible for f in futures)
+        snap = service.metrics_snapshot()
+        assert snap["requests_completed"] == len(futures)
+        assert snap["requests_failed"] == 0
+
+    def test_submit_after_close_rejected(self, scene):
+        service = make_service(scene)
+        trace = make_trace(service, num_requests=2)
+        service.submit(trace[0].request)
+        assert service.close(timeout=60)
+        with pytest.raises(RuntimeError):
+            service.submit(trace[1].request)
+
+    def test_close_idempotent_and_context_manager(self, scene):
+        with make_service(scene) as service:
+            trace = make_trace(service, num_requests=2)
+            future = service.submit(trace[0].request)
+        assert future.done()
+        assert service.close()  # second close is a no-op
+
+    def test_drain_without_starting(self, scene):
+        service = make_service(scene)
+        assert service.drain(timeout=1)
+        assert service.close()
+
+
+class TestTraffic:
+    def test_poisson_trace_deterministic(self, scene):
+        service = make_service(scene)
+        a = make_trace(service, seed=88)
+        b = make_trace(service, seed=88)
+        assert [i.arrival for i in a] == [i.arrival for i in b]
+        assert [i.request.seed for i in a] == [i.request.seed for i in b]
+        assert a.duration > 0 and len(a) == 14
+
+    def test_repeat_fraction_extremes(self, scene):
+        service = make_service(scene)
+        repeat = make_trace(service, repeat_fraction=1.0, seed=89)
+        distinct = make_trace(
+            service, repeat_fraction=0.0, unique_profiles=0, seed=89
+        )
+        assert all(i.request.profile_key is not None for i in repeat)
+        assert all(i.request.profile_key is None for i in distinct)
+
+    def test_burst_trace_shape(self, scene):
+        service = make_service(scene)
+        [scene_id] = service.registry.ids()
+        trace = burst_trace(
+            service.registry,
+            [scene_id],
+            k=K,
+            burst_size=3,
+            bursts=2,
+            gap=0.5,
+            seed=90,
+        )
+        assert len(trace) == 6
+        assert [i.arrival for i in trace] == [0.0] * 3 + [0.5] * 3
+
+    def test_invalid_parameters_rejected(self, scene):
+        service = make_service(scene)
+        [scene_id] = service.registry.ids()
+        with pytest.raises(ValueError):
+            poisson_trace(
+                service.registry, [scene_id], k=K, rate=0.0, num_requests=1, seed=1
+            )
+        with pytest.raises(ValueError):
+            burst_trace(
+                service.registry,
+                [scene_id],
+                k=K,
+                burst_size=0,
+                bursts=1,
+                gap=0.1,
+                seed=1,
+            )
+
+    def test_encode_valuation_preserves_bid_order(self):
+        from repro.io import _valuation_from_dict
+        from repro.service.traffic import _encode_valuation
+        from repro.valuations.explicit import (
+            ExplicitValuation,
+            SingleMindedValuation,
+            XORValuation,
+        )
+
+        bids = {frozenset({2}): 5.0, frozenset({0, 1}): 3.0}  # not sorted
+        for cls in (XORValuation, ExplicitValuation):
+            encoded = _encode_valuation(cls(3, bids))
+            assert encoded["bids"] == [[[2], 5.0], [[0, 1], 3.0]]
+            decoded = _valuation_from_dict(encoded)
+            assert type(decoded) is cls
+            assert list(decoded.bids) == list(bids)
+        single = SingleMindedValuation(3, frozenset({1, 2}), 4.0)
+        assert type(_valuation_from_dict(_encode_valuation(single))) is (
+            SingleMindedValuation
+        )
+
+    def test_save_load_replay_bit_identical(self, scene, tmp_path):
+        recorder = make_service(scene)
+        trace = make_trace(recorder, num_requests=10)
+        expected = recorder.run_trace(trace)
+        loaded = load_trace(save_trace(trace, tmp_path / "trace.json"))
+        assert len(loaded) == len(trace)
+        assert loaded.meta["kind"] == "poisson"
+        replayer = make_service(scene)
+        got = replayer.run_trace(loaded)
+        assert allocations(expected) == allocations(got)
+
+
+class TestServiceValidation:
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError):
+            AuctionService(executor="fpga")
+        with pytest.raises(ValueError):
+            AuctionService(num_shards=0)
+        with pytest.raises(ValueError):
+            AuctionService(coalesce_window=-1.0)
+        with pytest.raises(ValueError):
+            AuctionService(max_batch=0)
+
+    def test_metrics_snapshot_shape(self, scene):
+        service = make_service(scene)
+        trace = make_trace(service, num_requests=4)
+        service.run_trace(trace)
+        snap = service.metrics_snapshot()
+        assert snap["requests_completed"] == 4
+        assert snap["throughput_rps"] > 0
+        for key in ("p50", "p95", "p99"):
+            assert snap["latency_seconds"][key] >= 0
+        assert snap["config"]["executor"] == "serial"
+        assert snap["caches"]["structures"]["capacity"] == 32
+
+    def test_write_metrics(self, scene, tmp_path):
+        import json
+
+        service = make_service(scene)
+        trace = make_trace(service, num_requests=3)
+        service.run_trace(trace)
+        path = service.write_metrics(tmp_path / "metrics.json")
+        data = json.loads(path.read_text())
+        assert data["requests_completed"] == 3

@@ -1,0 +1,109 @@
+"""LRU cache semantics: recency, eviction accounting, disabled mode."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.util.lru import LRUCache
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_least_recently_used_evicted_first(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now stalest
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_eviction_counter(self):
+        cache = LRUCache(2)
+        for i in range(5):
+            cache.put(i, i)
+        stats = cache.stats()
+        assert stats["evictions"] == 3
+        assert stats["size"] == 2
+        assert len(cache) == 2
+
+    def test_put_existing_key_refreshes_not_evicts(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update, no eviction
+        assert cache.stats()["evictions"] == 0
+        assert cache.get("a") == 10
+
+    def test_capacity_zero_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        built = []
+
+        def factory():
+            built.append(1)
+            return "value"
+
+        assert cache.get_or_create("k", factory) == "value"
+        assert cache.get_or_create("k", factory) == "value"
+        assert len(built) == 2  # nothing retained, factory re-runs
+        assert len(cache) == 0
+
+    def test_get_or_create_caches_and_counts(self):
+        cache = LRUCache(4)
+        built = []
+
+        def factory():
+            built.append(1)
+            return object()
+
+        first = cache.get_or_create("k", factory)
+        second = cache.get_or_create("k", factory)
+        assert first is second
+        assert len(built) == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_clear_resets_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        stats = cache.stats()
+        assert len(cache) == 0
+        assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_thread_safety_smoke(self):
+        cache = LRUCache(16)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    cache.put((base, i % 20), i)
+                    cache.get((base, (i + 1) % 20))
+                    cache.get_or_create((base, "x"), lambda: base)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
