@@ -1,4 +1,10 @@
-"""E8 — Section 5: Lavi–Swamy decomposition exact; truthful in expectation."""
+"""E8 — Section 5: Lavi–Swamy decomposition exact; truthful in expectation.
+
+Since PR 5 the experiment runs on the compiled fast path (cold-persistent
+pricing + warm VCG probes) and additionally checks payoff/marginal parity
+against the preserved ``pricing="reference"`` pipeline on the same small
+instance.
+"""
 
 from conftest import run_and_record
 
@@ -10,3 +16,7 @@ def test_e8_mechanism(benchmark):
     assert out.summary["mass_error"] <= 1e-7
     assert out.summary["welfare_error"] <= 1e-7
     assert out.summary["max_misreport_gain"] <= 1e-6
+    # fast path vs reference (pre-fast-path) parity on the same instance
+    assert out.summary["marginals_identical"]
+    assert out.summary["pool_identical"]
+    assert out.summary["payment_parity_gap"] <= 1e-6

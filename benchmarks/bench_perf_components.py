@@ -12,7 +12,9 @@ one-shot script that persists the engine-vs-seed numbers to
 import numpy as np
 import pytest
 
+from repro.core.auction import AuctionProblem
 from repro.core.auction_lp import AuctionLP
+from repro.core.conflict_resolution import check_condition5, make_fully_feasible
 from repro.core.derandomize import derandomize_rounding
 from repro.core.rounding import round_unweighted
 from repro.engine import (
@@ -22,13 +24,18 @@ from repro.engine import (
     stack_draws,
 )
 from repro.experiments.workloads import (
+    metro_disk_auction,
     physical_auction,
     protocol_auction,
     protocol_auction_fleet,
 )
+from repro.graphs.conflict_graph import VertexOrdering
 from repro.graphs.inductive import inductive_independence_number
+from repro.graphs.weighted_graph import WeightedConflictGraph
 from repro.geometry.disks import random_disk_instance
+from repro.interference.base import WeightedConflictStructure
 from repro.util.rng import spawn_rngs
+from repro.valuations.explicit import XORValuation
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +84,63 @@ def test_perf_weighted_lp_pipeline(benchmark):
         return make_fully_feasible(problem, partly)
 
     benchmark(pipeline)
+
+
+# ----------------------------------------------------------------------
+# mechanism-path kernels at metro scale (n >= 300): the vectorized
+# derandomization estimator and Algorithm 3 — statistical regression
+# coverage for the PR 5 fast path
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def metro_problem():
+    return metro_disk_auction(300, 4, seed=910, bids_per_bidder=3)
+
+
+@pytest.fixture(scope="module")
+def metro_lp_solution(metro_problem):
+    return CompiledAuction(metro_problem).solve_lp()
+
+
+def test_perf_derandomize_n300(benchmark, metro_problem, metro_lp_solution):
+    benchmark(lambda: derandomize_rounding(metro_problem, metro_lp_solution))
+
+
+@pytest.fixture(scope="module")
+def weighted_resolution_case():
+    """A dense-winner Algorithm 3 workload: n=400 vertices all allocated,
+    sparse symmetric w̄ rescaled so Condition (5) holds with margin while
+    the per-vertex totals still force multiple peel rounds."""
+    n = 400
+    rng = np.random.default_rng(911)
+    w = np.zeros((n, n))
+    for v in range(n):
+        nbrs = rng.choice(n, size=8, replace=False)
+        w[v, nbrs] = rng.uniform(0.05, 0.4, size=8)
+    w = (w + w.T) / 2.0
+    np.fill_diagonal(w, 0.0)
+    # scale so the largest backward w̄ sum (w̄ = w + wᵀ doubles the entries)
+    # is 0.45 — Condition (5) holds with margin
+    backward = np.tril(w + w.T, -1).sum(axis=1).max()
+    w *= 0.45 / backward
+    structure = WeightedConflictStructure(
+        WeightedConflictGraph(w), VertexOrdering.identity(n), rho=1.0
+    )
+    vals = [XORValuation(1, {frozenset({0}): float(1 + v % 7)}) for v in range(n)]
+    problem = AuctionProblem(structure, 1, vals)
+    allocation = {v: frozenset({0}) for v in range(n)}
+    assert check_condition5(problem, allocation)
+    return problem, allocation
+
+
+def test_perf_condition5_n400(benchmark, weighted_resolution_case):
+    problem, allocation = weighted_resolution_case
+    benchmark(lambda: check_condition5(problem, allocation))
+
+
+def test_perf_algorithm3_n400(benchmark, weighted_resolution_case):
+    problem, allocation = weighted_resolution_case
+    result = benchmark(lambda: make_fully_feasible(problem, allocation))
+    assert problem.is_feasible(result.allocation)
 
 
 # ----------------------------------------------------------------------

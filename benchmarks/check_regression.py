@@ -1,13 +1,14 @@
 """CI perf-regression gate: re-measure smoke workloads, compare to baselines.
 
-The repo commits three benchmark baselines — BENCH_engine.json (PR 1),
-BENCH_scale.json (PR 2), BENCH_service.json (PR 4) — that CI used to run
-but never compare against, so a PR could quietly halve the engine's
-speedups.  This script closes the loop:
+The repo commits four benchmark baselines — BENCH_engine.json (PR 1),
+BENCH_scale.json (PR 2), BENCH_service.json (PR 4), BENCH_mechanism.json
+(PR 5) — that CI used to run but never compare against, so a PR could
+quietly halve the engine's speedups.  This script closes the loop:
 
 1. **measure** — re-run budgeted versions of the baseline workloads
    (the n=40 engine fleets, one n=1000 scale point, the n=300 service
-   smoke scenario; a couple of CPU-seconds each, best-of ``--repeats``);
+   smoke scenario, the n=150 truthful-mechanism smoke trace; a few
+   CPU-seconds each, best-of ``--repeats``);
 2. **compare** — each checked metric's *slowdown factor* against the
    committed baseline must stay under the noise tolerance.
 
@@ -42,6 +43,7 @@ BASELINE_FILES = {
     "engine": REPO / "BENCH_engine.json",
     "scale": REPO / "BENCH_scale.json",
     "service": REPO / "BENCH_service.json",
+    "mechanism": REPO / "BENCH_mechanism.json",
 }
 
 SPEEDUP_TOLERANCE = 1.5
@@ -87,6 +89,8 @@ CHECKS = [
     Check("scale", "scaling.points.1.sparse_fast_path.end_to_end_seconds", "seconds"),
     Check("service", "smoke_repeat_n300.speedup", "speedup"),
     Check("service", "smoke_repeat_n300.tuned.throughput_rps", "throughput"),
+    Check("mechanism", "smoke_truthful_n150.speedup", "speedup"),
+    Check("mechanism", "smoke_truthful_n150.fast.throughput_rps", "throughput"),
 ]
 
 
@@ -104,6 +108,7 @@ def measure(repeats: int = 2) -> dict:
     """
     sys.path.insert(0, str(pathlib.Path(__file__).parent))
     import bench_engine
+    import bench_mechanism
     import bench_scale
     import bench_service
 
@@ -152,9 +157,26 @@ def measure(repeats: int = 2) -> dict:
         }
         for _ in range(repeats)
     ]
+    mechanism_runs = [
+        {
+            "smoke_truthful_n150": bench_mechanism.bench_truthful_trace(
+                150,
+                num_requests=10,
+                unique_profiles=4,
+                scene_seed=1400,
+                trace_seed=52,
+            )
+        }
+        for _ in range(repeats)
+    ]
 
-    runs = {"engine": engine_runs, "scale": scale_runs, "service": service_runs}
-    measured: dict = {"engine": {}, "scale": {}, "service": {}}
+    runs = {
+        "engine": engine_runs,
+        "scale": scale_runs,
+        "service": service_runs,
+        "mechanism": mechanism_runs,
+    }
+    measured: dict = {"engine": {}, "scale": {}, "service": {}, "mechanism": {}}
     for chk in CHECKS:
         _assign(measured[chk.source], chk.path, best(runs[chk.source], chk.path, chk.kind))
     return measured

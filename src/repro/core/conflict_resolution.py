@@ -16,6 +16,16 @@ peels off feasible candidate allocations:
 The implementation validates Condition (5) up front (the halving argument
 — and hence termination — depends on it) and re-checks each candidate's
 feasibility before returning.
+
+Both the check and the rounds run on arrays: the winners' w̄ submatrix is
+masked once to shared-channel pairs and ordered by π, after which
+Condition (5) is one triangular sum and each Algorithm 3 round maintains
+per-vertex totals incrementally (clearing a vertex subtracts its w̄ row)
+instead of re-scanning the allocation dict per vertex.  As with the other
+vectorized kernels, the totals are NumPy sums rather than the seed's
+sequential Python accumulation — only an instance whose shared-channel
+weight lands within one ulp of the 1/2 or 1 threshold could resolve
+differently, and no stock workload sits on such a knife edge.
 """
 
 from __future__ import annotations
@@ -49,6 +59,30 @@ def _wbar_lookup(problem: AuctionProblem, allocation: Allocation):
     return index, sub
 
 
+def _ordered_share_weights(problem: AuctionProblem, allocation: Allocation):
+    """Winners in π order plus their share-masked w̄ matrix.
+
+    Returns ``(verts, m)`` where ``verts`` lists the allocated vertices by
+    increasing π and ``m[i, j]`` is w̄(verts[i], verts[j]) when the two
+    bundles share a channel (zero otherwise, zero diagonal) — the only
+    quantity Algorithm 3 and Condition (5) ever sum.
+    """
+    index, wbar = _wbar_lookup(problem, allocation)
+    pos = problem.ordering.pos
+    verts = sorted(index, key=lambda v: pos[v])
+    if not verts:
+        return verts, np.zeros((0, 0))
+    order = np.fromiter((index[v] for v in verts), dtype=np.intp, count=len(verts))
+    k = problem.k
+    chan = np.zeros((len(verts), k), dtype=bool)
+    for i, v in enumerate(verts):
+        chan[i, list(allocation[v])] = True
+    share = (chan.astype(float) @ chan.T) > 0
+    m = np.where(share, wbar[np.ix_(order, order)], 0.0)
+    np.fill_diagonal(m, 0.0)
+    return verts, m
+
+
 @dataclass
 class FullResolutionResult:
     """Output of Algorithm 3."""
@@ -64,18 +98,18 @@ class FullResolutionResult:
         return max(self.candidate_values, default=0.0)
 
 
+def _condition5_holds(m: np.ndarray) -> bool:
+    """Condition (5) on a prepared share-weight matrix (π-ordered)."""
+    if not m.size:
+        return True
+    totals = np.triu(m, 1).sum(axis=0)  # rows i < j in π order
+    return bool(not np.any(totals >= 0.5))
+
+
 def check_condition5(problem: AuctionProblem, allocation: Allocation) -> bool:
     """Condition (5): Σ over earlier shared-channel vertices of w̄ < 1/2."""
-    index, wbar = _wbar_lookup(problem, allocation)
-    pos = problem.ordering.pos
-    items = sorted(
-        ((v, s) for v, s in allocation.items() if s), key=lambda vs: pos[vs[0]]
-    )
-    for i, (v, sv) in enumerate(items):
-        total = sum(wbar[index[u], index[v]] for u, su in items[:i] if su & sv)
-        if total >= 0.5:
-            return False
-    return True
+    _, m = _ordered_share_weights(problem, allocation)
+    return _condition5_holds(m)
 
 
 def make_fully_feasible(
@@ -86,41 +120,39 @@ def make_fully_feasible(
     """Run Algorithm 3 on a partly-feasible allocation."""
     if not problem.is_weighted:
         raise ValueError("Algorithm 3 applies to weighted conflict graphs")
-    if validate_input and not check_condition5(problem, allocation):
+    verts, m = _ordered_share_weights(problem, allocation)
+    if validate_input and not _condition5_holds(m):
         raise ValueError("input allocation violates Condition (5)")
-
-    index, wbar = _wbar_lookup(problem, allocation)
-    pos = problem.ordering.pos
-    pending = {v for v, s in allocation.items() if s}
-    values = {v: problem.valuations[v].value(allocation[v]) for v in pending}
+    values = {v: problem.valuations[v].value(allocation[v]) for v in verts}
     max_rounds = max(1, math.ceil(math.log2(max(2, problem.n)))) + 1
 
     candidates: list[Allocation] = []
     candidate_values: list[float] = []
     rounds = 0
-    while pending:
+    active = np.ones(len(verts), dtype=bool)  # pending, in π order
+    while active.any():
         rounds += 1
         if rounds > max_rounds:  # pragma: no cover - guarded by Condition (5)
             raise RuntimeError(
                 "Algorithm 3 exceeded its ⌈log n⌉ round bound; "
                 "input was not partly feasible"
             )
-        current: Allocation = {v: allocation[v] for v in pending}
-        for v in sorted(pending, key=lambda u: pos[u], reverse=True):
-            bundle = current.get(v)
-            if not bundle:  # pragma: no cover - cleared entries are removed
-                continue
-            total = sum(
-                wbar[index[u], index[v]]
-                for u, su in current.items()
-                if u != v and su and su & bundle
-            )
-            if total < 1.0:
-                pending.discard(v)  # finalized into this candidate
+        # totals[j] = Σ over still-current vertices of m[·, j]; clearing a
+        # vertex subtracts its row, finalizing leaves totals unchanged —
+        # exactly the scan-by-decreasing-π semantics of the dict version
+        totals = m[active].sum(axis=0)
+        finalized: list[int] = []
+        for j in np.flatnonzero(active)[::-1]:
+            if totals[j] < 1.0:
+                finalized.append(int(j))
             else:
-                del current[v]  # cleared; retried next round
+                totals -= m[j]
+        current: Allocation = {
+            verts[j]: allocation[verts[j]] for j in sorted(finalized)
+        }
         candidates.append(current)
         candidate_values.append(sum(values[v] for v in current))
+        active[finalized] = False
 
     best_idx = max(
         range(len(candidates)), key=lambda i: candidate_values[i], default=-1

@@ -52,8 +52,50 @@ class DerandomizedResult:
     report: RoundingReport
 
 
+def _earlier_kappa(problem: AuctionProblem) -> sp.csr_matrix:
+    """Sparse ``B[v, u] = κ(u, v) · [π(u) < π(v)]`` over the conflict graph.
+
+    Built from the CSR backend when the graph is sparse (no n×n densify);
+    entries are identical either way, so the penalty matrix below is
+    bit-equal across backends.
+    """
+    pos = problem.ordering.pos
+    graph = problem.graph
+    if graph.is_sparse:
+        src = graph.wbar_csr if problem.is_weighted else graph.csr
+        coo = src.tocoo()
+        mask = pos[coo.col] < pos[coo.row]
+        data = (
+            coo.data[mask].astype(float)
+            if problem.is_weighted
+            else np.ones(int(mask.sum()))
+        )
+        b = sp.csr_matrix(
+            (data, (coo.row[mask], coo.col[mask])), shape=(graph.n, graph.n)
+        )
+    else:
+        kappa = (
+            problem.graph.wbar_matrix
+            if problem.is_weighted
+            else problem.graph.adjacency.astype(float)
+        )
+        earlier = pos[None, :] < pos[:, None]  # earlier[v, u]: π(u) < π(v)
+        b = sp.csr_matrix(np.where(earlier & (kappa > 0), kappa, 0.0))
+    b.sort_indices()
+    return b
+
+
 class _Estimator:
-    """F(q) = b·q − qᵀ M q over one class's columns."""
+    """F(q) = b·q − qᵀ M q over one class's columns.
+
+    ``penalty[a, b] = pen · val_a · κ(u_b, v_a)`` for entries whose vertices
+    are graph-adjacent with π(u_b) < π(v_a) and whose bundles intersect —
+    the same matrix the seed implementation assembled with an O(m²) Python
+    double loop, built here from sparse incidence products in O(nnz).
+    Different vertices round independently and Γ_π(v) excludes v, so the
+    matrix never couples two entries of one vertex — which is what makes
+    the O(degree) incremental update in :meth:`fix_best_choice` exact.
+    """
 
     def __init__(
         self,
@@ -61,56 +103,84 @@ class _Estimator:
         entries: list[tuple[int, frozenset[int], float, float]],
         scale: float,
     ) -> None:
+        m = len(entries)
         self.values = np.array([e[2] for e in entries])
         self.q = np.array([e[3] / scale for e in entries])
+        verts = np.fromiter((e[0] for e in entries), dtype=np.intp, count=m)
         self.vertex_cols: dict[int, list[int]] = {}
-        for i, (v, _b, _val, _x) in enumerate(entries):
-            self.vertex_cols.setdefault(v, []).append(i)
+        for i, v in enumerate(verts):
+            self.vertex_cols.setdefault(int(v), []).append(i)
 
         pen = 2.0 if problem.is_weighted else 1.0
-        ordering = problem.ordering
-        pos = ordering.pos
-        if problem.is_weighted:
-            kappa = problem.graph.wbar_matrix
+        k = problem.k
+        chan = np.zeros((m, k), dtype=bool)
+        for i, (_v, bundle, _val, _x) in enumerate(entries):
+            chan[i, list(bundle)] = True
+        if m:
+            # entry-level vertex adjacency via incidence products, then
+            # filter pairs to intersecting bundles and scale rows by
+            # pen·val_a — same entries (and canonical CSR order) as the
+            # seed's double loop
+            incidence = sp.csr_matrix(
+                (np.ones(m), (np.arange(m), verts)), shape=(m, problem.n)
+            )
+            pairs = (incidence @ _earlier_kappa(problem) @ incidence.T).tocoo()
+            keep = (chan[pairs.row] & chan[pairs.col]).any(axis=1)
+            rows, cols = pairs.row[keep], pairs.col[keep]
+            data = pen * self.values[rows] * pairs.data[keep]
         else:
-            kappa = problem.graph.adjacency.astype(float)
-        rows, cols, data = [], [], []
-        for a, (v, bundle_a, val_a, _xa) in enumerate(entries):
-            for b, (u, bundle_b, _vb, _xb) in enumerate(entries):
-                if u == v or pos[u] >= pos[v]:
-                    continue
-                if kappa[u, v] <= 0 or not (bundle_a & bundle_b):
-                    continue
-                rows.append(a)
-                cols.append(b)
-                data.append(pen * val_a * kappa[u, v])
-        m = len(entries)
+            rows = cols = np.empty(0, dtype=np.intp)
+            data = np.empty(0)
         self.penalty = sp.coo_matrix((data, (rows, cols)), shape=(m, m)).tocsr()
+        self.penalty.sort_indices()
+        self._penalty_t = self.penalty.T.tocsr()
+        self._penalty_t.sort_indices()
 
     def value(self, q: np.ndarray) -> float:
         return float(self.values @ q - q @ (self.penalty @ q))
 
+    def _gain(self, c: int, q: np.ndarray) -> float:
+        """ΔF of setting ``q[c] = 1`` from a state where the entry (and its
+        vertex siblings) are zeroed: ``values[c] − P[c,:]·q − qᵀ·P[:,c]``."""
+        p, pt = self.penalty, self._penalty_t
+        s, e = p.indptr[c], p.indptr[c + 1]
+        row_term = p.data[s:e] @ q[p.indices[s:e]] if e > s else 0.0
+        s, e = pt.indptr[c], pt.indptr[c + 1]
+        col_term = pt.data[s:e] @ q[pt.indices[s:e]] if e > s else 0.0
+        return float(self.values[c] - row_term - col_term)
+
     def fix_best_choice(self, vertex: int, q: np.ndarray) -> None:
         """Replace ``vertex``'s marginals with its best deterministic choice
-        (one of its bundles, or the empty bundle)."""
+        (one of its bundles, or the empty bundle).
+
+        F is multilinear with no same-vertex cross terms, so each choice's
+        conditional expectation is the zeroed-vertex baseline plus that
+        entry's gain — comparing gains (the empty bundle's is 0) selects
+        the same argmax as the seed's full F re-evaluations in O(degree)
+        per choice instead of O(m + nnz).
+
+        One float caveat (mirroring the vectorized-rounding kernels): when
+        a choice's gain is *exactly* zero — a mathematical tie with the
+        empty bundle — the seed's full re-evaluations could break the tie
+        either way depending on dot-product rounding, while the gain
+        comparison deterministically keeps the empty bundle (the strict-
+        improvement rule applied to the exact difference).  Both outcomes
+        are estimator-neutral and carry the same guarantee.
+        """
         cols = self.vertex_cols.get(vertex, [])
         if not cols:
             return
-        best_cols: list[int] = []
-        best_val = -math.inf
-        for choice in [None, *cols]:
-            for c in cols:
-                q[c] = 0.0
-            if choice is not None:
-                q[choice] = 1.0
-            val = self.value(q)
-            if val > best_val:
-                best_val = val
-                best_cols = [] if choice is None else [choice]
         for c in cols:
             q[c] = 0.0
-        for c in best_cols:
-            q[c] = 1.0
+        best_col = -1
+        best_gain = 0.0  # the empty bundle, considered first
+        for c in cols:
+            gain = self._gain(c, q)
+            if gain > best_gain:
+                best_gain = gain
+                best_col = c
+        if best_col >= 0:
+            q[best_col] = 1.0
 
 
 def derandomize_rounding(

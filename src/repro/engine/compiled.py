@@ -412,6 +412,14 @@ class CompiledAuction:
                 self._matrices = (a_csc.tocsr(), b, c)
             return self._matrices
 
+    def matrices_csc(self) -> tuple[sp.csc_matrix, np.ndarray, np.ndarray]:
+        """The cached column-major ``(A, b, c)`` — the form the persistent
+        HiGHS backend ingests without a conversion copy.  Re-solve loops
+        that only mutate the objective (Lavi–Swamy pricing, VCG
+        externality probes) hold onto these arrays for the model's
+        lifetime."""
+        return self._build_csc()
+
     def _build_csc(self) -> tuple[sp.csc_matrix, np.ndarray, np.ndarray]:
         with self._lock:
             if self._csc is not None:

@@ -43,6 +43,8 @@ __all__ = [
     "fast_backend_available",
     "warm_start_stats",
     "choose_solver",
+    "highs_core",
+    "new_highs_instance",
     "IPM_MIN_ROWS",
 ]
 
@@ -64,6 +66,68 @@ _local = threading.local()
 def fast_backend_available() -> bool:
     """True when the persistent-HiGHS fast path can be used."""
     return _hcore is not None
+
+
+def highs_core():
+    """The private HiGHS binding module, or ``None`` when unavailable.
+
+    Callers building their own incremental models (the Lavi–Swamy master,
+    the warm-started VCG re-solves) go through this accessor so the import
+    fallback lives in exactly one place.
+    """
+    return _hcore
+
+
+def new_highs_instance():
+    """A dedicated ``Highs`` instance with the engine's standard options
+    (silent, single-threaded), or ``None`` when the bindings are missing.
+
+    Unlike :func:`solve_packing_lp_fast`'s per-thread instance, a dedicated
+    instance owns its loaded model for its whole lifetime — the shape the
+    incremental-column master and the cost-mutating VCG loop need, without
+    clobbering the shared warm-start state.
+    """
+    if _hcore is None:
+        return None
+    highs = _hcore._Highs()
+    options = _hcore.HighsOptions()
+    options.output_flag = False
+    options.threads = 1
+    highs.passOptions(options)
+    return highs
+
+
+def pass_colwise_model(
+    highs,
+    a: sp.csc_matrix,
+    cost: np.ndarray,
+    col_lower: np.ndarray,
+    col_upper: np.ndarray,
+    row_lower: np.ndarray,
+    row_upper: np.ndarray,
+) -> None:
+    """Load a column-major LP into ``highs`` (minimization; bounds as given).
+
+    The one place the ``HighsLp`` field-by-field construction lives —
+    shared by the packing solver's cold path, the VCG probe loop, and the
+    decomposition master, so a binding quirk is fixed once for all three.
+    """
+    m, n = a.shape
+    lp = _hcore.HighsLp()
+    lp.num_col_ = n
+    lp.num_row_ = m
+    lp.a_matrix_.num_col_ = n
+    lp.a_matrix_.num_row_ = m
+    lp.a_matrix_.format_ = _hcore.MatrixFormat.kColwise
+    lp.a_matrix_.start_ = a.indptr
+    lp.a_matrix_.index_ = a.indices
+    lp.a_matrix_.value_ = a.data
+    lp.col_cost_ = cost
+    lp.col_lower_ = col_lower
+    lp.col_upper_ = col_upper
+    lp.row_lower_ = row_lower
+    lp.row_upper_ = row_upper
+    highs.passModel(lp)
 
 
 def choose_solver(m: int, n: int) -> str:
@@ -187,21 +251,8 @@ def solve_packing_lp_fast(
     else:
         _local.warm_stats["cold"] += 1
         zeros_n, inf_n, neginf_m = _aux_arrays(m, n)
-        lp = _hcore.HighsLp()
-        lp.num_col_ = n
-        lp.num_row_ = m
-        lp.a_matrix_.num_col_ = n
-        lp.a_matrix_.num_row_ = m
-        lp.a_matrix_.format_ = _hcore.MatrixFormat.kColwise
-        lp.a_matrix_.start_ = a.indptr
-        lp.a_matrix_.index_ = a.indices
-        lp.a_matrix_.value_ = a.data
-        lp.col_cost_ = -c  # HiGHS minimizes
-        lp.col_lower_ = zeros_n
-        lp.col_upper_ = inf_n
-        lp.row_lower_ = neginf_m
-        lp.row_upper_ = b_ub
-        highs.passModel(lp)
+        # -c: HiGHS minimizes
+        pass_colwise_model(highs, a, -c, zeros_n, inf_n, neginf_m, b_ub)
         if solver == "simplex":  # ipm uses its own instance; simplex state intact
             _local.loaded = (warm_key, a, b_ub) if warm_key is not None else None
     highs.run()

@@ -335,8 +335,20 @@ def run_e8(n: int = 10, k: int = 3, misreports: int = 4, seed: int = 81) -> Expe
     )
     welfare_err = abs(dec.expected_welfare() - solution.value / dec.alpha)
 
+    # fast-vs-reference parity on this instance: the compiled default path
+    # must publish the same distribution (bit-identical marginals, identical
+    # pool) and the same payoffs (within VCG-probe tolerance) as the
+    # pre-fast-path pipeline, which stays available as pricing="reference"
     mech = TruthfulMechanism(problem.structure, k)
     truth = mech.run(problem.valuations, seed=seed, sample=False)
+    reference = TruthfulMechanism(problem.structure, k, pricing="reference").run(
+        problem.valuations, seed=seed, sample=False
+    )
+    marginals_identical = truth.decomposition.target == reference.decomposition.target
+    pool_identical = (
+        truth.decomposition.allocations == reference.decomposition.allocations
+    )
+    payment_gap = float(np.abs(truth.payments - reference.payments).max())
     rng = ensure_rng(seed + 1)
     max_gain = -math.inf
     for bidder in range(min(4, n)):
@@ -359,6 +371,8 @@ def run_e8(n: int = 10, k: int = 3, misreports: int = 4, seed: int = 81) -> Expe
     table.add_row("alpha", dec.alpha)
     table.add_row("pool size", len(dec.allocations))
     table.add_row("total scaled-VCG revenue", revenue)
+    table.add_row("fast-vs-reference payment gap", payment_gap)
+    table.add_row("fast-vs-reference marginals identical", float(marginals_identical))
     return ExperimentOutput(
         "E8 Section 5: truthful-in-expectation mechanism",
         table,
@@ -367,6 +381,9 @@ def run_e8(n: int = 10, k: int = 3, misreports: int = 4, seed: int = 81) -> Expe
             "welfare_error": welfare_err,
             "max_misreport_gain": max_gain,
             "revenue": revenue,
+            "payment_parity_gap": payment_gap,
+            "marginals_identical": bool(marginals_identical),
+            "pool_identical": bool(pool_identical),
         },
     )
 

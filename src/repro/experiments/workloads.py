@@ -53,6 +53,7 @@ __all__ = [
     "metro_protocol_scene",
     "metro_disk_auction",
     "metro_protocol_auction",
+    "metro_truthful_auction",
     "metro_fleet",
 ]
 
@@ -255,6 +256,35 @@ def metro_fleet(
         builders[model](n, k, seed=rng, method=method, **kwargs)
         for _ in range(regions)
     ]
+
+
+def metro_truthful_auction(
+    n: int,
+    k: int = 4,
+    seed=0,
+    density: float = 12.0,
+    radius_range: tuple[float, float] = DEFAULT_RADII,
+    bids_per_bidder: int = 2,
+    method: str = "auto",
+) -> AuctionProblem:
+    """Metro-scale disk auction shaped for the truthful mechanism.
+
+    Same constant-density disk scenes as :func:`metro_disk_auction`, but
+    with the leaner bid profile of a truthful deployment (fewer channels,
+    two bundles per bidder): the Lavi–Swamy decomposition prices over the
+    LP support and the VCG stage probes every contributing bidder, so the
+    column count — not n — is what the mechanism's wall clock scales with.
+    ``BENCH_mechanism.json``'s n=1000 acceptance point uses this builder.
+    """
+    return metro_disk_auction(
+        n,
+        k,
+        seed=seed,
+        density=density,
+        radius_range=radius_range,
+        bids_per_bidder=bids_per_bidder,
+        method=method,
+    )
 
 
 def physical_auction(

@@ -21,6 +21,34 @@ ILP behind LP (1)/(4) is *infeasible* (integer LP points may violate actual
 channel feasibility); what the decomposition uses is only that the
 algorithm outputs **feasible** allocations whose value is within α of the
 *fractional* optimum, which our rounding algorithms provide.
+
+Three implementations of the column-generation loop coexist:
+
+* ``pricing="approx"`` (default) — the engine-compiled hot path.  The
+  support columns are compiled once into a
+  :class:`~repro.engine.compiled.CompiledAuction` (shared structure
+  compilation, vectorized CSC assembly); each pricing iteration re-solves
+  that matrix on the persistent HiGHS backend with a new objective and
+  rounds with the vectorized derandomization kernels.  Solves are *cold*
+  (model re-passed, no basis reuse), which is what keeps every pricing
+  vertex — and therefore the whole decomposition: pool, weights, keep
+  probabilities, samples — bit-identical to ``"reference"``
+  (pinned by ``tests/test_mechanism_parity.py``).
+* ``pricing="warm"`` — maximum throughput: pricing re-solves mutate only
+  the objective of the loaded model (``changeColsCost`` + previous-basis
+  simplex restart) and the master runs on a persistent incremental-column
+  HiGHS instance (:class:`_IncrementalMaster`).  Both return optimal
+  solutions, but on the degenerate LPs of the decomposition possibly a
+  different optimal vertex / dual than a cold solve — so the pool can
+  legitimately differ from the reference while carrying the *same* exact
+  marginals.  Like the engine's ``lp_warm_start``, this profile is opt-in
+  and never used where bit-parity is pinned.
+* ``pricing="reference"`` — the seed-era loop kept verbatim (fresh
+  ``AuctionLP`` build + ``linprog`` per iteration): the baseline
+  ``BENCH_mechanism.json`` measures against, and the parity anchor.
+
+``pricing="exact"`` prices with the MILP as before (small instances at any
+α above their true gap).
 """
 
 from __future__ import annotations
@@ -38,6 +66,8 @@ from repro.core.derandomize import derandomize_rounding
 from repro.util.rng import ensure_rng
 
 __all__ = ["DecompositionResult", "decompose_lp_solution", "default_alpha"]
+
+PRICING_MODES = ("approx", "warm", "exact", "reference")
 
 
 def default_alpha(problem: AuctionProblem) -> float:
@@ -105,15 +135,55 @@ class DecompositionResult:
         return out
 
 
+def _adjusted_problem(
+    problem: AuctionProblem, adjusted_cols: list[Column]
+) -> AuctionProblem:
+    """The problem under the adjusted valuations (one bid per support pair,
+    duplicates keep the max) — what the derandomized rounding maximizes."""
+    from repro.valuations.explicit import ExplicitValuation
+
+    n = problem.n
+    bids: list[dict[frozenset[int], float]] = [dict() for _ in range(n)]
+    for col in adjusted_cols:
+        if col.value > 0:
+            prev = bids[col.vertex].get(col.bundle, 0.0)
+            bids[col.vertex][col.bundle] = max(prev, col.value)
+    return AuctionProblem(
+        structure=problem.structure,
+        k=problem.k,
+        valuations=[ExplicitValuation(problem.k, b) for b in bids],
+    )
+
+
+def _round_adjusted(
+    problem: AuctionProblem,
+    adjusted_cols: list[Column],
+    x: np.ndarray,
+    value: float,
+    y: np.ndarray,
+    z: np.ndarray,
+) -> Allocation:
+    """Derandomized rounding (+ Algorithm 3) under adjusted valuations —
+    the shared back half of both pricing oracles."""
+    solution = AuctionLPSolution(
+        columns=adjusted_cols, x=x, value=value, y=y, z=z
+    )
+    adj_problem = _adjusted_problem(problem, adjusted_cols)
+    result = derandomize_rounding(adj_problem, solution)
+    allocation = result.allocation
+    if problem.is_weighted:
+        resolution = make_fully_feasible(adj_problem, allocation)
+        allocation = resolution.allocation
+    return dict(allocation)
+
+
 def _integral_allocation_for(
     problem: AuctionProblem,
     lp: AuctionLP,
     objective: np.ndarray,
 ) -> Allocation:
-    """Run the (derandomized) approximation algorithm under the adjusted
-    valuations `objective` (one value per LP column)."""
-    import copy
-
+    """The reference pricing oracle: rebuild LP (1)/(4) and cold-solve it
+    under the adjusted valuations `objective` (one value per LP column)."""
     a, b, _ = lp.build()
     from repro.core.lp import solve_packing_lp
 
@@ -123,34 +193,73 @@ def _integral_allocation_for(
         Column(col.vertex, col.bundle, float(obj))
         for col, obj in zip(lp.columns, objective)
     ]
-    solution = AuctionLPSolution(
-        columns=adjusted_cols,
-        x=sol.x,
-        value=sol.value,
-        y=sol.duals[: n * k].reshape(n, k),
-        z=sol.duals[n * k :],
+    return _round_adjusted(
+        problem,
+        adjusted_cols,
+        sol.x,
+        sol.value,
+        sol.duals[: n * k].reshape(n, k),
+        sol.duals[n * k :],
     )
-    # Derandomized rounding maximizes the *adjusted* objective, so rebuild a
-    # problem whose welfare is the adjusted one via explicit valuations.
-    from repro.valuations.explicit import ExplicitValuation
 
-    bids: list[dict[frozenset[int], float]] = [dict() for _ in range(n)]
-    for col in adjusted_cols:
-        if col.value > 0:
-            prev = bids[col.vertex].get(col.bundle, 0.0)
-            bids[col.vertex][col.bundle] = max(prev, col.value)
-    adj_problem = copy.copy(problem)
-    adj_problem = AuctionProblem(
-        structure=problem.structure,
-        k=problem.k,
-        valuations=[ExplicitValuation(problem.k, b) for b in bids],
-    )
-    result = derandomize_rounding(adj_problem, solution)
-    allocation = result.allocation
-    if problem.is_weighted:
-        resolution = make_fully_feasible(adj_problem, allocation)
-        allocation = resolution.allocation
-    return dict(allocation)
+
+class _CompiledPricer:
+    """The pricing oracle on the engine: compile once, re-price many times.
+
+    The support columns' constraint matrix never changes across pricing
+    iterations — only the objective (the master's duals ``w``) does — so
+    the matrix is assembled once through :class:`CompiledAuction` (shared
+    structure compilation, vectorized CSC assembly).  With ``warm=True``
+    every solve after the first goes through the warm-start path of
+    :func:`~repro.engine.highs.solve_packing_lp_fast`: ``changeColsCost``
+    on the loaded model plus a previous-basis simplex restart.  With
+    ``warm=False`` each solve re-passes the model cold — bit-identical to
+    the reference oracle's ``linprog`` (only the scipy/AuctionLP rebuild
+    overhead is gone).
+    """
+
+    def __init__(
+        self,
+        problem: AuctionProblem,
+        columns: list[Column],
+        warm: bool = False,
+        compiled_structure=None,
+    ) -> None:
+        from repro.engine.compiled import CompiledAuction, compile_structure
+
+        self._problem = problem
+        self._columns = columns
+        compiled = CompiledAuction(
+            problem,
+            structure=compiled_structure or compile_structure(problem.structure),
+            columns=columns,
+        )
+        self._a, self._b, _ = compiled.matrices_csc()
+        self._warm_key = ("lavi-swamy-pricing", id(self)) if warm else None
+
+    def price(self, objective: np.ndarray) -> Allocation:
+        from repro.engine.highs import solve_packing_lp_fast
+
+        sol = solve_packing_lp_fast(
+            objective,
+            self._a,
+            self._b,
+            warm_key=self._warm_key,
+            solver="simplex",
+        )
+        n, k = self._problem.n, self._problem.k
+        adjusted_cols = [
+            Column(col.vertex, col.bundle, float(obj))
+            for col, obj in zip(self._columns, objective)
+        ]
+        return _round_adjusted(
+            self._problem,
+            adjusted_cols,
+            sol.x,
+            sol.value,
+            sol.duals[: n * k].reshape(n, k),
+            sol.duals[n * k :],
+        )
 
 
 def _solve_master(
@@ -158,17 +267,13 @@ def _solve_master(
     pairs: list[tuple[int, frozenset[int]]],
     r: np.ndarray,
 ) -> tuple[np.ndarray, float, np.ndarray]:
-    """min Σλ s.t. Σ_l λ_l 𝟙[pair ∈ l] ≥ r; returns (λ, μ, duals w ≥ 0)."""
-    pair_index = {p: i for i, p in enumerate(pairs)}
-    rows, cols, data = [], [], []
-    for li, alloc in enumerate(pool):
-        for v, bundle in alloc.items():
-            idx = pair_index.get((v, bundle))
-            if idx is not None:
-                rows.append(idx)
-                cols.append(li)
-                data.append(1.0)
-    a = sp.coo_matrix((data, (rows, cols)), shape=(len(pairs), len(pool))).tocsr()
+    """min Σλ s.t. Σ_l λ_l 𝟙[pair ∈ l] ≥ r; returns (λ, μ, duals w ≥ 0).
+
+    The reference master: rebuilt from the whole pool and cold-solved with
+    ``linprog`` every iteration (also the fallback when the private HiGHS
+    bindings are unavailable).
+    """
+    a = _master_matrix(pool, pairs)
     res = linprog(
         np.ones(len(pool)),
         A_ub=-a,
@@ -183,6 +288,148 @@ def _solve_master(
     return np.asarray(res.x, dtype=float), float(res.fun), w
 
 
+def _master_matrix(
+    pool: list[Allocation], pairs: list[tuple[int, frozenset[int]]]
+) -> sp.csr_matrix:
+    pair_index = {p: i for i, p in enumerate(pairs)}
+    rows, cols, data = [], [], []
+    for li, alloc in enumerate(pool):
+        for v, bundle in alloc.items():
+            idx = pair_index.get((v, bundle))
+            if idx is not None:
+                rows.append(idx)
+                cols.append(li)
+                data.append(1.0)
+    return sp.coo_matrix((data, (rows, cols)), shape=(len(pairs), len(pool))).tocsr()
+
+
+def _solve_master_fast(
+    pool: list[Allocation],
+    pairs: list[tuple[int, frozenset[int]]],
+    r: np.ndarray,
+) -> tuple[np.ndarray, float, np.ndarray]:
+    """The reference master on the persistent HiGHS backend.
+
+    Same model ``linprog`` would pass (min Σλ as max −Σλ over −Aλ ≤ −r),
+    cold-solved — primal, value, and duals are bit-identical to
+    :func:`_solve_master`; only the scipy call overhead is gone.
+    """
+    from repro.engine.highs import fast_backend_available, solve_packing_lp_fast
+
+    if not fast_backend_available():  # pragma: no cover - binding-dependent
+        return _solve_master(pool, pairs, r)
+    a = _master_matrix(pool, pairs)
+    sol = solve_packing_lp_fast(
+        -np.ones(len(pool)), sp.csc_matrix(-a), -r, solver="simplex"
+    )
+    return sol.x, float(-sol.value), sol.duals
+
+
+class _IncrementalMaster:
+    """The decomposition master on a persistent incremental-column HiGHS.
+
+    Rows (one ≥-covering constraint per support pair) are fixed at
+    construction; each iteration only *appends* the pricing oracle's new
+    allocations via ``addCols`` and re-solves from the previous basis —
+    the classic column-generation warm start — instead of rebuilding the
+    LP from the whole pool and cold-solving it.  Falls back to the
+    ``linprog`` rebuild when the private bindings are missing.
+    """
+
+    def __init__(
+        self, pairs: list[tuple[int, frozenset[int]]], r: np.ndarray
+    ) -> None:
+        from repro.engine.highs import (
+            highs_core,
+            new_highs_instance,
+            pass_colwise_model,
+        )
+
+        self._pairs = pairs
+        self._pair_index = {p: i for i, p in enumerate(pairs)}
+        self._r = np.asarray(r, dtype=float)
+        self._added = 0
+        self._core = highs_core()
+        self._highs = new_highs_instance()
+        if self._highs is None:
+            return
+        m = len(pairs)
+        empty = sp.csc_matrix(
+            (np.empty(0), np.empty(0, np.int32), np.zeros(1, np.int32)),
+            shape=(m, 0),
+        )
+        pass_colwise_model(
+            self._highs,
+            empty,
+            np.empty(0),
+            np.empty(0),
+            np.empty(0),
+            self._r,
+            np.full(m, np.inf),
+        )
+
+    def _append(self, allocs: list[Allocation]) -> None:
+        starts: list[int] = []
+        indices: list[int] = []
+        for alloc in allocs:
+            starts.append(len(indices))
+            covered = sorted(
+                self._pair_index[key]
+                for key in ((v, bundle) for v, bundle in alloc.items())
+                if key in self._pair_index
+            )
+            indices.extend(covered)
+        num = len(allocs)
+        self._highs.addCols(
+            num,
+            np.ones(num),
+            np.zeros(num),
+            np.full(num, np.inf),
+            len(indices),
+            np.asarray(starts, dtype=np.int32),
+            np.asarray(indices, dtype=np.int32),
+            np.ones(len(indices)),
+        )
+
+    def solve(
+        self, pool: list[Allocation]
+    ) -> tuple[np.ndarray, float, np.ndarray]:
+        if self._highs is None:  # pragma: no cover - binding-dependent
+            return _solve_master(pool, self._pairs, self._r)
+        if len(pool) > self._added:
+            self._append(pool[self._added :])
+            self._added = len(pool)
+        self._highs.run()
+        status = self._highs.getModelStatus()
+        if status != self._core.HighsModelStatus.kOptimal:
+            raise RuntimeError(
+                "decomposition master failed: "
+                f"{self._highs.modelStatusToString(status)}"
+            )
+        solution = self._highs.getSolution()
+        lam = np.asarray(solution.col_value, dtype=float)
+        w = np.maximum(np.asarray(solution.row_dual, dtype=float), 0.0)
+        mu = float(self._highs.getInfo().objective_function_value)
+        return lam, mu, w
+
+
+class _FastMaster:
+    """Reference master semantics on the persistent backend: rebuilt from
+    the pool each iteration and cold-solved — bit-identical results,
+    without the scipy call overhead."""
+
+    def __init__(
+        self, pairs: list[tuple[int, frozenset[int]]], r: np.ndarray
+    ) -> None:
+        self._pairs = pairs
+        self._r = np.asarray(r, dtype=float)
+
+    def solve(
+        self, pool: list[Allocation]
+    ) -> tuple[np.ndarray, float, np.ndarray]:
+        return _solve_master_fast(pool, self._pairs, self._r)
+
+
 def decompose_lp_solution(
     problem: AuctionProblem,
     solution: AuctionLPSolution,
@@ -191,25 +438,55 @@ def decompose_lp_solution(
     tolerance: float = 1e-7,
     seed=None,
     pricing: str = "approx",
+    compiled_structure=None,
 ) -> DecompositionResult:
     """Decompose ``x*/α`` into a convex combination of feasible allocations.
 
     ``pricing`` selects the oracle that searches for violated dual
     constraints: ``"approx"`` is the paper's route (the α-approximation
-    itself, valid whenever α is the verified gap 8√kρ / 16√kρ⌈log n⌉);
+    itself, valid whenever α is the verified gap 8√kρ / 16√kρ⌈log n⌉) on
+    the engine-compiled fast path, bit-identical to ``"reference"`` — the
+    same oracle on the seed-era rebuild-per-iteration pipeline (the
+    benchmark baseline; parity is pinned by
+    ``tests/test_mechanism_parity.py``).  ``"warm"`` trades that parity
+    for warm-started pricing re-solves and an incremental-column master
+    (optimal but not vertex-pinned — see the module docstring).
     ``"exact"`` prices with the MILP of :mod:`repro.core.exact`, letting
     small instances decompose at *any* α down to their true integrality
     gap (used by experiment E8 to run the mechanism at practical scales).
+
+    ``compiled_structure`` forwards an existing engine compilation of the
+    problem's structure to the compiled pricer (the mechanism and the
+    auction service pass their cached ones).
     """
-    if pricing not in ("approx", "exact"):
+    if pricing not in PRICING_MODES:
         raise ValueError(f"unknown pricing mode {pricing!r}")
     rng = ensure_rng(seed)
     alpha_val = default_alpha(problem) if alpha is None else float(alpha)
     support = solution.support()
     pairs = [(col.vertex, col.bundle) for col, _ in support]
-    r = np.array([x for _, x in support]) / alpha_val
+    support_x = np.array([x for _, x in support])
+    r = support_x / alpha_val
     target = {p: float(ri) for p, ri in zip(pairs, r)}
-    lp = AuctionLP(problem, columns=[col for col, _ in support])
+    support_cols = [col for col, _ in support]
+
+    if pricing == "reference":
+        lp = AuctionLP(problem, columns=support_cols)
+        columns = lp.columns
+        price = lambda objective: _integral_allocation_for(problem, lp, objective)  # noqa: E731
+        master = None
+    else:
+        columns = support_cols
+        pricer = _CompiledPricer(
+            problem,
+            support_cols,
+            warm=pricing == "warm",
+            compiled_structure=compiled_structure,
+        )
+        price = pricer.price
+        master = _IncrementalMaster(pairs, r) if pricing == "warm" else None
+        if master is None:
+            master = _FastMaster(pairs, r)
 
     # Seed pool: the true-valuation allocation plus per-pair singletons
     # (every single (v, T) is feasible on its own), guaranteeing the master
@@ -225,26 +502,27 @@ def decompose_lp_solution(
         pool.append({v: b for v, b in alloc.items() if b})
         return True
 
-    add(_integral_allocation_for(problem, lp, np.array([c.value for c in lp.columns])))
+    add(price(np.array([c.value for c in columns])))
     for v, bundle in pairs:
         add({v: bundle})
 
     iterations = 0
     while iterations < max_iterations:
         iterations += 1
-        lam, mu, w = _solve_master(pool, pairs, r)
+        if master is None:
+            lam, mu, w = _solve_master(pool, pairs, r)
+        else:
+            lam, mu, w = master.solve(pool)
         if mu <= 1.0 + tolerance:
             break
-        objective = np.zeros(len(lp.columns))
-        for i, (v, bundle) in enumerate(pairs):
-            # columns and pairs share the same order by construction
-            objective[i] = w[i]
+        # columns and pairs share the same order by construction
+        objective = np.asarray(w, dtype=float).copy()
         if pricing == "exact":
             from repro.core.exact import solve_exact
 
             adjusted_cols = [
                 Column(c.vertex, c.bundle, float(o))
-                for c, o in zip(lp.columns, objective)
+                for c, o in zip(columns, objective)
                 if o > 0
             ]
             exact = solve_exact(problem, columns=adjusted_cols)
@@ -257,7 +535,7 @@ def decompose_lp_solution(
                 )
             new_alloc = exact.allocation
         else:
-            new_alloc = _integral_allocation_for(problem, lp, objective)
+            new_alloc = price(objective)
         if not add(new_alloc):
             # Pricing returned a known allocation: numerically stuck.  Try a
             # randomized escape before giving up (theory says w-value ≥ μ).
@@ -267,9 +545,9 @@ def decompose_lp_solution(
             adjusted = AuctionLPSolution(
                 columns=[
                     Column(c.vertex, c.bundle, float(o))
-                    for c, o in zip(lp.columns, objective)
+                    for c, o in zip(columns, objective)
                 ],
-                x=solution.x,
+                x=support_x,
                 value=solution.value,
                 y=solution.y,
                 z=solution.z,

@@ -71,25 +71,56 @@ class TruthfulMechanism:
     LP for each reported profile — reuses the engine's precomputed
     interference coefficients instead of rebuilding the LP rows."""
 
-    def __init__(self, structure, k: int, alpha: float | None = None) -> None:
+    def __init__(
+        self,
+        structure,
+        k: int,
+        alpha: float | None = None,
+        pricing: str = "approx",
+        compiled_structure=None,
+    ) -> None:
+        """``pricing`` selects the decomposition oracle (see
+        :func:`~repro.mechanism.lavi_swamy.decompose_lp_solution`):
+        ``"approx"`` — the engine-compiled fast path, bit-identical to
+        ``"reference"`` (the seed-era pipeline, kept as the benchmark
+        baseline); ``"warm"`` — warm-started pricing, maximum throughput,
+        not vertex-pinned; ``"exact"`` — MILP pricing for small instances
+        at sub-gap α.  The reference mode also keeps the per-bidder
+        rebuild VCG loop, so it is the complete pre-fast-path pipeline.
+
+        ``compiled_structure`` injects an existing engine compilation of
+        ``structure`` (the auction service passes its own cached one);
+        ``None`` compiles through the engine's keyed cache."""
         from repro.engine import compile_structure
 
         self.structure = structure
         self.k = k
         self.alpha = alpha
+        self.pricing = pricing
         # the structure's engine compilation, held for the mechanism's
         # lifetime and passed to every run()'s solver — reuse survives
         # eviction from the engine's bounded cache
-        self._compiled_structure = compile_structure(structure)
+        self._compiled_structure = (
+            compile_structure(structure)
+            if compiled_structure is None
+            else compiled_structure
+        )
 
-    def run(
+    def prepare(
         self,
         valuations: list[Valuation],
         seed=None,
         lp_method: str = "auto",
-        sample: bool = True,
     ) -> MechanismOutcome:
-        """Run the mechanism on reported valuations."""
+        """Compute the published outcome — LP, decomposition, payments —
+        without sampling.
+
+        This is the cacheable half of the mechanism: for a fixed reported
+        profile the outcome is deterministic (the seed only feeds the
+        decomposition's rare randomized-escape path), so the auction
+        service keys prepared outcomes by scene + profile fingerprint and
+        draws per-request samples from the shared decomposition.
+        """
         rng = ensure_rng(seed)
         problem = AuctionProblem(self.structure, self.k, valuations)
         from repro.engine import CompiledAuction
@@ -101,15 +132,39 @@ class TruthfulMechanism:
         solution = solver.solve_lp(lp_method)
         alpha = default_alpha(problem) if self.alpha is None else self.alpha
         decomposition = decompose_lp_solution(
-            problem, solution, alpha=alpha, seed=rng
+            problem,
+            solution,
+            alpha=alpha,
+            seed=rng,
+            pricing=self.pricing,
+            compiled_structure=(
+                None if self.pricing == "reference" else self._compiled_structure
+            ),
         )
-        vcg: FractionalVCG = vcg_payments(problem, solution, alpha)
-        outcome = MechanismOutcome(
+        vcg: FractionalVCG = vcg_payments(
+            problem,
+            solution,
+            alpha,
+            method="reference" if self.pricing == "reference" else "auto",
+            compiled_structure=self._compiled_structure,
+        )
+        return MechanismOutcome(
             decomposition=decomposition,
             payments=vcg.payments,
             alpha=alpha,
             lp_value=solution.value,
         )
+
+    def run(
+        self,
+        valuations: list[Valuation],
+        seed=None,
+        lp_method: str = "auto",
+        sample: bool = True,
+    ) -> MechanismOutcome:
+        """Run the mechanism on reported valuations."""
+        rng = ensure_rng(seed)
+        outcome = self.prepare(valuations, seed=rng, lp_method=lp_method)
         if sample:
-            outcome.sampled_allocation = decomposition.sample(rng)
+            outcome.sampled_allocation = outcome.decomposition.sample(rng)
         return outcome

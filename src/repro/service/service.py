@@ -41,7 +41,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.auction import AuctionProblem
 from repro.core.result import SolverResult
@@ -51,23 +51,38 @@ from repro.engine.highs import warm_start_stats
 from repro.service.metrics import ServiceMetrics
 from repro.service.scenes import SceneRegistry
 from repro.util.lru import LRUCache
+from repro.util.rng import ensure_rng
 
 __all__ = ["AuctionRequest", "AuctionService"]
 
 _EXECUTORS = ("serial", "thread")
 
 
+_REQUEST_MODES = ("allocate", "truthful")
+
+
 @dataclass
 class AuctionRequest:
-    """One allocation request against a registered scene.
+    """One request against a registered scene.
+
+    ``mode`` selects the pipeline: ``"allocate"`` runs the approximation
+    algorithm (LP + randomized rounding) and resolves to a
+    :class:`~repro.core.result.SolverResult`; ``"truthful"`` runs the
+    Section 5 truthful-in-expectation mechanism — Lavi–Swamy decomposition
+    plus scaled fractional VCG payments — and resolves to a
+    :class:`~repro.mechanism.truthful.MechanismOutcome` whose
+    ``sampled_allocation`` is drawn with this request's ``seed``.
 
     ``profile_key`` declares that this exact valuation profile may recur
-    (license renewals, mechanism re-pricing probes): requests sharing
-    ``(scene_id, k, profile_key)`` share one compiled auction and one LP
-    solve through the service's problem cache.  ``None`` marks the
-    profile as one-off — nothing is cached beyond the scene's compiled
-    structure.  ``seed`` drives the rounding RNG; fixing it makes the
-    request's outcome reproducible bit-for-bit.
+    (license renewals, mechanism re-pricing probes): allocate requests
+    sharing ``(scene_id, k, profile_key)`` share one compiled auction and
+    one LP solve through the service's problem cache, and truthful
+    requests share one *prepared decomposition + payments* through the
+    mechanism cache (each request then only pays for sampling).  ``None``
+    marks the profile as one-off — nothing is cached beyond the scene's
+    compiled structure.  ``seed`` drives the rounding/sampling RNG; fixing
+    it makes the request's outcome reproducible bit-for-bit and
+    independent of how requests were coalesced.
     """
 
     scene_id: str
@@ -75,6 +90,7 @@ class AuctionRequest:
     valuations: list
     seed: int | None = None
     profile_key: str | None = None
+    mode: str = "allocate"
     metadata: dict = field(default_factory=dict)
 
 
@@ -98,24 +114,43 @@ class AuctionService:
         max_batch: int = 32,
         structure_cache_size: int = 32,
         problem_cache_size: int = 256,
+        mechanism_cache_size: int = 64,
+        mechanism_pricing: str = "approx",
         rounding_attempts: int = 1,
         lp_warm_start: bool = False,
+        adaptive_coalescing: bool = True,
         metrics: ServiceMetrics | None = None,
     ) -> None:
+        """``mechanism_cache_size`` bounds the LRU of prepared truthful
+        outcomes (decomposition + payments) keyed by
+        ``(scene_id, k, profile_key)``; 0 disables it — every truthful
+        request then recomputes its decomposition, the benchmark's
+        baseline.  ``mechanism_pricing`` forwards the decomposition's
+        pricing mode.  ``adaptive_coalescing`` lets the service skip the
+        batching window when it cannot pay off — caches disabled, or a
+        distinct-heavy request stream (see :meth:`_bypass_window`)."""
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
         if num_shards < 1:
             raise ValueError("need at least one shard")
         if coalesce_window < 0 or max_batch < 1:
             raise ValueError("coalesce_window must be >= 0 and max_batch >= 1")
+        if mechanism_pricing not in ("approx", "warm", "reference"):
+            raise ValueError(f"unknown mechanism pricing {mechanism_pricing!r}")
         self.registry = registry or SceneRegistry()
         self.executor = executor
         self.num_shards = num_shards if executor == "thread" else 1
         self.coalesce_window = coalesce_window
         self.max_batch = max_batch
+        self.adaptive_coalescing = adaptive_coalescing
+        self.mechanism_pricing = mechanism_pricing
         self.metrics = metrics or ServiceMetrics()
         self.structure_cache = LRUCache(structure_cache_size, name="structures")
         self.problem_cache = LRUCache(problem_cache_size, name="problems")
+        self.mechanism_cache = LRUCache(mechanism_cache_size, name="mechanisms")
+        # rolling profile_key presence of recent requests, for the
+        # distinct-heavy coalescing bypass (windowed counter, newest wins)
+        self._recent_profiled: list[bool] = []
         # the engine is used purely through solve_compiled, stage-batching
         # each coalesced group in whichever shard thread it lands on
         self.engine = BatchAuctionEngine(
@@ -160,9 +195,105 @@ class AuctionService:
         key = (request.scene_id, request.k, request.profile_key)
         return self.problem_cache.get_or_create(key, build)
 
+    def _mechanism_outcome(self, request: AuctionRequest):
+        """The prepared truthful outcome for a request (cached by profile).
+
+        Prepared with a fixed internal seed so the cached entry does not
+        depend on which request of a shared profile arrived first (the
+        seed only feeds the decomposition's rare randomized-escape path);
+        per-request randomness enters at sampling time only.
+        """
+        from repro.mechanism.truthful import TruthfulMechanism
+
+        structure = self.registry.get(request.scene_id)
+        compiled_structure = compile_structure(structure, cache=self.structure_cache)
+
+        def build():
+            mechanism = TruthfulMechanism(
+                structure,
+                request.k,
+                pricing=self.mechanism_pricing,
+                compiled_structure=compiled_structure,
+            )
+            return mechanism.prepare(list(request.valuations), seed=0)
+
+        if request.profile_key is None:
+            return build()
+        key = (request.scene_id, request.k, request.profile_key)
+        return self.mechanism_cache.get_or_create(key, build)
+
     # ------------------------------------------------------------------
     # synchronous path (used by simulated replay and the dispatcher)
     # ------------------------------------------------------------------
+    def _solve_scene_group(self, requests: list[AuctionRequest]) -> list:
+        """Solve one scene's coalesced requests (mixed modes), in order.
+
+        Allocate requests go through the engine's stage-batched path as
+        one group; truthful requests sample their (cached) decomposition
+        with their own seeds — either way a request's result is
+        independent of the batch it landed in.
+        """
+        bad = [r.mode for r in requests if r.mode not in _REQUEST_MODES]
+        if bad:
+            raise ValueError(
+                f"mode must be one of {_REQUEST_MODES}, got {bad[0]!r}"
+            )
+        results: list = [None] * len(requests)
+        alloc = [(i, r) for i, r in enumerate(requests) if r.mode == "allocate"]
+        if alloc:
+            group = [(r, self._compiled_for(r)) for _, r in alloc]
+            for (i, _), result in zip(alloc, self._solve_group(group)):
+                results[i] = result
+        for i, request in enumerate(requests):
+            if request.mode == "truthful":
+                outcome = self._mechanism_outcome(request)
+                rng = ensure_rng(request.seed)
+                results[i] = replace(
+                    outcome,
+                    sampled_allocation=outcome.decomposition.sample(rng),
+                )
+        return results
+
+    def _note_requests(self, requests: list[AuctionRequest]) -> None:
+        """Feed the distinct-heavy detector (windowed, newest last)."""
+        with self._state_lock:
+            self._recent_profiled.extend(
+                r.profile_key is not None for r in requests
+            )
+            del self._recent_profiled[:-64]
+
+    def _bypass_window(self, head: AuctionRequest | None = None) -> bool:
+        """Should the coalescing window be skipped for this batch?
+
+        Coalescing pays off when batched requests share cached state
+        (profiles, scenes); it only adds latency and stage-batching
+        overhead when the caches are disabled or the request stream is
+        distinct-heavy.  Both conditions are cheap to detect — the recent
+        requests' ``profile_key`` presence plus the batch head's own — so
+        the service adapts per batch instead of making the operator tune
+        the window per trace.
+        """
+        if not self.adaptive_coalescing:
+            return False
+        # a disabled cache means batching the head's mode cannot pay off;
+        # without a head, bypass only when no mode could benefit
+        if head is None:
+            caches_off = (
+                self.problem_cache.capacity == 0
+                and self.mechanism_cache.capacity == 0
+            )
+        elif head.mode == "truthful":
+            caches_off = self.mechanism_cache.capacity == 0
+        else:
+            caches_off = self.problem_cache.capacity == 0
+        if caches_off:
+            return True
+        with self._state_lock:
+            recent = list(self._recent_profiled[-32:])
+        if head is not None:
+            recent.append(head.profile_key is not None)
+        return bool(recent) and sum(recent) / len(recent) < 0.25
+
     def _solve_group(self, group: list[tuple[AuctionRequest, CompiledAuction]]):
         before = warm_start_stats()
         results = self.engine.solve_compiled(
@@ -181,17 +312,23 @@ class AuctionService:
         order, and every request's latency is recorded from batch start
         (the queue-based path records from its actual submit instead).
         """
+        bad = [r.mode for r in requests if r.mode not in _REQUEST_MODES]
+        if bad:  # reject before any metrics or work, mirroring submit()
+            raise ValueError(
+                f"mode must be one of {_REQUEST_MODES}, got {bad[0]!r}"
+            )
         start = self.metrics.record_submit()
         for _ in requests[1:]:
             self.metrics.record_submit(start)
         self.metrics.record_batch(len(requests))
+        self._note_requests(requests)
         groups: dict[str, list[int]] = {}
         for i, request in enumerate(requests):
             groups.setdefault(request.scene_id, []).append(i)
         results: list[SolverResult | None] = [None] * len(requests)
         for indices in groups.values():
-            group = [(requests[i], self._compiled_for(requests[i])) for i in indices]
-            for i, result in zip(indices, self._solve_group(group)):
+            solved = self._solve_scene_group([requests[i] for i in indices])
+            for i, result in zip(indices, solved):
                 results[i] = result
                 self.metrics.record_done(time.perf_counter() - start)
         return results  # type: ignore[return-value]
@@ -220,7 +357,9 @@ class AuctionService:
         results: list[SolverResult] = []
         i = 0
         while i < len(requests):
-            cutoff = requests[i].arrival + self.coalesce_window
+            head = requests[i].request
+            window = 0.0 if self._bypass_window(head) else self.coalesce_window
+            cutoff = requests[i].arrival + window
             j = i + 1
             while (
                 j < len(requests)
@@ -254,6 +393,10 @@ class AuctionService:
         """Enqueue one request; returns a future resolving to its result."""
         if request.scene_id not in self.registry:
             raise KeyError(f"unknown scene {request.scene_id!r}; register it first")
+        if request.mode not in _REQUEST_MODES:
+            raise ValueError(
+                f"mode must be one of {_REQUEST_MODES}, got {request.mode!r}"
+            )
         future: Future = Future()
         # closed-check and accounting under one lock hold: once _queued is
         # incremented a concurrent close() cannot observe an empty queue, so
@@ -278,7 +421,10 @@ class AuctionService:
                         return
                 continue
             batch = [first]
-            deadline = time.perf_counter() + self.coalesce_window
+            window = (
+                0.0 if self._bypass_window(first.request) else self.coalesce_window
+            )
+            deadline = time.perf_counter() + window
             while len(batch) < self.max_batch:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
@@ -290,6 +436,7 @@ class AuctionService:
             with self._state_lock:
                 self._queued -= len(batch)
             self.metrics.record_batch(len(batch))
+            self._note_requests([p.request for p in batch])
             groups: dict[str, list[_Pending]] = {}
             for pending in batch:
                 groups.setdefault(pending.request.scene_id, []).append(pending)
@@ -303,8 +450,7 @@ class AuctionService:
 
     def _run_pendings(self, pendings: list[_Pending]) -> None:
         try:
-            group = [(p.request, self._compiled_for(p.request)) for p in pendings]
-            results = self._solve_group(group)
+            results = self._solve_scene_group([p.request for p in pendings])
         except BaseException as exc:  # noqa: BLE001 - forwarded to the futures
             now = time.perf_counter()
             for p in pendings:
@@ -372,6 +518,7 @@ class AuctionService:
         return {
             "structures": self.structure_cache.stats(),
             "problems": self.problem_cache.stats(),
+            "mechanisms": self.mechanism_cache.stats(),
             "lp_warm_solves": warm,
         }
 
@@ -385,6 +532,9 @@ class AuctionService:
             "max_batch": self.max_batch,
             "structure_cache_capacity": self.structure_cache.capacity,
             "problem_cache_capacity": self.problem_cache.capacity,
+            "mechanism_cache_capacity": self.mechanism_cache.capacity,
+            "mechanism_pricing": self.mechanism_pricing,
+            "adaptive_coalescing": self.adaptive_coalescing,
             "lp_warm_start": self.engine.solve_kwargs["lp_warm_start"],
             "scenes": len(self.registry),
         }

@@ -115,6 +115,7 @@ def _requests_for_arrivals(
     unique_profiles: int,
     bids_per_bidder: int,
     rng,
+    mode: str = "allocate",
 ) -> list[TrafficRequest]:
     pools = _profile_pools(
         registry, scene_ids, k, unique_profiles, bids_per_bidder, rng
@@ -143,6 +144,7 @@ def _requests_for_arrivals(
                     valuations=valuations,
                     seed=int(rng.integers(2**31)),
                     profile_key=profile_key,
+                    mode=mode,
                 ),
             )
         )
@@ -160,12 +162,16 @@ def poisson_trace(
     repeat_fraction: float = 0.8,
     unique_profiles: int = 8,
     bids_per_bidder: int = 4,
+    mode: str = "allocate",
 ) -> TrafficTrace:
     """Open-loop Poisson arrivals at ``rate`` requests/second.
 
     Scenes are drawn uniformly per request; ``repeat_fraction`` of the
     requests reuse a pooled profile (with ``profile_key`` set), the rest
-    are distinct.  Fully deterministic from ``seed``.
+    are distinct.  ``mode="truthful"`` marks every request for the
+    truthful-mechanism pipeline (repeat-heavy truthful traces are the
+    ``BENCH_mechanism.json`` acceptance workload).  Fully deterministic
+    from ``seed``.
     """
     if rate <= 0 or num_requests < 0:
         raise ValueError("need rate > 0 and num_requests >= 0")
@@ -180,6 +186,7 @@ def poisson_trace(
         unique_profiles,
         bids_per_bidder,
         rng,
+        mode=mode,
     )
     return TrafficTrace(
         requests=requests,
@@ -191,6 +198,7 @@ def poisson_trace(
             "unique_profiles": unique_profiles,
             "k": k,
             "scenes": list(scene_ids),
+            "mode": mode,
         },
     )
 
@@ -207,6 +215,7 @@ def burst_trace(
     repeat_fraction: float = 0.8,
     unique_profiles: int = 8,
     bids_per_bidder: int = 4,
+    mode: str = "allocate",
 ) -> TrafficTrace:
     """``bursts`` bursts of ``burst_size`` simultaneous arrivals, ``gap``
     seconds apart — the coalescing window's best case and the queue's
@@ -224,6 +233,7 @@ def burst_trace(
         unique_profiles,
         bids_per_bidder,
         rng,
+        mode=mode,
     )
     return TrafficTrace(
         requests=requests,
@@ -235,6 +245,7 @@ def burst_trace(
             "repeat_fraction": repeat_fraction,
             "k": k,
             "scenes": list(scene_ids),
+            "mode": mode,
         },
     )
 
@@ -273,6 +284,7 @@ def save_trace(trace: TrafficTrace, path) -> pathlib.Path:
                 "k": item.request.k,
                 "seed": item.request.seed,
                 "profile_key": item.request.profile_key,
+                "mode": item.request.mode,
                 "valuations": [
                     _encode_valuation(v) for v in item.request.valuations
                 ],
@@ -299,6 +311,7 @@ def load_trace(path) -> TrafficTrace:
                 ],
                 seed=entry["seed"],
                 profile_key=entry["profile_key"],
+                mode=entry.get("mode", "allocate"),  # pre-mechanism traces
             ),
         )
         for entry in payload["requests"]

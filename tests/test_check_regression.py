@@ -32,7 +32,7 @@ def baselines(gate):
 
 def _as_measured(gate, baselines):
     """A perfect measurement: exactly the committed baseline values."""
-    measured = {"engine": {}, "scale": {}, "service": {}}
+    measured = {"engine": {}, "scale": {}, "service": {}, "mechanism": {}}
     for chk in gate.CHECKS:
         gate._assign(
             measured[chk.source],

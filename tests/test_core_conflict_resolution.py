@@ -126,3 +126,96 @@ class TestMakeFullyFeasible:
         result = make_fully_feasible(weighted_problem, {})
         assert result.allocation == {}
         assert result.rounds == 0
+
+
+def _seed_check_condition5(problem, allocation):
+    """The seed-era dict-scan Condition (5) check (parity anchor)."""
+    from repro.core.conflict_resolution import _wbar_lookup
+
+    index, wbar = _wbar_lookup(problem, allocation)
+    pos = problem.ordering.pos
+    items = sorted(
+        ((v, s) for v, s in allocation.items() if s), key=lambda vs: pos[vs[0]]
+    )
+    for i, (v, sv) in enumerate(items):
+        total = sum(wbar[index[u], index[v]] for u, su in items[:i] if su & sv)
+        if total >= 0.5:
+            return False
+    return True
+
+
+def _seed_make_fully_feasible(problem, allocation):
+    """The seed-era Algorithm 3 rounds (parity anchor); returns
+    (best, candidates, rounds)."""
+    from repro.core.conflict_resolution import _wbar_lookup
+
+    index, wbar = _wbar_lookup(problem, allocation)
+    pos = problem.ordering.pos
+    pending = {v for v, s in allocation.items() if s}
+    values = {v: problem.valuations[v].value(allocation[v]) for v in pending}
+    candidates, candidate_values, rounds = [], [], 0
+    while pending:
+        rounds += 1
+        current = {v: allocation[v] for v in pending}
+        for v in sorted(pending, key=lambda u: pos[u], reverse=True):
+            bundle = current.get(v)
+            if not bundle:
+                continue
+            total = sum(
+                wbar[index[u], index[v]]
+                for u, su in current.items()
+                if u != v and su and su & bundle
+            )
+            if total < 1.0:
+                pending.discard(v)
+            else:
+                del current[v]
+        candidates.append(current)
+        candidate_values.append(sum(values[v] for v in current))
+    best_idx = max(
+        range(len(candidates)), key=lambda i: candidate_values[i], default=-1
+    )
+    return (candidates[best_idx] if best_idx >= 0 else {}), candidates, rounds
+
+
+class TestVectorizedAlgorithm3Parity:
+    """The PR 5 array kernels must reproduce the seed dict scans."""
+
+    def test_condition5_matches_seed_scan(self, weighted_problem):
+        lp = AuctionLP(weighted_problem).solve()
+        for seed in range(8):
+            alloc, _ = round_weighted(
+                weighted_problem, lp, np.random.default_rng(seed)
+            )
+            assert check_condition5(weighted_problem, alloc) == (
+                _seed_check_condition5(weighted_problem, alloc)
+            )
+
+    def test_rounds_match_seed_scan(self, weighted_problem):
+        lp = AuctionLP(weighted_problem).solve()
+        for seed in range(8):
+            alloc, _ = round_weighted(
+                weighted_problem, lp, np.random.default_rng(seed)
+            )
+            if not _seed_check_condition5(weighted_problem, alloc):
+                continue
+            best, candidates, rounds = _seed_make_fully_feasible(
+                weighted_problem, dict(alloc)
+            )
+            result = make_fully_feasible(weighted_problem, dict(alloc))
+            assert result.allocation == best
+            assert result.candidates == candidates
+            assert result.rounds == rounds
+
+    def test_overloaded_star_matches_seed_scan(self):
+        # multi-round case: center receives 1.2 total, leaves finalize first
+        w = np.zeros((6, 6))
+        for leaf in range(1, 6):
+            w[leaf, 0] = 0.24
+        problem = weighted_problem_from_matrix(w)
+        alloc = {v: frozenset({0}) for v in range(6)}
+        best, candidates, rounds = _seed_make_fully_feasible(problem, dict(alloc))
+        result = make_fully_feasible(problem, dict(alloc))
+        assert rounds == 2 and result.rounds == 2
+        assert result.candidates == candidates
+        assert result.allocation == best

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
+import pytest
 
 from repro.core.auction_lp import AuctionLP
 from repro.core.conflict_resolution import check_condition5, make_fully_feasible
@@ -73,6 +74,104 @@ class TestDerandomizeUnweighted:
         # Not a theorem (best-of-two classes differ), but holds comfortably
         # on these instances and guards against estimator regressions.
         assert det_welfare >= 0.5 * rand_mean
+
+
+class SeedEstimator:
+    """The seed-era estimator, kept verbatim as the parity anchor: O(m²)
+    Python penalty construction and full-F re-evaluation per choice."""
+
+    def __init__(self, problem, entries, scale):
+        import scipy.sparse as sp
+
+        self.values = np.array([e[2] for e in entries])
+        self.q = np.array([e[3] / scale for e in entries])
+        self.vertex_cols = {}
+        for i, (v, _b, _val, _x) in enumerate(entries):
+            self.vertex_cols.setdefault(v, []).append(i)
+        pen = 2.0 if problem.is_weighted else 1.0
+        pos = problem.ordering.pos
+        if problem.is_weighted:
+            kappa = problem.graph.wbar_matrix
+        else:
+            kappa = problem.graph.adjacency.astype(float)
+        rows, cols, data = [], [], []
+        for a, (v, bundle_a, val_a, _xa) in enumerate(entries):
+            for b, (u, bundle_b, _vb, _xb) in enumerate(entries):
+                if u == v or pos[u] >= pos[v]:
+                    continue
+                if kappa[u, v] <= 0 or not (bundle_a & bundle_b):
+                    continue
+                rows.append(a)
+                cols.append(b)
+                data.append(pen * val_a * kappa[u, v])
+        m = len(entries)
+        self.penalty = sp.coo_matrix((data, (rows, cols)), shape=(m, m)).tocsr()
+
+    def value(self, q):
+        return float(self.values @ q - q @ (self.penalty @ q))
+
+    def fix_best_choice(self, vertex, q):
+        cols = self.vertex_cols.get(vertex, [])
+        if not cols:
+            return
+        best_cols, best_val = [], -math.inf
+        for choice in [None, *cols]:
+            for c in cols:
+                q[c] = 0.0
+            if choice is not None:
+                q[choice] = 1.0
+            val = self.value(q)
+            if val > best_val:
+                best_val = val
+                best_cols = [] if choice is None else [choice]
+        for c in cols:
+            q[c] = 0.0
+        for c in best_cols:
+            q[c] = 1.0
+
+
+class TestVectorizedEstimatorParity:
+    """The PR 5 vectorized estimator must reproduce the seed estimator:
+    bit-equal penalty matrices, the same fix order, and the same
+    allocation (sub-ulp gain ties aside — none occur on these anchors)."""
+
+    def _run(self, est_cls, problem, lp):
+        from repro.core.derandomize import _Estimator  # noqa: F401
+
+        entries = [
+            (col.vertex, col.bundle, col.value, x) for col, x in lp.support()
+        ]
+        est = est_cls(problem, entries, default_scale(problem))
+        q = est.q.copy()
+        for v in sorted(est.vertex_cols):
+            est.fix_best_choice(v, q)
+        tentative = {
+            v: b for i, (v, b, _val, _x) in enumerate(entries) if q[i] > 0.5
+        }
+        return est, tentative
+
+    @pytest.mark.parametrize("fixture", ["protocol_problem", "weighted_problem"])
+    def test_matches_seed_estimator(self, fixture, request):
+        from repro.core.derandomize import _Estimator
+
+        problem = request.getfixturevalue(fixture)
+        lp = AuctionLP(problem).solve()
+        ref_est, ref_alloc = self._run(SeedEstimator, problem, lp)
+        new_est, new_alloc = self._run(_Estimator, problem, lp)
+        diff = ref_est.penalty - new_est.penalty
+        assert diff.nnz == 0 or abs(diff).max() == 0.0
+        assert ref_alloc == new_alloc
+
+    def test_matches_on_sparse_backed_metro_scene(self):
+        from repro.core.derandomize import _Estimator
+        from repro.experiments.workloads import metro_disk_auction
+
+        problem = metro_disk_auction(60, 4, seed=404, method="spatial")
+        assert problem.graph.is_sparse
+        lp = AuctionLP(problem).solve()
+        _, ref_alloc = self._run(SeedEstimator, problem, lp)
+        _, new_alloc = self._run(_Estimator, problem, lp)
+        assert ref_alloc == new_alloc
 
 
 class TestDerandomizeWeighted:

@@ -385,3 +385,185 @@ class TestServiceValidation:
         path = service.write_metrics(tmp_path / "metrics.json")
         data = json.loads(path.read_text())
         assert data["requests_completed"] == 3
+
+
+class TestTruthfulRequests:
+    """Mechanism-as-workload: truthful requests through the service."""
+
+    def _trace(self, service, **kwargs):
+        return make_trace(service, mode="truthful", **kwargs)
+
+    def test_truthful_request_resolves_to_outcome(self, scene):
+        from repro.mechanism.truthful import MechanismOutcome
+
+        service = make_service(scene)
+        trace = self._trace(service, num_requests=3)
+        results = service.run_trace(trace)
+        assert all(isinstance(r, MechanismOutcome) for r in results)
+        structure = service.registry.get(next(iter(service.registry.ids())))
+        for item, outcome in zip(trace, results):
+            problem_feasible = all(
+                structure.graph.is_independent(
+                    [v for v, s in outcome.sampled_allocation.items() if j in s]
+                )
+                for j in range(item.request.k)
+            )
+            assert problem_feasible
+            assert outcome.payments.shape == (structure.n,)
+
+    def test_sampling_deterministic_from_request_seed(self, scene):
+        service = make_service(scene)
+        trace = self._trace(service, num_requests=6)
+        a = service.run_trace(trace)
+        b = service.run_trace(trace)
+        for x, y in zip(a, b):
+            assert x.sampled_allocation == y.sampled_allocation
+            assert (x.payments == y.payments).all()
+
+    def test_batching_invariance(self, scene):
+        service_batched = make_service(scene, coalesce_window=0.05, max_batch=8)
+        service_single = make_service(scene, coalesce_window=0.0, max_batch=1)
+        trace = self._trace(service_batched, num_requests=6)
+        a = service_batched.run_trace(trace)
+        b = service_single.run_trace(trace)
+        for x, y in zip(a, b):
+            assert x.sampled_allocation == y.sampled_allocation
+
+    def test_repeat_profiles_hit_mechanism_cache(self, scene):
+        service = make_service(scene)
+        trace = self._trace(
+            service, num_requests=8, repeat_fraction=1.0, unique_profiles=2
+        )
+        service.run_trace(trace)
+        stats = service.cache_stats()["mechanisms"]
+        assert stats["misses"] == 2
+        assert stats["hits"] == 6
+
+    def test_disabled_mechanism_cache_recomputes(self, scene):
+        service = make_service(scene, mechanism_cache_size=0)
+        trace = self._trace(
+            service, num_requests=4, repeat_fraction=1.0, unique_profiles=1
+        )
+        results = service.run_trace(trace)
+        stats = service.cache_stats()["mechanisms"]
+        assert stats["hits"] == 0
+        assert len(results) == 4
+
+    def test_mixed_mode_batch(self, scene):
+        from repro.core.result import SolverResult
+        from repro.mechanism.truthful import MechanismOutcome
+
+        service = make_service(scene)
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=900, bids_per_bidder=2)
+        requests = [
+            AuctionRequest(scene_id, K, vals, seed=1, mode="allocate"),
+            AuctionRequest(scene_id, K, vals, seed=2, mode="truthful"),
+        ]
+        results = service.solve_batch(requests)
+        assert isinstance(results[0], SolverResult)
+        assert isinstance(results[1], MechanismOutcome)
+
+    def test_queued_path_serves_truthful(self, scene):
+        from repro.mechanism.truthful import MechanismOutcome
+
+        service = make_service(scene)
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=901, bids_per_bidder=2)
+        with service:
+            future = service.submit(
+                AuctionRequest(scene_id, K, vals, seed=5, mode="truthful")
+            )
+            outcome = future.result(timeout=30)
+        assert isinstance(outcome, MechanismOutcome)
+
+    def test_unknown_mode_rejected(self, scene):
+        service = make_service(scene)
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=902, bids_per_bidder=2)
+        bad = AuctionRequest(scene_id, K, vals, mode="clairvoyant")
+        with pytest.raises(ValueError):
+            service.submit(bad)
+        # the synchronous path must reject too, not return silent Nones
+        with pytest.raises(ValueError):
+            service.solve_batch([bad])
+        service.close()
+
+    def test_mode_aware_cache_bypass(self, scene):
+        # disabling only the cache relevant to the head's mode triggers the
+        # coalescing bypass for that mode, and not for the other
+        service = make_service(scene, mechanism_cache_size=0)
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=903, bids_per_bidder=2)
+        truthful = AuctionRequest(
+            scene_id, K, vals, profile_key="p", mode="truthful"
+        )
+        allocate = AuctionRequest(
+            scene_id, K, vals, profile_key="p", mode="allocate"
+        )
+        assert service._bypass_window(truthful) is True
+        assert service._bypass_window(allocate) is False
+        assert service._bypass_window() is False  # headless: conservative
+
+    def test_invalid_mechanism_pricing_rejected(self):
+        with pytest.raises(ValueError):
+            AuctionService(mechanism_pricing="psychic")
+
+    def test_trace_mode_round_trips_through_json(self, scene, tmp_path):
+        service = make_service(scene)
+        trace = self._trace(service, num_requests=3)
+        path = save_trace(trace, tmp_path / "truthful.json")
+        loaded = load_trace(path)
+        assert [i.request.mode for i in loaded] == ["truthful"] * 3
+        assert loaded.meta["mode"] == "truthful"
+
+
+class TestAdaptiveCoalescing:
+    def test_disabled_caches_bypass_window(self, scene):
+        service = make_service(
+            scene, problem_cache_size=0, mechanism_cache_size=0
+        )
+        assert service._bypass_window() is True
+
+    def test_distinct_stream_bypasses_window(self, scene):
+        service = make_service(scene, coalesce_window=0.05, max_batch=8)
+        trace = make_trace(
+            service, num_requests=8, repeat_fraction=0.0, unique_profiles=0
+        )
+        service.run_trace(trace)
+        # every request dispatched alone: the head request has no profile
+        assert service.metrics_snapshot()["mean_batch_size"] == 1.0
+
+    def test_repeat_stream_keeps_coalescing(self, scene):
+        service = make_service(scene, coalesce_window=10.0, max_batch=4)
+        trace = make_trace(
+            service, num_requests=8, repeat_fraction=1.0, unique_profiles=2
+        )
+        service.run_trace(trace)
+        assert service.metrics_snapshot()["mean_batch_size"] > 1.0
+
+    def test_opt_out_restores_fixed_window(self, scene):
+        service = make_service(
+            scene,
+            coalesce_window=10.0,
+            max_batch=4,
+            adaptive_coalescing=False,
+            problem_cache_size=0,
+            mechanism_cache_size=0,
+        )
+        assert service._bypass_window() is False
+        trace = make_trace(service, num_requests=4, repeat_fraction=0.0)
+        service.run_trace(trace)
+        assert service.metrics_snapshot()["mean_batch_size"] == 4.0
+
+    def test_results_unchanged_by_bypass(self, scene):
+        adaptive = make_service(scene, coalesce_window=0.05, max_batch=8)
+        fixed = make_service(
+            scene, coalesce_window=0.05, max_batch=8, adaptive_coalescing=False
+        )
+        trace = make_trace(
+            adaptive, num_requests=8, repeat_fraction=0.0, unique_profiles=0
+        )
+        a = adaptive.run_trace(trace)
+        b = fixed.run_trace(trace)
+        assert allocations(a) == allocations(b)
