@@ -7,10 +7,16 @@ quietly halve the engine's speedups.  This script closes the loop:
 
 1. **measure** — re-run budgeted versions of the baseline workloads
    (the n=40 engine fleets, one n=1000 scale point, the n=300 service
-   smoke scenario, the n=150 truthful-mechanism smoke trace; a few
-   CPU-seconds each, best-of ``--repeats``);
+   smoke scenario, the n=300 process-pool smoke, the n=150
+   truthful-mechanism smoke trace; a few CPU-seconds each, best-of
+   ``--repeats``);
 2. **compare** — each checked metric's *slowdown factor* against the
    committed baseline must stay under the noise tolerance.
+
+Process-pool metrics are *cores-guarded*: the baseline records the core
+count it was measured on, and the gate only compares pool throughput
+like-to-like — a mismatched core count reports the check as skipped
+(machine-dependent scaling is not a regression signal).
 
 Speedup-ratio metrics (engine vs naive, sparse vs dense, tuned service
 vs no-cache baseline) are self-normalizing — both sides of the ratio run
@@ -68,6 +74,12 @@ class Check:
     # "seconds" / "throughput": absolute wall-clock-dependent values (lower /
     # higher is better), compared under the looser --time-tolerance.
     kind: str
+    # optional dotted path (same family) that must hold the *same* value in
+    # baseline and measurement for the comparison to mean anything — the
+    # process-pool metrics guard on the recorded core count, so a baseline
+    # taken on a 1-core box is never compared against a 4-core CI runner
+    # (the check is reported as skipped, not passed-by-luck or failed)
+    guard: str | None = None
 
     @property
     def name(self) -> str:
@@ -89,6 +101,19 @@ CHECKS = [
     Check("scale", "scaling.points.1.sparse_fast_path.end_to_end_seconds", "seconds"),
     Check("service", "smoke_repeat_n300.speedup", "speedup"),
     Check("service", "smoke_repeat_n300.tuned.throughput_rps", "throughput"),
+    # process-pool family: cores-guarded so the gate compares like to like
+    Check(
+        "service",
+        "pool_smoke_n300.speedup_vs_serial",
+        "speedup",
+        guard="pool_smoke_n300.cores",
+    ),
+    Check(
+        "service",
+        "pool_smoke_n300.pool.throughput_rps",
+        "throughput",
+        guard="pool_smoke_n300.cores",
+    ),
     Check("mechanism", "smoke_truthful_n150.speedup", "speedup"),
     Check("mechanism", "smoke_truthful_n150.fast.throughput_rps", "throughput"),
 ]
@@ -153,7 +178,8 @@ def measure(repeats: int = 2) -> dict:
         {
             "smoke_repeat_n300": bench_service.bench_sustained(
                 300, num_requests=24, scene_seed=1200, trace_seed=42
-            )
+            ),
+            "pool_smoke_n300": bench_service.bench_pool_smoke(),
         }
         for _ in range(repeats)
     ]
@@ -179,6 +205,13 @@ def measure(repeats: int = 2) -> dict:
     measured: dict = {"engine": {}, "scale": {}, "service": {}, "mechanism": {}}
     for chk in CHECKS:
         _assign(measured[chk.source], chk.path, best(runs[chk.source], chk.path, chk.kind))
+        if chk.guard is not None:
+            # guard values (e.g. core counts) are host constants — first run's
+            _assign(
+                measured[chk.source],
+                chk.guard,
+                _lookup(runs[chk.source][0], chk.guard),
+            )
     return measured
 
 
@@ -220,7 +253,10 @@ def compare(
 
     ``measured`` and ``baselines`` both map source name → nested dict.
     A metric missing on either side is reported as failed rather than
-    skipped — a silently vanished baseline must not pass the gate.
+    skipped — a silently vanished baseline must not pass the gate.  A
+    guarded check whose guard values differ (baseline recorded on a host
+    with a different core count) is reported with ``skipped`` set and
+    counts as ok: the comparison is meaningless, not broken.
     """
     rows = []
     for chk in checks:
@@ -229,8 +265,23 @@ def compare(
         try:
             base = _lookup(baselines[chk.source], chk.path)
             got = _lookup(measured[chk.source], chk.path)
+            if chk.guard is not None:
+                guard_base = _lookup(baselines[chk.source], chk.guard)
+                guard_got = _lookup(measured[chk.source], chk.guard)
         except (KeyError, IndexError, TypeError) as exc:
             row.update(ok=False, error=f"missing metric: {exc!r}")
+            rows.append(row)
+            continue
+        if chk.guard is not None and guard_base != guard_got:
+            row.update(
+                ok=True,
+                skipped=(
+                    f"guard {chk.guard}: baseline {guard_base:g} != "
+                    f"measured {guard_got:g} — not comparable"
+                ),
+                baseline=base,
+                measured=got,
+            )
             rows.append(row)
             continue
         slowdown = chk.slowdown(base, got)
@@ -298,6 +349,9 @@ def main(argv=None) -> int:
     for row in rows:
         if "error" in row:
             print(f"FAIL {row['check']:<{width}}  {row['error']}")
+            continue
+        if "skipped" in row:
+            print(f"skip {row['check']:<{width}}  {row['skipped']}")
             continue
         print(
             f"{'ok  ' if row['ok'] else 'FAIL'} {row['check']:<{width}}  "

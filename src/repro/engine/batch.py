@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.auction import AuctionProblem
 from repro.core.result import SolverResult
 from repro.engine.compiled import CompiledAuction, compile_auction, compile_structure
+from repro.util.mp import mp_context
 
 __all__ = ["BatchAuctionEngine", "BatchResult"]
 
@@ -96,6 +97,7 @@ class BatchAuctionEngine:
         lp_warm_start: bool = False,
         structure_cache=None,
         auction_cache=None,
+        mp_start_method: str = "auto",
     ) -> None:
         """``lp_warm_start=True`` lets instances sharing a compiled structure
         (and bundle pattern) re-solve the LP by mutating the loaded HiGHS
@@ -108,6 +110,10 @@ class BatchAuctionEngine:
         :class:`~repro.util.lru.LRUCache` instances for the compilation
         layers (``None`` keeps the process-wide defaults); the auction
         service uses this to bound and account its caches per service.
+
+        ``mp_start_method`` controls how ``executor="process"`` workers
+        start (``"auto"`` resolves via :mod:`repro.util.mp` — forkserver
+        where available, never bare fork from a threaded parent).
         """
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
@@ -121,6 +127,7 @@ class BatchAuctionEngine:
         self.max_workers = max_workers
         self.structure_cache = structure_cache
         self.auction_cache = auction_cache
+        self.mp_start_method = mp_start_method
 
     # ------------------------------------------------------------------
     def _resolve_executor(self, n_tasks: int) -> tuple[str, int]:
@@ -239,7 +246,9 @@ class BatchAuctionEngine:
             entry[1].append(i)
             entry[2].append(child)
         results: list[SolverResult | None] = [None] * len(instances)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context(self.mp_start_method)
+        ) as pool:
             futures = [
                 (indices, pool.submit(_solve_group, problem, children, self.solve_kwargs))
                 for problem, indices, children in groups.values()

@@ -42,6 +42,7 @@ __all__ = [
     "solve_packing_lp_fast",
     "fast_backend_available",
     "warm_start_stats",
+    "reset_backend",
     "choose_solver",
     "highs_core",
     "new_highs_instance",
@@ -165,6 +166,25 @@ def warm_start_stats() -> dict[str, int]:
     """This thread's warm/cold solve counters (for tests and benchmarks)."""
     _thread_highs("simplex")
     return dict(_local.warm_stats)
+
+
+def reset_backend() -> None:
+    """Drop this thread's persistent backend state (instances, loaded
+    warm-start model, counters, cached bound arrays).
+
+    Process-pool workers call this once at startup: under a fork-based
+    start method the child's main thread inherits the forking thread's
+    ``threading.local`` slot, including the identity-keyed warm-start
+    record of a model loaded in the *parent's* lifetime.  Fork preserves
+    addresses, so those stale identity checks could spuriously match and
+    warm-start a fresh worker off a basis it never computed — a fresh
+    process must start cold.
+    """
+    for attr in ("instances", "loaded", "warm_stats", "aux"):
+        try:
+            delattr(_local, attr)
+        except AttributeError:
+            pass
 
 
 def _aux_arrays(m: int, n: int):

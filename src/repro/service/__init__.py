@@ -8,6 +8,10 @@ Four modules (see DESIGN.md → "The auction service"):
 * :mod:`repro.service.service` — :class:`AuctionService`: coalescing
   request queue, per-service LRU compilation caches, shard-affinity
   routing, graceful drain;
+* :mod:`repro.service.pool` — :class:`ProcessShardPool`: long-lived
+  worker processes (own HiGHS backend, warm bases, caches) behind the
+  ``executor="process"`` service configuration — the GIL-free shard tier
+  for distinct-heavy traffic;
 * :mod:`repro.service.traffic` — open-loop Poisson/burst/replay traffic
   over the metro workload family;
 * :mod:`repro.service.metrics` — throughput, latency percentiles, cache
@@ -15,6 +19,7 @@ Four modules (see DESIGN.md → "The auction service"):
 """
 
 from repro.service.metrics import ServiceMetrics
+from repro.service.pool import ProcessShardPool, WorkerCrashError
 from repro.service.scenes import SceneRegistry, scene_fingerprint
 from repro.service.service import AuctionRequest, AuctionService
 from repro.service.traffic import (
@@ -29,6 +34,8 @@ from repro.service.traffic import (
 __all__ = [
     "AuctionRequest",
     "AuctionService",
+    "ProcessShardPool",
+    "WorkerCrashError",
     "SceneRegistry",
     "scene_fingerprint",
     "ServiceMetrics",

@@ -68,6 +68,17 @@ class ServiceMetrics:
                 self._latencies.append(latency)
             self._last_done = now
 
+    def counts(self) -> dict[str, int]:
+        """Request counters only — cheap enough to poll per batch (the
+        process-pool workers piggyback this on every reply, where a full
+        :meth:`snapshot` would re-rank the latency reservoir each time)."""
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+            }
+
     # ------------------------------------------------------------------
     def snapshot(self, caches: dict | None = None) -> dict:
         """All metrics as a JSON-ready dict.
@@ -95,13 +106,20 @@ class ServiceMetrics:
                 "max_batch_size": max(batch_sizes) if batch_sizes else None,
             }
         if latencies.size:
-            quantiles = np.percentile(latencies, _PERCENTILES)
+            # exact order statistics (inverted CDF), not interpolation: with
+            # fewer than 100 samples an interpolated "p99" manufactures a
+            # value between the two slowest requests that nobody observed —
+            # misleadingly below the true tail.  Every percentile reported
+            # here is a latency that actually occurred, and ``samples`` says
+            # how much data backs it (p99 of 20 samples is just the max).
+            quantiles = np.percentile(latencies, _PERCENTILES, method="inverted_cdf")
             out["latency_seconds"] = {
                 "mean": float(latencies.mean()),
                 "p50": float(quantiles[0]),
                 "p95": float(quantiles[1]),
                 "p99": float(quantiles[2]),
                 "max": float(latencies.max()),
+                "samples": int(latencies.size),
             }
         else:
             out["latency_seconds"] = None

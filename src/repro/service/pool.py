@@ -1,0 +1,478 @@
+"""Multi-process shard pool: worker processes that outlive the GIL ceiling.
+
+The thread-shard executor of :class:`~repro.service.AuctionService` tops
+out near 1x on distinct-heavy traffic: every shard shares one GIL, and a
+distinct request's cost is almost entirely Python + NumPy solve work that
+never releases it for long.  :class:`ProcessShardPool` replaces the shard
+threads with a pool of **long-lived worker processes**, each owning the
+full per-shard solver state:
+
+* its own persistent HiGHS backend (per-process ``threading.local``, warm
+  bases included),
+* its own LRU caches of compiled structures / compiled auctions /
+  prepared mechanism outcomes,
+* its own worker-side :class:`~repro.service.AuctionService` running the
+  *identical* synchronous ``solve_batch`` code path the in-process
+  executors use — which is what makes pool results bit-identical to the
+  serial path for seeded requests (pinned by the placement-invariance
+  tests).
+
+Design points, mirroring the request-stream framing of the paper's
+secondary-spectrum setting (scenes are stable, valuations churn):
+
+**Pickle-once scene shipping.**  Workers are spawned with a snapshot of
+the registry, and any scene registered later crosses the pipe at most
+once per worker — the parent tracks a per-worker ``shipped`` set and
+sends ``("scene", id, structure)`` only on first use.  Requests
+themselves carry only valuations + a seed.
+
+**Affinity routing with spill.**  A scene's *home* worker is
+``hash(scene_id) % workers``, so repeat traffic keeps hitting the worker
+whose caches and warm LP bases already hold that scene.  When the home
+worker is busier than the least-loaded one, the batch spills to the
+least-loaded worker instead (deterministic scan from the home index):
+distinct-heavy traffic on one hot scene — the workload this pool exists
+for — then spreads across all workers instead of serializing behind the
+scene's home shard.  Spilling never changes results, only which process
+computes them.
+
+**Crash recovery.**  Each worker conversation is strictly
+send-batch/receive-results, so a dead worker surfaces as ``EOFError`` on
+the pipe.  The owning parent thread respawns the worker (fresh
+generation, fresh registry snapshot) and retries the in-flight batch up
+to ``max_retries`` times before failing its futures with
+:class:`WorkerCrashError`; later batches queued behind it are unaffected.
+
+**Stray-process guard.**  Workers are daemonic *and* every started pool
+registers its ``close`` with :mod:`atexit`, so examples and tests that
+forget to close a service still terminate their workers at interpreter
+exit.  ``close`` drains queued jobs, asks each worker to exit, and
+escalates to ``terminate``/``kill`` on a bounded timeout.
+
+IPC accounting (bytes each way, serialization seconds, scenes shipped,
+restarts, retries) is exposed through :meth:`ProcessShardPool.stats` and
+lands in the service's metrics snapshot under ``"pool"``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.util.mp import mp_context
+
+__all__ = ["ProcessShardPool", "WorkerCrashError"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died while (or before) computing a batch."""
+
+
+# ----------------------------------------------------------------------
+# worker process side
+# ----------------------------------------------------------------------
+def _pool_worker_main(  # pragma: no cover - runs in worker processes
+    conn, scenes: dict, config: dict, generation: int
+) -> None:
+    """Entry point of one worker process.
+
+    ``scenes`` is the registry snapshot taken at spawn; ``config`` holds
+    the cache/pricing configuration of the parent service so the worker's
+    private :class:`AuctionService` solves exactly as the in-process path
+    would.  ``generation`` counts respawns of this worker slot — the
+    crash-injection hook below compares against it so a test can crash
+    incarnation 0 and let incarnation 1 serve the retry.
+    """
+    from repro.engine.highs import reset_backend
+    from repro.service.service import AuctionService
+
+    # under a fork-based start method the child inherits the forking
+    # thread's persistent HiGHS state (loaded model, warm-start key);
+    # warm-starting against a model loaded in another process's life
+    # would be wrong, so drop it before the first solve
+    reset_backend()
+    service = AuctionService(
+        executor="serial",
+        coalesce_window=0.0,
+        adaptive_coalescing=False,
+        **config,
+    )
+    for structure in scenes.values():
+        service.registry.register(structure)
+    try:
+        while True:
+            message = pickle.loads(conn.recv_bytes())
+            kind = message[0]
+            if kind == "close":
+                conn.send_bytes(pickle.dumps(("closed",)))
+                return
+            if kind == "scene":
+                # content-hash ids are stable across pickling, so the
+                # worker-side id equals the parent's (asserted cheaply)
+                scene_id = service.registry.register(message[2])
+                if scene_id != message[1]:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"scene {message[1]} re-hashed to {scene_id} in worker"
+                    )
+                continue
+            _, job_id, requests = message
+            crash = any(
+                r.metadata.get("_crash_worker") in (generation, "always")
+                for r in requests
+            )
+            if crash:  # fault-injection hook for the crash-recovery tests
+                os._exit(3)
+            try:
+                results = service.solve_batch(requests)
+                reply = ("done", job_id, results, _worker_stats(service, generation))
+            except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+                reply = ("error", job_id, f"{type(exc).__name__}: {exc}")
+            conn.send_bytes(pickle.dumps(reply))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):  # parent went away
+        pass
+
+
+def _worker_stats(service, generation: int) -> dict:  # pragma: no cover - worker side
+    """The per-worker accounting piggybacked on every ``done`` reply."""
+    return {
+        "pid": os.getpid(),
+        "generation": generation,
+        "requests": service.metrics.counts()["completed"],
+        "caches": service.cache_stats(),
+    }
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+_CLOSE = object()  # sentinel on a worker's job queue
+
+
+@dataclass
+class _Job:
+    scene_id: str
+    requests: list
+    future: Future
+    attempts: int = 0
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side state of one worker slot (process + its feeder thread)."""
+
+    index: int
+    process: object = None
+    conn: object = None
+    generation: int = 0
+    shipped: set = field(default_factory=set)
+    jobs: queue.SimpleQueue = field(default_factory=queue.SimpleQueue)
+    outstanding: int = 0  # jobs queued or in flight, for spill routing
+    job_counter: int = 0
+    # accounting
+    jobs_done: int = 0
+    scenes_shipped: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    ipc_seconds: float = 0.0  # serialization + pipe writes (not compute waits)
+    restarts: int = 0
+    last_stats: dict = field(default_factory=dict)
+
+
+class ProcessShardPool:
+    """A pool of long-lived solver processes with scene affinity.
+
+    ``registry`` is shared with the owning service: scenes are snapshotted
+    into workers at spawn and shipped lazily afterwards.  ``worker_config``
+    is forwarded to each worker's private ``AuctionService`` (cache sizes,
+    pricing, rounding attempts, warm-start flag), so the pool solves with
+    exactly the configuration of the in-process path.
+    """
+
+    def __init__(
+        self,
+        registry,
+        num_workers: int,
+        *,
+        worker_config: dict | None = None,
+        start_method: str = "auto",
+        max_retries: int = 1,
+        spill: bool = True,
+        close_timeout: float = 5.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.registry = registry
+        self.num_workers = num_workers
+        self.worker_config = dict(worker_config or {})
+        self.max_retries = max_retries
+        self.spill = spill
+        self.close_timeout = close_timeout
+        self._ctx = mp_context(start_method)
+        self.start_method = self._ctx.get_start_method()
+        self._lock = threading.Lock()
+        self._workers = [_WorkerHandle(index=i) for i in range(num_workers)]
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._closed = False
+        self._restarts = 0
+        self._retried_batches = 0
+        self._failed_batches = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ProcessShardPool":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            for handle in self._workers:
+                self._spawn_locked(handle)
+            self._threads = [
+                threading.Thread(
+                    target=self._serve,
+                    args=(handle,),
+                    name=f"auction-pool-feeder-{handle.index}",
+                    daemon=True,
+                )
+                for handle in self._workers
+            ]
+            for thread in self._threads:
+                thread.start()
+        # stray-process guard: a leaked pool still reaps its workers at exit
+        atexit.register(self.close)
+        return self
+
+    def _spawn_locked(self, handle: _WorkerHandle) -> None:
+        """(Re)start one worker slot; caller holds ``_lock`` or owns the slot."""
+        scenes = self.registry.snapshot()
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn, scenes, self.worker_config, handle.generation),
+            name=f"auction-pool-worker-{handle.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.shipped = set(scenes)  # the spawn snapshot never re-ships
+
+    def close(self) -> None:
+        """Drain queued jobs, stop every worker, join the feeder threads.
+
+        Idempotent and registered with :mod:`atexit`.  Jobs already queued
+        are completed (the close sentinel sits behind them); submitting
+        after close raises.
+        """
+        with self._lock:
+            if self._closed or not self._started:
+                self._closed = True
+                return
+            self._closed = True
+        for handle in self._workers:
+            handle.jobs.put(_CLOSE)
+        for thread in self._threads:
+            thread.join()
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission and routing
+    # ------------------------------------------------------------------
+    def home_of(self, scene_id: str) -> int:
+        return int(scene_id, 16) % self.num_workers
+
+    def _route(self, scene_id: str) -> _WorkerHandle:
+        """Home worker unless it is strictly busier than the idlest one."""
+        home = self.home_of(scene_id)
+        if not self.spill or self.num_workers == 1:
+            return self._workers[home]
+        loads = [w.outstanding for w in self._workers]
+        if loads[home] <= min(loads):
+            return self._workers[home]
+        # deterministic scan from the home index keeps ties stable
+        best = min(
+            range(self.num_workers),
+            key=lambda i: (loads[(home + i) % self.num_workers], i),
+        )
+        return self._workers[(home + best) % self.num_workers]
+
+    def submit(self, scene_id: str, requests: list) -> Future:
+        """Queue one scene-group batch; resolves to its result list."""
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("process pool is closed")
+            if not self._started:
+                raise RuntimeError("process pool is not started")
+            handle = self._route(scene_id)
+            handle.outstanding += 1
+        handle.jobs.put(_Job(scene_id, requests, future))
+        return future
+
+    # ------------------------------------------------------------------
+    # per-worker feeder thread
+    # ------------------------------------------------------------------
+    def _serve(self, handle: _WorkerHandle) -> None:
+        while True:
+            job = handle.jobs.get()
+            if job is _CLOSE:
+                self._shutdown_worker(handle)
+                return
+            try:
+                self._run_job(handle, job)
+            except BaseException as exc:  # noqa: BLE001 - never kill the feeder
+                job.future.set_exception(exc)
+            finally:
+                with self._lock:
+                    handle.outstanding -= 1
+
+    def _run_job(self, handle: _WorkerHandle, job: _Job) -> None:
+        while True:
+            try:
+                results, stats = self._roundtrip(handle, job)
+            except WorkerCrashError as exc:
+                self._respawn(handle)
+                if job.attempts < self.max_retries:
+                    job.attempts += 1
+                    with self._lock:
+                        self._retried_batches += 1
+                    continue  # retry the in-flight batch on the fresh worker
+                with self._lock:
+                    self._failed_batches += 1
+                job.future.set_exception(exc)
+                return
+            handle.jobs_done += 1
+            handle.last_stats = stats
+            job.future.set_result(results)
+            return
+
+    def _roundtrip(self, handle: _WorkerHandle, job: _Job) -> tuple[list, dict]:
+        """Ship (scene if new +) batch, block for the reply, account IPC."""
+        try:
+            if job.scene_id not in handle.shipped:
+                self._send(
+                    handle,
+                    ("scene", job.scene_id, self.registry.get(job.scene_id)),
+                )
+                handle.shipped.add(job.scene_id)
+                handle.scenes_shipped += 1
+            handle.job_counter += 1
+            self._send(handle, ("solve", handle.job_counter, job.requests))
+            payload = handle.conn.recv_bytes()  # blocks while the worker solves
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise WorkerCrashError(
+                f"worker {handle.index} (pid {getattr(handle.process, 'pid', '?')}, "
+                f"generation {handle.generation}) died mid-batch"
+            ) from exc
+        t0 = time.perf_counter()
+        reply = pickle.loads(payload)
+        handle.bytes_received += len(payload)
+        handle.ipc_seconds += time.perf_counter() - t0
+        if reply[0] == "error":
+            raise RuntimeError(f"worker {handle.index}: {reply[2]}")
+        kind, job_id, results, stats = reply
+        if job_id != handle.job_counter:  # pragma: no cover - protocol bug
+            raise RuntimeError(
+                f"worker {handle.index} answered job {job_id}, "
+                f"expected {handle.job_counter}"
+            )
+        return results, stats
+
+    def _send(self, handle: _WorkerHandle, message: tuple) -> None:
+        t0 = time.perf_counter()
+        payload = pickle.dumps(message)
+        handle.conn.send_bytes(payload)
+        handle.bytes_sent += len(payload)
+        handle.ipc_seconds += time.perf_counter() - t0
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        """Replace a dead worker; its pickle-once state starts over."""
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        if handle.process.is_alive():  # crashed pipe, live process: reap it
+            handle.process.terminate()
+        handle.process.join(self.close_timeout)
+        handle.generation += 1
+        handle.restarts += 1
+        handle.job_counter = 0
+        with self._lock:
+            self._restarts += 1
+            self._spawn_locked(handle)
+
+    def _shutdown_worker(self, handle: _WorkerHandle) -> None:
+        process, conn = handle.process, handle.conn
+        try:
+            self._send(handle, ("close",))
+            if conn.poll(self.close_timeout):
+                conn.recv_bytes()  # ("closed",) acknowledgement
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+            pass  # already dead — joining below is all that is left
+        process.join(self.close_timeout)
+        if process.is_alive():  # pragma: no cover - stuck worker escalation
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+        conn.close()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def alive(self) -> list[bool]:
+        return [
+            w.process is not None and w.process.is_alive() for w in self._workers
+        ]
+
+    def stats(self) -> dict:
+        """Pool-level + per-worker accounting for the metrics snapshot."""
+        with self._lock:
+            workers = [
+                {
+                    "index": w.index,
+                    "pid": getattr(w.process, "pid", None),
+                    "alive": w.process is not None and w.process.is_alive(),
+                    "generation": w.generation,
+                    "restarts": w.restarts,
+                    "jobs": w.jobs_done,
+                    "outstanding": w.outstanding,
+                    "scenes_held": len(w.shipped),
+                    "scenes_shipped": w.scenes_shipped,
+                    "ipc_bytes_sent": w.bytes_sent,
+                    "ipc_bytes_received": w.bytes_received,
+                    "ipc_seconds": w.ipc_seconds,
+                    "worker_stats": w.last_stats,
+                }
+                for w in self._workers
+            ]
+            return {
+                "num_workers": self.num_workers,
+                "start_method": self.start_method,
+                "cores": os.cpu_count(),
+                "restarts": self._restarts,
+                "retried_batches": self._retried_batches,
+                "failed_batches": self._failed_batches,
+                "ipc_bytes_sent": sum(w["ipc_bytes_sent"] for w in workers),
+                "ipc_bytes_received": sum(w["ipc_bytes_received"] for w in workers),
+                "ipc_seconds": sum(w["ipc_seconds"] for w in workers),
+                "scenes_shipped": sum(w["scenes_shipped"] for w in workers),
+                "workers": workers,
+            }

@@ -90,3 +90,14 @@ class SceneRegistry:
     def ids(self) -> list[str]:
         with self._lock:
             return list(self._scenes)
+
+    def snapshot(self) -> dict[str, object]:
+        """A consistent ``{scene_id: structure}`` copy of the registry.
+
+        This is what a process-pool worker is seeded with at spawn: the
+        structures themselves are shared (fork) or pickled (spawn /
+        forkserver), and content-hash ids are stable across pickling, so
+        the worker-side registry reproduces the parent's ids exactly.
+        """
+        with self._lock:
+            return dict(self._scenes)

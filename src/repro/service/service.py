@@ -33,6 +33,16 @@ inline in it — deterministic ordering, no shard threads — and is the
 configuration the determinism tests pin.  :meth:`solve_batch` /
 :meth:`run_trace` bypass the queue entirely for synchronous, simulated
 replays.
+
+``executor="thread"`` shards are cheap but share one GIL, which caps
+distinct-heavy throughput at ~1x no matter the shard count.
+``executor="process"`` swaps them for a
+:class:`~repro.service.pool.ProcessShardPool` of long-lived worker
+processes — each owning its own HiGHS backend, warm bases, and
+compilation caches — with scene-affinity routing (plus spill to the
+least-loaded worker), pickle-once scene shipping, and crash recovery.
+Per-request seeds make pool results bit-identical to the serial path, so
+the choice of executor is purely a throughput decision.
 """
 
 from __future__ import annotations
@@ -55,7 +65,7 @@ from repro.util.rng import ensure_rng
 
 __all__ = ["AuctionRequest", "AuctionService"]
 
-_EXECUTORS = ("serial", "thread")
+_EXECUTORS = ("serial", "thread", "process")
 
 
 _REQUEST_MODES = ("allocate", "truthful")
@@ -119,6 +129,8 @@ class AuctionService:
         rounding_attempts: int = 1,
         lp_warm_start: bool = False,
         adaptive_coalescing: bool = True,
+        mp_start_method: str = "auto",
+        worker_retries: int = 1,
         metrics: ServiceMetrics | None = None,
     ) -> None:
         """``mechanism_cache_size`` bounds the LRU of prepared truthful
@@ -128,7 +140,16 @@ class AuctionService:
         baseline.  ``mechanism_pricing`` forwards the decomposition's
         pricing mode.  ``adaptive_coalescing`` lets the service skip the
         batching window when it cannot pay off — caches disabled, or a
-        distinct-heavy request stream (see :meth:`_bypass_window`)."""
+        distinct-heavy request stream (see :meth:`_bypass_window`).
+
+        With ``executor="process"``, ``num_shards`` is the worker-process
+        count, ``mp_start_method`` picks how workers are started
+        (``"auto"`` → forkserver where available, else spawn; see
+        :mod:`repro.util.mp`), and ``worker_retries`` bounds how often a
+        batch whose worker crashed is retried on the respawned worker
+        before its futures fail.  The cache sizes and pricing/rounding
+        options configure each *worker's* caches — the parent-side caches
+        stay idle, since compilation happens where the solving does."""
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
         if num_shards < 1:
@@ -137,9 +158,13 @@ class AuctionService:
             raise ValueError("coalesce_window must be >= 0 and max_batch >= 1")
         if mechanism_pricing not in ("approx", "warm", "reference"):
             raise ValueError(f"unknown mechanism pricing {mechanism_pricing!r}")
+        if worker_retries < 0:
+            raise ValueError("worker_retries must be non-negative")
         self.registry = registry or SceneRegistry()
         self.executor = executor
-        self.num_shards = num_shards if executor == "thread" else 1
+        self.num_shards = num_shards if executor in ("thread", "process") else 1
+        self.mp_start_method = mp_start_method
+        self.worker_retries = worker_retries
         self.coalesce_window = coalesce_window
         self.max_batch = max_batch
         self.adaptive_coalescing = adaptive_coalescing
@@ -168,6 +193,7 @@ class AuctionService:
         self._closed = False
         self._dispatcher: threading.Thread | None = None
         self._shards: list[ThreadPoolExecutor] = []
+        self._pool = None  # ProcessShardPool, created lazily on first submit
 
     # ------------------------------------------------------------------
     # scenes
@@ -374,6 +400,17 @@ class AuctionService:
     # ------------------------------------------------------------------
     # queued path (dispatcher + shard pool)
     # ------------------------------------------------------------------
+    def _worker_config(self) -> dict:
+        """The service options each pool worker's private service mirrors."""
+        return {
+            "structure_cache_size": self.structure_cache.capacity,
+            "problem_cache_size": self.problem_cache.capacity,
+            "mechanism_cache_size": self.mechanism_cache.capacity,
+            "mechanism_pricing": self.mechanism_pricing,
+            "rounding_attempts": self.engine.solve_kwargs["rounding_attempts"],
+            "lp_warm_start": self.engine.solve_kwargs["lp_warm_start"],
+        }
+
     def _start_locked(self) -> None:
         """Start dispatcher + shard pool (caller holds ``_state_lock``)."""
         if self._dispatcher is None:
@@ -384,6 +421,16 @@ class AuctionService:
                     )
                     for i in range(self.num_shards)
                 ]
+            elif self.executor == "process":
+                from repro.service.pool import ProcessShardPool
+
+                self._pool = ProcessShardPool(
+                    self.registry,
+                    self.num_shards,
+                    worker_config=self._worker_config(),
+                    start_method=self.mp_start_method,
+                    max_retries=self.worker_retries,
+                ).start()
             self._dispatcher = threading.Thread(
                 target=self._dispatch_loop, name="auction-dispatcher", daemon=True
             )
@@ -445,8 +492,35 @@ class AuctionService:
                     self._shards[self._shard_of(scene_id)].submit(
                         self._run_pendings, pendings
                     )
+                elif self.executor == "process":
+                    self._submit_remote(scene_id, pendings)
                 else:
                     self._run_pendings(pendings)
+
+    def _submit_remote(self, scene_id: str, pendings: list[_Pending]) -> None:
+        """Hand one scene group to the process pool; futures resolve later.
+
+        The pool owns routing (scene affinity + spill) and crash retries;
+        this callback only translates its group future back into the
+        per-request futures and accounting, running on the pool's feeder
+        thread for whichever worker solved the batch.
+        """
+        group_future = self._pool.submit(scene_id, [p.request for p in pendings])
+
+        def finish(f: Future, pendings=pendings) -> None:
+            exc = f.exception()
+            now = time.perf_counter()
+            if exc is not None:
+                for p in pendings:
+                    self.metrics.record_done(now - p.submitted_at, failed=True)
+                    p.future.set_exception(exc)
+            else:
+                for p, result in zip(pendings, f.result()):
+                    self.metrics.record_done(time.perf_counter() - p.submitted_at)
+                    p.future.set_result(result)
+            self._mark_finished(len(pendings))
+
+        group_future.add_done_callback(finish)
 
     def _run_pendings(self, pendings: list[_Pending]) -> None:
         try:
@@ -501,6 +575,8 @@ class AuctionService:
         for shard in self._shards:
             shard.shutdown(wait=True)
         self._shards = []
+        if self._pool is not None:
+            self._pool.close()  # kept for post-close stats snapshots
         return drained
 
     def __enter__(self) -> "AuctionService":
@@ -523,8 +599,15 @@ class AuctionService:
         }
 
     def metrics_snapshot(self) -> dict:
-        """Metrics + cache accounting + static configuration, one dict."""
+        """Metrics + cache accounting + static configuration, one dict.
+
+        With the process executor the parent-side caches are idle by
+        design; the per-worker cache and warm-solve accounting (plus IPC
+        overhead counters) lives under ``"pool"``.
+        """
         snapshot = self.metrics.snapshot(caches=self.cache_stats())
+        if self._pool is not None:
+            snapshot["pool"] = self._pool.stats()
         snapshot["config"] = {
             "executor": self.executor,
             "num_shards": self.num_shards,
@@ -536,6 +619,8 @@ class AuctionService:
             "mechanism_pricing": self.mechanism_pricing,
             "adaptive_coalescing": self.adaptive_coalescing,
             "lp_warm_start": self.engine.solve_kwargs["lp_warm_start"],
+            "mp_start_method": self.mp_start_method,
+            "worker_retries": self.worker_retries,
             "scenes": len(self.registry),
         }
         return snapshot

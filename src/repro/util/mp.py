@@ -1,0 +1,50 @@
+"""Multiprocessing start-method policy, shared by every process executor.
+
+Two places in the system spawn worker processes — the batch engine's
+``executor="process"`` fan-out and the service's
+:class:`~repro.service.pool.ProcessShardPool` — and both need the same
+answer to "how should a worker be started?":
+
+* ``fork`` is the cheapest (workers inherit the parent's imports and any
+  already-registered scenes for free) but is unsafe once the parent has
+  threads — and both call sites live in code that runs threads (the
+  service's dispatcher, pytest, user frontends).  Python 3.12 deprecates
+  it in exactly that situation.
+* ``spawn`` is always safe but pays a full interpreter start plus the
+  numpy/scipy/HiGHS import cascade (~1s) *per worker*.
+* ``forkserver`` is the middle path: one clean server process is started
+  before worker one, imports are paid once in the server, and each worker
+  is a cheap fork of that thread-free server.
+
+``default_start_method`` therefore prefers ``forkserver`` where the
+platform offers it (Linux, macOS) and falls back to ``spawn``; callers
+expose a ``mp_start_method`` knob that forwards here, so ``"fork"`` can
+still be chosen explicitly by a single-threaded batch driver that wants
+the inherited-snapshot speedup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+__all__ = ["default_start_method", "mp_context"]
+
+
+def default_start_method() -> str:
+    """The preferred start method on this platform (never ``fork``)."""
+    if "forkserver" in mp.get_all_start_methods():
+        return "forkserver"
+    return "spawn"
+
+
+def mp_context(method: str | None = "auto"):
+    """A :mod:`multiprocessing` context for ``method``.
+
+    ``"auto"`` (or ``None``) resolves through :func:`default_start_method`;
+    anything else is passed to :func:`multiprocessing.get_context` verbatim,
+    so an unsupported method raises ``ValueError`` here rather than at the
+    first spawn.
+    """
+    if method in (None, "auto"):
+        method = default_start_method()
+    return mp.get_context(method)

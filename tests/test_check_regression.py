@@ -39,6 +39,12 @@ def _as_measured(gate, baselines):
             chk.path,
             gate._lookup(baselines[chk.source], chk.path),
         )
+        if chk.guard is not None:
+            gate._assign(
+                measured[chk.source],
+                chk.guard,
+                gate._lookup(baselines[chk.source], chk.guard),
+            )
     return measured
 
 
@@ -84,6 +90,42 @@ class TestCompare:
     def test_improvements_pass(self, gate, baselines):
         rows = gate.compare(_slowed(gate, baselines, 0.5), baselines)
         assert all(row["ok"] for row in rows)
+
+    def test_guarded_checks_skip_on_core_mismatch(self, gate, baselines):
+        """Pool metrics from a different core count are skipped, not judged.
+
+        A 1-core baseline compared on a 4-core runner (or vice versa)
+        says nothing about regressions — the guard turns that into an
+        explicit skip even when the metric itself looks catastrophic.
+        """
+        guarded = [chk for chk in gate.CHECKS if chk.guard is not None]
+        assert guarded, "expected cores-guarded pool checks in CHECKS"
+        measured = _slowed(gate, baselines, 100.0)  # would fail every check
+        for chk in guarded:
+            gate._assign(
+                measured[chk.source],
+                chk.guard,
+                gate._lookup(baselines[chk.source], chk.guard) + 3,
+            )
+        rows = {row["check"]: row for row in gate.compare(measured, baselines)}
+        for chk in gate.CHECKS:
+            row = rows[chk.name]
+            if chk.guard is not None:
+                assert row["ok"] and "not comparable" in row["skipped"]
+            else:
+                assert not row["ok"]
+
+    def test_missing_guard_is_a_failure(self, gate, baselines):
+        """A vanished guard value must not silently skip the check."""
+        guarded = next(chk for chk in gate.CHECKS if chk.guard is not None)
+        measured = _as_measured(gate, baselines)
+        node = measured[guarded.source]
+        for segment in guarded.guard.split(".")[:-1]:
+            node = node[segment]
+        del node[guarded.guard.split(".")[-1]]
+        rows = {row["check"]: row for row in gate.compare(measured, baselines)}
+        assert not rows[guarded.name]["ok"]
+        assert "missing metric" in rows[guarded.name]["error"]
 
 
 class TestLookupAssign:

@@ -518,6 +518,48 @@ class TestTruthfulRequests:
         assert loaded.meta["mode"] == "truthful"
 
 
+class TestSmallSamplePercentiles:
+    """p99 of a handful of requests must be an observed latency, not an
+    interpolated fiction between the two slowest ones."""
+
+    def _metrics_with(self, latencies):
+        from repro.service import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        for latency in latencies:
+            metrics.record_submit()
+            metrics.record_done(latency)
+        return metrics
+
+    def test_percentiles_are_exact_order_statistics(self):
+        latencies = [0.010 * i for i in range(1, 11)]  # 10 samples
+        snap = self._metrics_with(latencies).snapshot()
+        lat = snap["latency_seconds"]
+        # inverted CDF on 10 samples: p50 -> 5th, p95 -> 10th, p99 -> 10th
+        assert lat["p50"] == pytest.approx(0.050)
+        assert lat["p95"] == pytest.approx(0.100)
+        assert lat["p99"] == pytest.approx(0.100)
+        assert lat["p99"] == lat["max"]
+        assert lat["samples"] == 10
+        for key in ("p50", "p95", "p99"):
+            assert lat[key] in latencies  # every percentile was observed
+
+    def test_single_sample_reports_itself_everywhere(self):
+        lat = self._metrics_with([0.123]).snapshot()["latency_seconds"]
+        assert lat["p50"] == lat["p95"] == lat["p99"] == lat["max"] == 0.123
+        assert lat["samples"] == 1
+
+    def test_counts_accessor_is_consistent_with_snapshot(self):
+        metrics = self._metrics_with([0.01, 0.02])
+        metrics.record_submit()
+        metrics.record_done(0.03, failed=True)
+        counts = metrics.counts()
+        assert counts == {"submitted": 3, "completed": 2, "failed": 1}
+        snap = metrics.snapshot()
+        assert snap["requests_completed"] == counts["completed"]
+        assert snap["requests_failed"] == counts["failed"]
+
+
 class TestAdaptiveCoalescing:
     def test_disabled_caches_bypass_window(self, scene):
         service = make_service(
