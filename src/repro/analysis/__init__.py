@@ -1,0 +1,27 @@
+"""reprolint: determinism/concurrency/parity static analysis.
+
+Run as ``python -m repro.analysis`` (or the ``reprolint`` console
+script).  See DESIGN.md for the invariant catalogue and the
+pragma/baseline workflow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, split_findings
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.engine import FileContext, analyze_paths, build_context
+from repro.analysis.rules import ALL_RULES, Finding, Rule, rule_index
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "Baseline",
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "analyze_paths",
+    "build_context",
+    "rule_index",
+    "split_findings",
+]

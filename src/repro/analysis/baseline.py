@@ -1,0 +1,76 @@
+"""Baseline bookkeeping: grandfathered findings that do not fail CI.
+
+Baselines key on ``(rule, path, stripped-line-content)`` with a count,
+not on line numbers, so unrelated edits that shift lines do not
+invalidate the file.  Fixing a baselined finding makes the entry stale;
+``--baseline-update`` prunes it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.rules import Finding
+
+__all__ = ["Baseline", "split_findings"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered finding keys."""
+
+    entries: Counter[tuple[str, str, str]]
+
+    @classmethod
+    def empty(cls) -> Baseline:
+        return cls(entries=Counter())
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        """Missing file == empty baseline (every finding is new)."""
+        if not path.exists():
+            return cls.empty()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries: Counter[tuple[str, str, str]] = Counter()
+        for row in payload.get("findings", []):
+            key = (str(row["rule"]), str(row["path"]), str(row["context"]))
+            entries[key] += int(row.get("count", 1))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> Baseline:
+        return cls(entries=Counter(f.key() for f in findings))
+
+    def save(self, path: Path) -> None:
+        rows = [
+            {"rule": rule, "path": rel, "context": context, "count": count}
+            for (rule, rel, context), count in sorted(self.entries.items())
+        ]
+        payload = {"version": _VERSION, "findings": rows}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_findings(
+    findings: Iterable[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[tuple[str, str, str]]]:
+    """Partition into (new findings, stale baseline keys).
+
+    Each baseline entry absorbs up to ``count`` occurrences of its key;
+    extra occurrences are new.  Entries with unused capacity are stale.
+    """
+    budget = Counter(baseline.entries)
+    new: list[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, remaining in budget.items() if remaining > 0)
+    return new, stale

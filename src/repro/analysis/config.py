@@ -1,0 +1,72 @@
+"""Project configuration for the reprolint rule families.
+
+Paths in this module are POSIX-style globs relative to the scanned
+package root (the ``repro`` package directory), e.g. ``util/rng.py`` or
+``engine/*.py``.  The defaults encode this repository's determinism
+contract; tests inject narrower configs around fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+__all__ = ["AnalysisConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Tunable scope of the rule families (all path entries are globs)."""
+
+    # modules allowed to touch global RNG machinery (the seeded-RNG funnel)
+    rng_allowed: tuple[str, ...] = ("util/rng.py",)
+    # modules where wall-clock reads are legitimate (latency metrics,
+    # arrival stamping, report headers) — results never flow from them
+    wallclock_allowed: tuple[str, ...] = (
+        "service/metrics.py",
+        "service/traffic.py",
+        "experiments/report.py",
+    )
+    # the one module allowed to create multiprocessing contexts directly
+    mp_allowed: tuple[str, ...] = ("util/mp.py",)
+    # modules whose functions are parity-critical kernels: in-place
+    # mutation of (values reachable from) parameters is flagged there
+    kernel_modules: tuple[str, ...] = (
+        "engine/*.py",
+        "core/rounding.py",
+        "core/derandomize.py",
+        "core/conflict_resolution.py",
+        "service/scenes.py",
+    )
+    # call-result types that are safe as module-level state (internally
+    # locked or immutable-by-contract)
+    module_state_factories: tuple[str, ...] = (
+        "LRUCache",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "local",
+        "SimpleQueue",
+        "Queue",
+        "object",
+    )
+    # modules allowed to emit key-sorted JSON (the canonical encoder);
+    # everywhere else key order is load order and must be preserved
+    json_sort_allowed: tuple[str, ...] = ("io.py",)
+    # float-equality comparisons allowed without a pragma (none by
+    # default: use `# repro: allow[float-eq]` with a justification)
+    float_eq_allowed: tuple[str, ...] = ()
+    # extra per-rule path exemptions: rule id -> glob tuple
+    exempt: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def matches(self, rel: str, patterns: tuple[str, ...]) -> bool:
+        """Does the package-relative path ``rel`` match any glob?"""
+        return any(fnmatch(rel, pattern) for pattern in patterns)
+
+    def exempted(self, rel: str, rule_id: str) -> bool:
+        return self.matches(rel, self.exempt.get(rule_id, ()))
+
+
+DEFAULT_CONFIG = AnalysisConfig()

@@ -1,0 +1,93 @@
+"""reprolint driver: file discovery, per-file context, rule execution."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.pragmas import PragmaMap, parse_pragmas
+from repro.analysis.rules import ALL_RULES, Finding, Rule
+
+__all__ = ["FileContext", "analyze_paths", "build_context", "iter_python_files"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one source file."""
+
+    path: Path
+    rel: str  # POSIX path relative to the scan root, e.g. "util/rng.py"
+    source: str
+    tree: ast.Module
+    pragmas: PragmaMap
+    lines: list[str] = field(default_factory=list)
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    @property
+    def stdlib_random_aliases(self) -> set[str]:
+        """Names bound to the stdlib ``random`` module in this file."""
+        out: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        out.add(alias.asname or "random")
+        return out
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(p for p in root.rglob("*.py") if "__pycache__" not in p.parts)
+
+
+def build_context(path: Path, root: Path) -> FileContext | None:
+    """Parse one file; returns None for files that do not parse (they are
+    someone else's problem — the interpreter will complain first)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+    rel = path.name if root.is_file() else path.relative_to(root).as_posix()
+    return FileContext(
+        path=path,
+        rel=rel,
+        source=source,
+        tree=tree,
+        pragmas=parse_pragmas(source),
+        lines=source.splitlines(),
+    )
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> list[Finding]:
+    """Run ``rules`` over every python file under ``paths``; pragma- and
+    config-suppressed findings are filtered here, not per-rule."""
+    findings: list[Finding] = []
+    for root in paths:
+        root = root.resolve()
+        for file_path in iter_python_files(root):
+            ctx = build_context(file_path, root)
+            if ctx is None:
+                continue
+            for rule in rules:
+                if config.exempted(ctx.rel, rule.rule_id):
+                    continue
+                for finding in rule.check(ctx, config):
+                    if ctx.pragmas.allows(finding.line, rule.rule_id):
+                        continue
+                    findings.append(finding)
+    findings.sort()
+    return findings

@@ -1,0 +1,69 @@
+"""Inline pragma parsing for the reprolint engine.
+
+Two pragma forms, both trailing comments:
+
+* ``# repro: allow[rule-id]`` — suppress the named rule(s) on this line.
+  A comma-separated list suppresses several rules at once; ``allow[*]``
+  suppresses every rule on the line.  Free text after the closing bracket
+  (conventionally ``-- why``) is encouraged and ignored by the parser.
+* ``# repro: mutates[a, b]`` — placed on (or directly under) a ``def``
+  line, declares that the function intentionally mutates the named
+  parameters, exempting them from the ``kernel-mutation`` rule.
+
+Pragmas are parsed from the token stream, not with a line regex, so a
+string literal containing ``# repro:`` never counts as a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["PragmaMap", "parse_pragmas"]
+
+_PRAGMA = re.compile(r"#\s*repro:\s*(allow|mutates)\[([^\]]*)\]")
+
+
+@dataclass
+class PragmaMap:
+    """Per-line pragma lookup for one source file."""
+
+    allow: dict[int, set[str]] = field(default_factory=dict)
+    mutates: dict[int, set[str]] = field(default_factory=dict)
+
+    def allows(self, line: int, rule_id: str) -> bool:
+        """Is ``rule_id`` suppressed on ``line``?"""
+        granted = self.allow.get(line)
+        if granted is None:
+            return False
+        return "*" in granted or rule_id in granted
+
+    def mutated_params(self, lines: range) -> set[str]:
+        """Union of ``mutates[...]`` names declared on any line in ``lines``
+        (callers pass the span of a ``def`` header)."""
+        out: set[str] = set()
+        for line in lines:
+            out |= self.mutates.get(line, set())
+        return out
+
+
+def parse_pragmas(source: str) -> PragmaMap:
+    """Extract the pragma map from ``source`` (tolerates tokenize errors:
+    a file that does not tokenize has no pragmas)."""
+    pragmas = PragmaMap()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - defensive
+        return pragmas
+    for token in comments:
+        for match in _PRAGMA.finditer(token.string):
+            kind, payload = match.group(1), match.group(2)
+            names = {part.strip() for part in payload.split(",") if part.strip()}
+            if not names:
+                continue
+            target = pragmas.allow if kind == "allow" else pragmas.mutates
+            target.setdefault(token.start[0], set()).update(names)
+    return pragmas

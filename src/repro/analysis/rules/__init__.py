@@ -1,0 +1,37 @@
+"""reprolint rule registry."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import Finding, Rule
+from repro.analysis.rules.concurrency import (
+    ForkResetRule,
+    GuardedByRule,
+    ModuleStateRule,
+    MpContextRule,
+)
+from repro.analysis.rules.determinism import (
+    GlobalRngRule,
+    JsonSortKeysRule,
+    SetIterationRule,
+    WallClockRule,
+)
+from repro.analysis.rules.parity import FloatEqRule, KernelMutationRule
+
+__all__ = ["ALL_RULES", "Finding", "Rule", "rule_index"]
+
+ALL_RULES: tuple[Rule, ...] = (
+    GlobalRngRule(),
+    SetIterationRule(),
+    JsonSortKeysRule(),
+    WallClockRule(),
+    GuardedByRule(),
+    ModuleStateRule(),
+    MpContextRule(),
+    ForkResetRule(),
+    FloatEqRule(),
+    KernelMutationRule(),
+)
+
+
+def rule_index() -> dict[str, Rule]:
+    return {rule.rule_id: rule for rule in ALL_RULES}

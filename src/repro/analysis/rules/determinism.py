@@ -1,0 +1,227 @@
+"""Determinism rule family.
+
+Every number this repo reports is pinned to a seed: randomness must flow
+through ``repro.util.rng``, iteration order into LP columns and
+fingerprints must be explicit, and results must not depend on when they
+were computed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.rules.base import Finding, Rule
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import FileContext
+
+__all__ = ["GlobalRngRule", "SetIterationRule", "JsonSortKeysRule", "WallClockRule"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an ``a.b.c`` attribute chain, or None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# np.random entry points that construct *seeded* generators — the only
+# sanctioned way into numpy randomness
+_SAFE_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "RandomState",
+}
+
+# stdlib random: only explicit instances are seedable per-experiment
+_SAFE_STDLIB_RANDOM = {"Random", "SystemRandom"}
+
+
+class GlobalRngRule(Rule):
+    rule_id = "global-rng"
+    family = "determinism"
+    invariant = (
+        "all randomness flows through seeded generators from repro.util.rng; "
+        "global-state RNG (np.random.* module functions, stdlib random.*) is "
+        "invisible to the seed pipeline and breaks replayability"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        if config.matches(ctx.rel, config.rng_allowed):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module is not None:
+                if node.module == "random" and node.level == 0:
+                    bad = [
+                        a.name for a in node.names if a.name not in _SAFE_STDLIB_RANDOM
+                    ]
+                    if bad:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"global-state RNG import from 'random' "
+                            f"({', '.join(sorted(bad))}); use repro.util.rng.ensure_rng",
+                        )
+                elif node.module in ("numpy.random", "np.random"):
+                    bad = [a.name for a in node.names if a.name not in _SAFE_NP_RANDOM]
+                    if bad:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"global-state RNG import from 'numpy.random' "
+                            f"({', '.join(sorted(bad))}); use repro.util.rng.ensure_rng",
+                        )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in _SAFE_NP_RANDOM
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to global-state RNG '{name}'; "
+                        "use a Generator from repro.util.rng.ensure_rng",
+                    )
+                elif (
+                    len(parts) == 2
+                    and parts[0] == "random"
+                    and parts[1] not in _SAFE_STDLIB_RANDOM
+                    and "random" in ctx.stdlib_random_aliases
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to global-state RNG '{name}'; "
+                        "use a Generator from repro.util.rng.ensure_rng",
+                    )
+
+
+def _is_set_producing(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class SetIterationRule(Rule):
+    rule_id = "set-iteration"
+    family = "determinism"
+    invariant = (
+        "set iteration order depends on hash seeding; iterating a set "
+        "without sorted() can permute LP columns, fingerprints, and "
+        "serialized output between runs"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                # list(set(..)) / tuple(set(..)) / enumerate(set(..)) bake
+                # the unordered iteration into a sequence
+                if node.func.id in ("list", "tuple", "enumerate") and node.args:
+                    iters.append(node.args[0])
+            for it in iters:
+                if _is_set_producing(it):
+                    yield self.finding(
+                        ctx,
+                        it,
+                        "iteration over an unordered set; wrap in sorted(...) "
+                        "to pin the order",
+                    )
+
+
+class JsonSortKeysRule(Rule):
+    rule_id = "json-sort-keys"
+    family = "determinism"
+    invariant = (
+        "outside the canonical encoder, JSON key order is load order; "
+        "sort_keys=True silently permutes round-tripped structures "
+        "(PR 4: sorted trace JSON permuted LP columns)"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        if config.matches(ctx.rel, config.json_sort_allowed):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) not in ("json.dump", "json.dumps"):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "sort_keys" and not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is False
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "json sort_keys=True outside the canonical encoder "
+                        "reorders keys on round-trip; preserve insertion order",
+                    )
+
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.asctime",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    rule_id = "wall-clock"
+    family = "determinism"
+    invariant = (
+        "result-affecting modules must not read the wall clock; timestamps "
+        "belong in metrics/trace/report modules where they cannot reach "
+        "solver inputs"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        if config.matches(ctx.rel, config.wallclock_allowed):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read '{name}' in a result-affecting module; "
+                    "use time.perf_counter for durations or move the "
+                    "timestamp into an allowlisted module",
+                )

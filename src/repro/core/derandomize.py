@@ -149,7 +149,7 @@ class _Estimator:
         col_term = pt.data[s:e] @ q[pt.indices[s:e]] if e > s else 0.0
         return float(self.values[c] - row_term - col_term)
 
-    def fix_best_choice(self, vertex: int, q: np.ndarray) -> None:
+    def fix_best_choice(self, vertex: int, q: np.ndarray) -> None:  # repro: mutates[q] -- fixes the marginals in place
         """Replace ``vertex``'s marginals with its best deterministic choice
         (one of its bundles, or the empty bundle).
 

@@ -83,7 +83,7 @@ def solve_exact(
         for v in range(n):
             in_weights = w[:, v]
             big_m = float(in_weights.sum())
-            if big_m == 0.0:
+            if big_m <= 0.0:  # weights are nonnegative: <= 0 is exactly "no in-edges"
                 continue
             for j in range(k):
                 own = incidence.get((v, j), [])

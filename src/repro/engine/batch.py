@@ -19,16 +19,19 @@ from __future__ import annotations
 
 import os
 import time
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from repro.core.auction import AuctionProblem
 from repro.core.result import SolverResult
 from repro.engine.compiled import CompiledAuction, compile_auction, compile_structure
+from repro.util.lru import LRUCache
 from repro.util.mp import mp_context
+from repro.util.rng import SeedLike
 
 __all__ = ["BatchAuctionEngine", "BatchResult"]
 
@@ -44,7 +47,7 @@ class BatchResult:
     executor: str
     unique_problems: int
     lp_solves: int
-    summary: dict = field(default_factory=dict)
+    summary: dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_instances(self) -> int:
@@ -65,8 +68,10 @@ class BatchResult:
         return sum(r.meets_guarantee() for r in self.results) / len(self.results)
 
 
-def _materialize(problems) -> list[AuctionProblem]:
-    out = []
+def _materialize(
+    problems: Iterable[AuctionProblem | Callable[[], AuctionProblem]],
+) -> list[AuctionProblem]:
+    out: list[AuctionProblem] = []
     for item in problems:
         problem = item() if callable(item) else item
         if not isinstance(problem, AuctionProblem):
@@ -76,7 +81,9 @@ def _materialize(problems) -> list[AuctionProblem]:
 
 
 def _solve_group(
-    problem: AuctionProblem, seeds: list[np.random.SeedSequence], solve_kwargs: dict
+    problem: AuctionProblem,
+    seeds: list[np.random.SeedSequence],
+    solve_kwargs: dict[str, Any],
 ) -> list[SolverResult]:
     """Process-pool worker: one compiled instance, many seeds."""
     compiled = compile_auction(problem)
@@ -95,8 +102,8 @@ class BatchAuctionEngine:
         executor: str = "auto",
         max_workers: int | None = None,
         lp_warm_start: bool = False,
-        structure_cache=None,
-        auction_cache=None,
+        structure_cache: LRUCache | None = None,
+        auction_cache: LRUCache | None = None,
         mp_start_method: str = "auto",
     ) -> None:
         """``lp_warm_start=True`` lets instances sharing a compiled structure
@@ -117,7 +124,7 @@ class BatchAuctionEngine:
         """
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
-        self.solve_kwargs = {
+        self.solve_kwargs: dict[str, Any] = {
             "rounding_attempts": rounding_attempts,
             "derandomize": derandomize,
             "verify_power_control": verify_power_control,
@@ -158,7 +165,7 @@ class BatchAuctionEngine:
         return compiled
 
     def solve_compiled(
-        self, tasks: list[tuple[CompiledAuction, object]]
+        self, tasks: list[tuple[CompiledAuction, SeedLike]]
     ) -> list[SolverResult]:
         """Stage-batched solve of ``(compiled auction, seed)`` pairs.
 
@@ -186,7 +193,11 @@ class BatchAuctionEngine:
         return [ca.solve(seed=seed, **self.solve_kwargs) for ca, seed in tasks]
 
     # ------------------------------------------------------------------
-    def solve_many(self, problems, seed=None) -> BatchResult:
+    def solve_many(
+        self,
+        problems: Iterable[AuctionProblem | Callable[[], AuctionProblem]],
+        seed: int | None = None,
+    ) -> BatchResult:
         """Solve every instance; deterministic from ``seed`` across executors."""
         start = time.perf_counter()
         instances = _materialize(problems)
@@ -238,9 +249,14 @@ class BatchAuctionEngine:
         return batch
 
     # ------------------------------------------------------------------
-    def _run_process(self, instances, seeds, workers) -> list[SolverResult]:
+    def _run_process(
+        self,
+        instances: list[AuctionProblem],
+        seeds: list[np.random.SeedSequence],
+        workers: int,
+    ) -> list[SolverResult]:
         """Group instances by problem identity so each worker compiles once."""
-        groups: dict[int, tuple[AuctionProblem, list[int], list]] = {}
+        groups: dict[int, tuple[AuctionProblem, list[int], list[np.random.SeedSequence]]] = {}
         for i, (problem, child) in enumerate(zip(instances, seeds)):
             entry = groups.setdefault(id(problem), (problem, [], []))
             entry[1].append(i)

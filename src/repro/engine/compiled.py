@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import threading
 import weakref
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 import scipy.sparse as sp
@@ -41,7 +43,13 @@ from repro.core.derandomize import derandomize_rounding
 from repro.core.result import SolverResult
 from repro.engine.highs import solve_packing_lp_fast
 from repro.util.lru import LRUCache
-from repro.util.rng import ensure_rng
+from repro.util.rng import SeedLike, ensure_rng
+
+if TYPE_CHECKING:
+    from repro.engine.vectorized import RoundingPlan
+    from repro.interference.base import ConflictStructure, WeightedConflictStructure
+
+    AnyStructure = ConflictStructure | WeightedConflictStructure
 
 __all__ = [
     "CompiledStructure",
@@ -95,7 +103,7 @@ class CompiledStructure:
     sparse: bool = False
 
 
-def _build_structure(structure) -> CompiledStructure:
+def _build_structure(structure: AnyStructure) -> CompiledStructure:
     from repro.interference.base import WeightedConflictStructure
 
     is_weighted = isinstance(structure, WeightedConflictStructure)
@@ -140,7 +148,9 @@ def _build_structure(structure) -> CompiledStructure:
     )
 
 
-def _build_structure_sparse(structure, is_weighted: bool) -> CompiledStructure:
+def _build_structure_sparse(
+    structure: AnyStructure, is_weighted: bool
+) -> CompiledStructure:
     """CSR-backed compile: same flat arrays and per-vertex lists as the dense
     build (bit-identical — both sort neighbor ids ascending), but O(m)
     memory instead of several n×n intermediates.
@@ -183,7 +193,7 @@ _structure_cache = LRUCache(64, name="compiled-structures")
 
 
 def compile_structure(
-    structure, cache: LRUCache | None = None
+    structure: AnyStructure, cache: LRUCache | None = None
 ) -> CompiledStructure:
     """Compile (or fetch from cache) the structure-level precomputations.
 
@@ -340,7 +350,12 @@ class CompiledAuction:
         )
 
     @staticmethod
-    def _arrays_from_lists(verts, vals, bundles, k) -> _ColumnArrays:
+    def _arrays_from_lists(
+        verts: Sequence[int],
+        vals: Sequence[float],
+        bundles: list[frozenset[int]],
+        k: int,
+    ) -> _ColumnArrays:
         m = len(bundles)
         sizes = np.fromiter((len(b) for b in bundles), dtype=np.intp, count=m)
         channels = np.fromiter(
@@ -531,7 +546,7 @@ class CompiledAuction:
         solution: AuctionLPSolution,
         scale: float | None = None,
         split: bool = True,
-    ):
+    ) -> RoundingPlan:
         """Fetch (or build) the vectorized rounding plan for a solution."""
         from repro.engine.vectorized import build_rounding_plan
 
@@ -552,7 +567,7 @@ class CompiledAuction:
             self._plan_cache[key] = (weakref.ref(solution), plan)
         return plan
 
-    def _default_plan(self):
+    def _default_plan(self) -> RoundingPlan:
         """Default-knob plan over the internal LP solution (array-built)."""
         from repro.engine.vectorized import build_plan_from_arrays
 
@@ -573,7 +588,7 @@ class CompiledAuction:
     # ------------------------------------------------------------------
     def solve(
         self,
-        seed=None,
+        seed: SeedLike = None,
         derandomize: bool | str = False,
         rounding_attempts: int = 1,
         verify_power_control: bool = True,
@@ -658,7 +673,7 @@ class CompiledAuction:
         return result
 
 
-def attach_power_assignment(problem: AuctionProblem, result: SolverResult) -> None:
+def attach_power_assignment(problem: AuctionProblem, result: SolverResult) -> None:  # repro: mutates[result]
     """Kesselheim power assignment per channel + SINR verification."""
     from repro.interference.physical import PhysicalModel
     from repro.interference.power_control import kesselheim_power_assignment

@@ -32,11 +32,14 @@ fails (future scipy reshuffles), everything transparently falls back to
 from __future__ import annotations
 
 import threading
+from collections.abc import Hashable
+from typing import Any
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.lp import LPSolution, solve_packing_lp
+from repro.util.mp import register_fork_reset
 
 __all__ = [
     "solve_packing_lp_fast",
@@ -69,7 +72,7 @@ def fast_backend_available() -> bool:
     return _hcore is not None
 
 
-def highs_core():
+def highs_core() -> Any:
     """The private HiGHS binding module, or ``None`` when unavailable.
 
     Callers building their own incremental models (the Lavi–Swamy master,
@@ -79,7 +82,7 @@ def highs_core():
     return _hcore
 
 
-def new_highs_instance():
+def new_highs_instance() -> Any:
     """A dedicated ``Highs`` instance with the engine's standard options
     (silent, single-threaded), or ``None`` when the bindings are missing.
 
@@ -99,7 +102,7 @@ def new_highs_instance():
 
 
 def pass_colwise_model(
-    highs,
+    highs: Any,
     a: sp.csc_matrix,
     cost: np.ndarray,
     col_lower: np.ndarray,
@@ -137,7 +140,7 @@ def choose_solver(m: int, n: int) -> str:
     return "ipm" if m >= IPM_MIN_ROWS else "simplex"
 
 
-def _thread_highs(solver: str):
+def _thread_highs(solver: str) -> Any:
     """One ``Highs`` instance per thread *and solver mode* (HiGHS objects are
     not thread-safe, and keeping modes separate avoids option churn)."""
     instances = getattr(_local, "instances", None)
@@ -187,7 +190,13 @@ def reset_backend() -> None:
             pass
 
 
-def _aux_arrays(m: int, n: int):
+# every thread-local holding native state must be resettable at worker
+# spawn; repro.util.mp.run_fork_resets(require=...) asserts this hook
+# exists before a pool worker takes its first solve
+register_fork_reset("repro.engine.highs", reset_backend)
+
+
+def _aux_arrays(m: int, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Cached (zeros_n, inf_n, neginf_m) bound arrays per dimension pair."""
     aux = _local.aux
     hit = aux.get((m, n))
@@ -199,7 +208,12 @@ def _aux_arrays(m: int, n: int):
     return hit
 
 
-def _same_model(loaded, warm_key, a: sp.csc_matrix, b: np.ndarray) -> bool:
+def _same_model(
+    loaded: tuple[Hashable, sp.csc_matrix, np.ndarray] | None,
+    warm_key: Hashable,
+    a: sp.csc_matrix,
+    b: np.ndarray,
+) -> bool:
     """Is the loaded model this key's matrix/RHS (so only costs changed)?
 
     Identity checks first (re-solves of one compiled instance hand over the
@@ -225,7 +239,7 @@ def solve_packing_lp_fast(
     c: np.ndarray,
     a_ub: sp.spmatrix,
     b_ub: np.ndarray,
-    warm_key=None,
+    warm_key: Hashable | None = None,
     solver: str = "auto",
 ) -> LPSolution:
     """Solve ``max c·x s.t. a_ub x ≤ b_ub, x ≥ 0`` via the persistent backend.

@@ -31,13 +31,21 @@ sums are exact, and no test workload sits on such a knife edge.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.auction import Allocation, AuctionProblem
 from repro.core.auction_lp import AuctionLPSolution
 from repro.core.rounding import default_scale
+
+if TYPE_CHECKING:  # compiled imports this module, so only type-import back
+    from repro.engine.compiled import CompiledAuction, _ColumnArrays
+
+# one LP-support entry for a vertex: (bundle, x, value)
+_Entry = tuple[frozenset[int], float, float]
 
 __all__ = [
     "ClassTable",
@@ -105,7 +113,7 @@ def build_rounding_plan(
     solution: AuctionLPSolution,
     scale: float | None = None,
     split: bool = True,
-    cols=None,
+    cols: _ColumnArrays | None = None,
 ) -> RoundingPlan:
     """Compile the LP support into sampling tables (reused across batches).
 
@@ -134,7 +142,7 @@ def build_rounding_plan(
             )
     if split:
         threshold = math.sqrt(k)
-        class_dicts: list[dict] = [{}, {}]
+        class_dicts: list[dict[int, list[_Entry]]] = [{}, {}]
         for v, entries in per_vertex.items():
             for entry in entries:
                 target = class_dicts[0] if len(entry[0]) <= threshold else class_dicts[1]
@@ -142,7 +150,7 @@ def build_rounding_plan(
     else:
         class_dicts = [per_vertex]
 
-    classes = []
+    classes: list[ClassTable] = []
     for cls in class_dicts:
         vertices = np.fromiter(cls.keys(), dtype=np.intp, count=len(cls))
         group_len = np.fromiter(
@@ -184,7 +192,7 @@ def build_rounding_plan(
 def build_plan_from_arrays(
     problem: AuctionProblem,
     x: np.ndarray,
-    cols,
+    cols: _ColumnArrays,
     scale: float | None = None,
     split: bool = True,
 ) -> RoundingPlan | None:
@@ -197,7 +205,9 @@ def build_plan_from_arrays(
     return _fast_plan(x, cols, eff_scale, split, problem.k)
 
 
-def _fast_plan(x, cols, eff_scale: float, split: bool, k: int):
+def _fast_plan(
+    x: np.ndarray, cols: _ColumnArrays, eff_scale: float, split: bool, k: int
+) -> RoundingPlan | None:
     """Array-gather plan construction over compiled column arrays.
 
     Requires the support's vertices to be non-decreasing (true for
@@ -216,7 +226,7 @@ def _fast_plan(x, cols, eff_scale: float, split: bool, k: int):
         masks = [small, ~small]
     else:
         masks = [np.ones(sup.size, dtype=bool)]
-    classes = []
+    classes: list[ClassTable] = []
     for mask in masks:
         idx = sup[mask]
         verts = verts_all[mask]
@@ -260,7 +270,7 @@ def _fast_plan(x, cols, eff_scale: float, split: bool, k: int):
     )
 
 
-def stack_draws(rngs, width: int) -> np.ndarray:
+def stack_draws(rngs: Iterable[np.random.Generator], width: int) -> np.ndarray:
     """One row of uniforms per generator — the harness's per-repetition form.
 
     Each row equals what the seed implementation would draw from that
@@ -278,7 +288,7 @@ def stack_draws(rngs, width: int) -> np.ndarray:
 # conflict resolution kernels (all attempts at once, vertices in π order)
 # ----------------------------------------------------------------------
 def _resolve_unweighted_batch(
-    compiled, chan: np.ndarray, order: np.ndarray, resolve: str
+    compiled: CompiledAuction, chan: np.ndarray, order: np.ndarray, resolve: str
 ) -> np.ndarray:
     """Algorithm 1's scan, batched: returns the (attempts, n) killed mask."""
     backward = compiled.structure.backward
@@ -294,12 +304,12 @@ def _resolve_unweighted_batch(
         if conflict.any():
             killed[:, v] = conflict
             if survivors:
-                ref[conflict, v, :] = False
+                ref[conflict, v, :] = False  # repro: allow[kernel-mutation] -- ref is chan.copy() when survivors
     return killed
 
 
 def _resolve_weighted_batch(
-    compiled, chan: np.ndarray, order: np.ndarray, resolve: str
+    compiled: CompiledAuction, chan: np.ndarray, order: np.ndarray, resolve: str
 ) -> np.ndarray:
     """Algorithm 2's partial resolution (Condition (5) threshold), batched.
 
@@ -328,7 +338,7 @@ def _resolve_weighted_batch(
             if drop.any():
                 killed[:, v] = drop
                 if survivors:
-                    ref[drop, v, :] = False
+                    ref[drop, v, :] = False  # repro: allow[kernel-mutation] -- ref is chan.copy() when survivors
         return killed
     for v in order:
         weights = bwbar[v]
@@ -340,12 +350,12 @@ def _resolve_weighted_batch(
         if drop.any():
             killed[:, v] = drop
             if survivors:
-                ref[drop, v, :] = False
+                ref[drop, v, :] = False  # repro: allow[kernel-mutation] -- ref is chan.copy() when survivors
     return killed
 
 
 def round_batch(
-    compiled,
+    compiled: CompiledAuction,
     plan: RoundingPlan,
     draws: np.ndarray,
     resolve: str = "survivors",

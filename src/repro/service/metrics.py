@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Any
 
 import numpy as np
 
@@ -33,13 +34,13 @@ class ServiceMetrics:
     def __init__(self, max_samples: int = 1_000_000) -> None:
         self.max_samples = max_samples
         self._lock = threading.Lock()
-        self._latencies: list[float] = []
-        self._batch_sizes: list[int] = []
-        self._submitted = 0
-        self._completed = 0
-        self._failed = 0
-        self._first_submit: float | None = None
-        self._last_done: float | None = None
+        self._latencies: list[float] = []  #: guarded-by: _lock
+        self._batch_sizes: list[int] = []  #: guarded-by: _lock
+        self._submitted = 0  #: guarded-by: _lock
+        self._completed = 0  #: guarded-by: _lock
+        self._failed = 0  #: guarded-by: _lock
+        self._first_submit: float | None = None  #: guarded-by: _lock
+        self._last_done: float | None = None  #: guarded-by: _lock
 
     # ------------------------------------------------------------------
     def record_submit(self, now: float | None = None) -> float:
@@ -80,7 +81,7 @@ class ServiceMetrics:
             }
 
     # ------------------------------------------------------------------
-    def snapshot(self, caches: dict | None = None) -> dict:
+    def snapshot(self, caches: dict[str, Any] | None = None) -> dict[str, Any]:
         """All metrics as a JSON-ready dict.
 
         ``caches`` maps cache names to stats dicts (the service passes its

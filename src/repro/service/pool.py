@@ -64,8 +64,14 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.util.mp import mp_context
+
+if TYPE_CHECKING:
+    from repro.core.result import SolverResult
+    from repro.service.scenes import AnyStructure, SceneRegistry
+    from repro.service.service import AuctionRequest, AuctionService
 
 __all__ = ["ProcessShardPool", "WorkerCrashError"]
 
@@ -78,7 +84,7 @@ class WorkerCrashError(RuntimeError):
 # worker process side
 # ----------------------------------------------------------------------
 def _pool_worker_main(  # pragma: no cover - runs in worker processes
-    conn, scenes: dict, config: dict, generation: int
+    conn: Any, scenes: dict[str, AnyStructure], config: dict[str, Any], generation: int
 ) -> None:
     """Entry point of one worker process.
 
@@ -89,14 +95,17 @@ def _pool_worker_main(  # pragma: no cover - runs in worker processes
     crash-injection hook below compares against it so a test can crash
     incarnation 0 and let incarnation 1 serve the retry.
     """
-    from repro.engine.highs import reset_backend
+    import repro.engine.highs  # noqa: F401 - registers its fork-reset hook
     from repro.service.service import AuctionService
+    from repro.util.mp import run_fork_resets
 
     # under a fork-based start method the child inherits the forking
-    # thread's persistent HiGHS state (loaded model, warm-start key);
-    # warm-starting against a model loaded in another process's life
-    # would be wrong, so drop it before the first solve
-    reset_backend()
+    # thread's persistent native-handle state (HiGHS loaded model,
+    # warm-start key); warm-starting against a model loaded in another
+    # process's life would be wrong, so every registered thread-local is
+    # reset before the first solve — and the HiGHS hook is *required*:
+    # a missing registration fails here, at spawn, not as a wrong solve
+    run_fork_resets(require=("repro.engine.highs",))
     service = AuctionService(
         executor="serial",
         coalesce_window=0.0,
@@ -138,7 +147,9 @@ def _pool_worker_main(  # pragma: no cover - runs in worker processes
         pass
 
 
-def _worker_stats(service, generation: int) -> dict:  # pragma: no cover - worker side
+def _worker_stats(
+    service: AuctionService, generation: int
+) -> dict[str, Any]:  # pragma: no cover - worker side
     """The per-worker accounting piggybacked on every ``done`` reply."""
     return {
         "pid": os.getpid(),
@@ -157,31 +168,36 @@ _CLOSE = object()  # sentinel on a worker's job queue
 @dataclass
 class _Job:
     scene_id: str
-    requests: list
-    future: Future
+    requests: list[AuctionRequest]
+    future: Future[list[SolverResult]]
     attempts: int = 0
 
 
 @dataclass
 class _WorkerHandle:
-    """Parent-side state of one worker slot (process + its feeder thread)."""
+    """Parent-side state of one worker slot (process + its feeder thread).
+
+    ``process``/``conn``/``jobs`` are owned by the slot's feeder thread
+    (and ``_spawn_locked``); everything a concurrent ``stats()`` reads is
+    guarded by the pool's ``_lock``.
+    """
 
     index: int
-    process: object = None
-    conn: object = None
-    generation: int = 0
-    shipped: set = field(default_factory=set)
-    jobs: queue.SimpleQueue = field(default_factory=queue.SimpleQueue)
-    outstanding: int = 0  # jobs queued or in flight, for spill routing
-    job_counter: int = 0
+    process: Any = None
+    conn: Any = None
+    generation: int = 0  #: guarded-by: _lock
+    shipped: set[str] = field(default_factory=set)  #: guarded-by: _lock
+    jobs: queue.SimpleQueue[Any] = field(default_factory=queue.SimpleQueue)
+    outstanding: int = 0  #: guarded-by: _lock
+    job_counter: int = 0  #: guarded-by: _lock
     # accounting
-    jobs_done: int = 0
-    scenes_shipped: int = 0
-    bytes_sent: int = 0
-    bytes_received: int = 0
-    ipc_seconds: float = 0.0  # serialization + pipe writes (not compute waits)
-    restarts: int = 0
-    last_stats: dict = field(default_factory=dict)
+    jobs_done: int = 0  #: guarded-by: _lock
+    scenes_shipped: int = 0  #: guarded-by: _lock
+    bytes_sent: int = 0  #: guarded-by: _lock
+    bytes_received: int = 0  #: guarded-by: _lock
+    ipc_seconds: float = 0.0  #: guarded-by: _lock
+    restarts: int = 0  #: guarded-by: _lock
+    last_stats: dict[str, Any] = field(default_factory=dict)  #: guarded-by: _lock
 
 
 class ProcessShardPool:
@@ -196,10 +212,10 @@ class ProcessShardPool:
 
     def __init__(
         self,
-        registry,
+        registry: SceneRegistry,
         num_workers: int,
         *,
-        worker_config: dict | None = None,
+        worker_config: dict[str, Any] | None = None,
         start_method: str = "auto",
         max_retries: int = 1,
         spill: bool = True,
@@ -220,11 +236,11 @@ class ProcessShardPool:
         self._lock = threading.Lock()
         self._workers = [_WorkerHandle(index=i) for i in range(num_workers)]
         self._threads: list[threading.Thread] = []
-        self._started = False
-        self._closed = False
-        self._restarts = 0
-        self._retried_batches = 0
-        self._failed_batches = 0
+        self._started = False  #: guarded-by: _lock
+        self._closed = False  #: guarded-by: _lock
+        self._restarts = 0  #: guarded-by: _lock
+        self._retried_batches = 0  #: guarded-by: _lock
+        self._failed_batches = 0  #: guarded-by: _lock
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -288,7 +304,7 @@ class ProcessShardPool:
     def __enter__(self) -> "ProcessShardPool":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -297,8 +313,9 @@ class ProcessShardPool:
     def home_of(self, scene_id: str) -> int:
         return int(scene_id, 16) % self.num_workers
 
-    def _route(self, scene_id: str) -> _WorkerHandle:
-        """Home worker unless it is strictly busier than the idlest one."""
+    def _route_locked(self, scene_id: str) -> _WorkerHandle:
+        """Home worker unless it is strictly busier than the idlest one
+        (load reads require the caller to hold ``_lock``)."""
         home = self.home_of(scene_id)
         if not self.spill or self.num_workers == 1:
             return self._workers[home]
@@ -312,15 +329,17 @@ class ProcessShardPool:
         )
         return self._workers[(home + best) % self.num_workers]
 
-    def submit(self, scene_id: str, requests: list) -> Future:
+    def submit(
+        self, scene_id: str, requests: list[AuctionRequest]
+    ) -> Future[list[SolverResult]]:
         """Queue one scene-group batch; resolves to its result list."""
-        future: Future = Future()
+        future: Future[list[SolverResult]] = Future()
         with self._lock:
             if self._closed:
                 raise RuntimeError("process pool is closed")
             if not self._started:
                 raise RuntimeError("process pool is not started")
-            handle = self._route(scene_id)
+            handle = self._route_locked(scene_id)
             handle.outstanding += 1
         handle.jobs.put(_Job(scene_id, requests, future))
         return future
@@ -357,49 +376,63 @@ class ProcessShardPool:
                     self._failed_batches += 1
                 job.future.set_exception(exc)
                 return
-            handle.jobs_done += 1
-            handle.last_stats = stats
+            with self._lock:
+                handle.jobs_done += 1
+                handle.last_stats = stats
             job.future.set_result(results)
             return
 
-    def _roundtrip(self, handle: _WorkerHandle, job: _Job) -> tuple[list, dict]:
+    def _roundtrip(
+        self, handle: _WorkerHandle, job: _Job
+    ) -> tuple[list[SolverResult], dict[str, Any]]:
         """Ship (scene if new +) batch, block for the reply, account IPC."""
         try:
-            if job.scene_id not in handle.shipped:
+            with self._lock:
+                ship = job.scene_id not in handle.shipped
+            if ship:
                 self._send(
                     handle,
                     ("scene", job.scene_id, self.registry.get(job.scene_id)),
                 )
-                handle.shipped.add(job.scene_id)
-                handle.scenes_shipped += 1
-            handle.job_counter += 1
-            self._send(handle, ("solve", handle.job_counter, job.requests))
+                with self._lock:
+                    handle.shipped.add(job.scene_id)
+                    handle.scenes_shipped += 1
+            with self._lock:
+                handle.job_counter += 1
+                sent_job_id = handle.job_counter
+            self._send(handle, ("solve", sent_job_id, job.requests))
             payload = handle.conn.recv_bytes()  # blocks while the worker solves
         except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            with self._lock:
+                generation = handle.generation
             raise WorkerCrashError(
                 f"worker {handle.index} (pid {getattr(handle.process, 'pid', '?')}, "
-                f"generation {handle.generation}) died mid-batch"
+                f"generation {generation}) died mid-batch"
             ) from exc
         t0 = time.perf_counter()
         reply = pickle.loads(payload)
-        handle.bytes_received += len(payload)
-        handle.ipc_seconds += time.perf_counter() - t0
+        decode_seconds = time.perf_counter() - t0
+        with self._lock:
+            handle.bytes_received += len(payload)
+            handle.ipc_seconds += decode_seconds
         if reply[0] == "error":
             raise RuntimeError(f"worker {handle.index}: {reply[2]}")
         kind, job_id, results, stats = reply
-        if job_id != handle.job_counter:  # pragma: no cover - protocol bug
+        if job_id != sent_job_id:  # pragma: no cover - protocol bug
             raise RuntimeError(
                 f"worker {handle.index} answered job {job_id}, "
-                f"expected {handle.job_counter}"
+                f"expected {sent_job_id}"
             )
         return results, stats
 
-    def _send(self, handle: _WorkerHandle, message: tuple) -> None:
+    def _send(self, handle: _WorkerHandle, message: tuple[Any, ...]) -> None:
         t0 = time.perf_counter()
         payload = pickle.dumps(message)
         handle.conn.send_bytes(payload)
-        handle.bytes_sent += len(payload)
-        handle.ipc_seconds += time.perf_counter() - t0
+        pipe_seconds = time.perf_counter() - t0
+        with self._lock:
+            handle.bytes_sent += len(payload)
+            handle.ipc_seconds += pipe_seconds
 
     def _respawn(self, handle: _WorkerHandle) -> None:
         """Replace a dead worker; its pickle-once state starts over."""
@@ -410,10 +443,10 @@ class ProcessShardPool:
         if handle.process.is_alive():  # crashed pipe, live process: reap it
             handle.process.terminate()
         handle.process.join(self.close_timeout)
-        handle.generation += 1
-        handle.restarts += 1
-        handle.job_counter = 0
         with self._lock:
+            handle.generation += 1
+            handle.restarts += 1
+            handle.job_counter = 0
             self._restarts += 1
             self._spawn_locked(handle)
 
@@ -442,7 +475,7 @@ class ProcessShardPool:
             w.process is not None and w.process.is_alive() for w in self._workers
         ]
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Pool-level + per-worker accounting for the metrics snapshot."""
         with self._lock:
             workers = [

@@ -18,19 +18,25 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.interference.base import WeightedConflictStructure
 
+if TYPE_CHECKING:
+    from repro.interference.base import ConflictStructure
+
+    AnyStructure = ConflictStructure | WeightedConflictStructure
+
 __all__ = ["scene_fingerprint", "SceneRegistry"]
 
 
-def _update_array(h, array: np.ndarray) -> None:
+def _update_array(h: Any, array: np.ndarray) -> None:  # repro: mutates[h] -- feeds the running hash
     h.update(np.ascontiguousarray(array).tobytes())
 
 
-def scene_fingerprint(structure) -> str:
+def scene_fingerprint(structure: AnyStructure) -> str:
     """Deterministic content hash of a conflict structure.
 
     Covers everything the compiled LP depends on: vertex count, ρ, the
@@ -47,7 +53,10 @@ def scene_fingerprint(structure) -> str:
     h.update(np.float64(structure.rho).tobytes())
     _update_array(h, np.asarray(structure.ordering.perm, dtype=np.int64))
     csr = structure.graph.wbar_csr if weighted else structure.graph.csr
-    csr.sort_indices()
+    if not csr.has_sorted_indices:
+        # sorted copy, NOT in-place sort_indices(): the structure is shared
+        # with concurrently-solving threads and must not be touched here
+        csr = csr.sorted_indices()
     _update_array(h, csr.indptr.astype(np.int64))
     _update_array(h, csr.indices.astype(np.int64))
     _update_array(h, csr.data.astype(np.float64))
@@ -64,17 +73,17 @@ class SceneRegistry:
     """
 
     def __init__(self) -> None:
-        self._scenes: dict[str, object] = {}
+        self._scenes: dict[str, AnyStructure] = {}  #: guarded-by: _lock
         self._lock = threading.Lock()
 
-    def register(self, structure) -> str:
+    def register(self, structure: AnyStructure) -> str:
         """Register a structure; returns its content-hash scene id."""
         scene_id = scene_fingerprint(structure)
         with self._lock:
             self._scenes.setdefault(scene_id, structure)
         return scene_id
 
-    def get(self, scene_id: str):
+    def get(self, scene_id: str) -> AnyStructure:
         """The canonical structure for ``scene_id`` (KeyError if unknown)."""
         with self._lock:
             return self._scenes[scene_id]
@@ -91,7 +100,7 @@ class SceneRegistry:
         with self._lock:
             return list(self._scenes)
 
-    def snapshot(self) -> dict[str, object]:
+    def snapshot(self) -> dict[str, AnyStructure]:
         """A consistent ``{scene_id: structure}`` copy of the registry.
 
         This is what a process-pool worker is seeded with at spawn: the

@@ -52,6 +52,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
 
 from repro.core.auction import AuctionProblem
 from repro.core.result import SolverResult
@@ -62,6 +63,15 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.scenes import SceneRegistry
 from repro.util.lru import LRUCache
 from repro.util.rng import ensure_rng
+
+if TYPE_CHECKING:
+    import pathlib
+
+    from repro.mechanism.truthful import MechanismOutcome
+    from repro.service.pool import ProcessShardPool
+    from repro.service.scenes import AnyStructure
+    from repro.service.traffic import TrafficTrace
+    from repro.valuations.base import Valuation
 
 __all__ = ["AuctionRequest", "AuctionService"]
 
@@ -97,17 +107,17 @@ class AuctionRequest:
 
     scene_id: str
     k: int
-    valuations: list
+    valuations: list[Valuation]
     seed: int | None = None
     profile_key: str | None = None
     mode: str = "allocate"
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
 class _Pending:
     request: AuctionRequest
-    future: Future
+    future: Future[SolverResult]
     submitted_at: float
 
 
@@ -175,7 +185,7 @@ class AuctionService:
         self.mechanism_cache = LRUCache(mechanism_cache_size, name="mechanisms")
         # rolling profile_key presence of recent requests, for the
         # distinct-heavy coalescing bypass (windowed counter, newest wins)
-        self._recent_profiled: list[bool] = []
+        self._recent_profiled: list[bool] = []  #: guarded-by: _state_lock
         # the engine is used purely through solve_compiled, stage-batching
         # each coalesced group in whichever shard thread it lands on
         self.engine = BatchAuctionEngine(
@@ -185,20 +195,22 @@ class AuctionService:
             structure_cache=self.structure_cache,
         )
         self._queue: queue.SimpleQueue[_Pending] = queue.SimpleQueue()
-        self._queued = 0  # SimpleQueue.qsize is unreliable; track explicitly
-        self._inflight = 0
+        # SimpleQueue.qsize is unreliable; _queued tracks depth explicitly.
+        # _idle shares _state_lock, so either name satisfies the guard.
+        self._queued = 0  #: guarded-by: _state_lock, _idle
+        self._inflight = 0  #: guarded-by: _state_lock, _idle
         self._state_lock = threading.Lock()
         self._idle = threading.Condition(self._state_lock)
-        self._warm_totals = {"warm": 0, "cold": 0}
-        self._closed = False
+        self._warm_totals = {"warm": 0, "cold": 0}  #: guarded-by: _state_lock, _idle
+        self._closed = False  #: guarded-by: _state_lock, _idle
         self._dispatcher: threading.Thread | None = None
         self._shards: list[ThreadPoolExecutor] = []
-        self._pool = None  # ProcessShardPool, created lazily on first submit
+        self._pool: ProcessShardPool | None = None  # created lazily on first submit
 
     # ------------------------------------------------------------------
     # scenes
     # ------------------------------------------------------------------
-    def register_scene(self, structure) -> str:
+    def register_scene(self, structure: AnyStructure) -> str:
         """Register (or re-register) a conflict structure; returns scene id."""
         return self.registry.register(structure)
 
@@ -221,7 +233,7 @@ class AuctionService:
         key = (request.scene_id, request.k, request.profile_key)
         return self.problem_cache.get_or_create(key, build)
 
-    def _mechanism_outcome(self, request: AuctionRequest):
+    def _mechanism_outcome(self, request: AuctionRequest) -> MechanismOutcome:
         """The prepared truthful outcome for a request (cached by profile).
 
         Prepared with a fixed internal seed so the cached entry does not
@@ -234,7 +246,7 @@ class AuctionService:
         structure = self.registry.get(request.scene_id)
         compiled_structure = compile_structure(structure, cache=self.structure_cache)
 
-        def build():
+        def build() -> MechanismOutcome:
             mechanism = TruthfulMechanism(
                 structure,
                 request.k,
@@ -251,7 +263,7 @@ class AuctionService:
     # ------------------------------------------------------------------
     # synchronous path (used by simulated replay and the dispatcher)
     # ------------------------------------------------------------------
-    def _solve_scene_group(self, requests: list[AuctionRequest]) -> list:
+    def _solve_scene_group(self, requests: list[AuctionRequest]) -> list[Any]:
         """Solve one scene's coalesced requests (mixed modes), in order.
 
         Allocate requests go through the engine's stage-batched path as
@@ -264,7 +276,7 @@ class AuctionService:
             raise ValueError(
                 f"mode must be one of {_REQUEST_MODES}, got {bad[0]!r}"
             )
-        results: list = [None] * len(requests)
+        results: list[Any] = [None] * len(requests)
         alloc = [(i, r) for i, r in enumerate(requests) if r.mode == "allocate"]
         if alloc:
             group = [(r, self._compiled_for(r)) for _, r in alloc]
@@ -320,7 +332,9 @@ class AuctionService:
             recent.append(head.profile_key is not None)
         return bool(recent) and sum(recent) / len(recent) < 0.25
 
-    def _solve_group(self, group: list[tuple[AuctionRequest, CompiledAuction]]):
+    def _solve_group(
+        self, group: list[tuple[AuctionRequest, CompiledAuction]]
+    ) -> list[SolverResult]:
         before = warm_start_stats()
         results = self.engine.solve_compiled(
             [(compiled, req.seed) for req, compiled in group]
@@ -359,7 +373,7 @@ class AuctionService:
                 self.metrics.record_done(time.perf_counter() - start)
         return results  # type: ignore[return-value]
 
-    def run_trace(self, trace, realtime: bool = False) -> list[SolverResult]:
+    def run_trace(self, trace: TrafficTrace, realtime: bool = False) -> list[SolverResult]:
         """Replay a :class:`~repro.service.traffic.TrafficTrace`.
 
         ``realtime=False`` (default) simulates the open-loop arrival
@@ -373,7 +387,7 @@ class AuctionService:
         requests = list(trace)
         if realtime:
             t0 = time.perf_counter()
-            futures = []
+            futures: list[Future[SolverResult]] = []
             for item in requests:
                 delay = item.arrival - (time.perf_counter() - t0)
                 if delay > 0:
@@ -400,7 +414,7 @@ class AuctionService:
     # ------------------------------------------------------------------
     # queued path (dispatcher + shard pool)
     # ------------------------------------------------------------------
-    def _worker_config(self) -> dict:
+    def _worker_config(self) -> dict[str, Any]:
         """The service options each pool worker's private service mirrors."""
         return {
             "structure_cache_size": self.structure_cache.capacity,
@@ -505,9 +519,13 @@ class AuctionService:
         per-request futures and accounting, running on the pool's feeder
         thread for whichever worker solved the batch.
         """
-        group_future = self._pool.submit(scene_id, [p.request for p in pendings])
+        pool = self._pool
+        assert pool is not None  # created with the dispatcher for executor="process"
+        group_future = pool.submit(scene_id, [p.request for p in pendings])
 
-        def finish(f: Future, pendings=pendings) -> None:
+        def finish(
+            f: Future[list[SolverResult]], pendings: list[_Pending] = pendings
+        ) -> None:
             exc = f.exception()
             now = time.perf_counter()
             if exc is not None:
@@ -582,13 +600,13 @@ class AuctionService:
     def __enter__(self) -> "AuctionService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
-    def cache_stats(self) -> dict:
+    def cache_stats(self) -> dict[str, Any]:
         with self._state_lock:
             warm = dict(self._warm_totals)
         return {
@@ -598,7 +616,7 @@ class AuctionService:
             "lp_warm_solves": warm,
         }
 
-    def metrics_snapshot(self) -> dict:
+    def metrics_snapshot(self) -> dict[str, Any]:
         """Metrics + cache accounting + static configuration, one dict.
 
         With the process executor the parent-side caches are idle by
@@ -625,7 +643,7 @@ class AuctionService:
         }
         return snapshot
 
-    def write_metrics(self, path):
+    def write_metrics(self, path: str | pathlib.Path) -> pathlib.Path:
         """Persist :meth:`metrics_snapshot` as JSON; returns the path."""
         import json
         import pathlib

@@ -25,14 +25,17 @@ from __future__ import annotations
 
 import json
 import pathlib
+from collections.abc import Iterator
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from repro.io import _valuation_from_dict, _valuation_to_dict
 from repro.service.scenes import SceneRegistry
 from repro.service.service import AuctionRequest
-from repro.util.rng import ensure_rng
+from repro.util.rng import SeedLike, ensure_rng
+from repro.valuations.base import Valuation
 from repro.valuations.explicit import ExplicitValuation, XORValuation
 from repro.valuations.generators import random_xor_valuations
 
@@ -59,15 +62,15 @@ class TrafficTrace:
     """An ordered open-loop request schedule plus its generation metadata."""
 
     requests: list[TrafficRequest]
-    meta: dict = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.requests)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TrafficRequest]:
         return iter(self.requests)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> TrafficRequest:
         return self.requests[index]
 
     @property
@@ -88,10 +91,10 @@ def _profile_pools(
     k: int,
     unique_profiles: int,
     bids_per_bidder: int,
-    rng,
-) -> dict[str, list[tuple[str, list]]]:
+    rng: np.random.Generator,
+) -> dict[str, list[tuple[str, list[Valuation]]]]:
     """Per-scene pools of reusable (profile_key, valuations) pairs."""
-    pools: dict[str, list[tuple[str, list]]] = {}
+    pools: dict[str, list[tuple[str, list[Valuation]]]] = {}
     for scene_id in scene_ids:
         n = registry.get(scene_id).n
         pools[scene_id] = [
@@ -114,7 +117,7 @@ def _requests_for_arrivals(
     repeat_fraction: float,
     unique_profiles: int,
     bids_per_bidder: int,
-    rng,
+    rng: np.random.Generator,
     mode: str = "allocate",
 ) -> list[TrafficRequest]:
     pools = _profile_pools(
@@ -124,6 +127,8 @@ def _requests_for_arrivals(
     for arrival in arrivals:
         scene_id = scene_ids[int(rng.integers(len(scene_ids)))]
         if unique_profiles and rng.random() < repeat_fraction:
+            profile_key: str | None
+            valuations: list[Valuation]
             profile_key, valuations = pools[scene_id][
                 int(rng.integers(unique_profiles))
             ]
@@ -158,7 +163,7 @@ def poisson_trace(
     k: int,
     rate: float,
     num_requests: int,
-    seed,
+    seed: SeedLike,
     repeat_fraction: float = 0.8,
     unique_profiles: int = 8,
     bids_per_bidder: int = 4,
@@ -211,7 +216,7 @@ def burst_trace(
     burst_size: int,
     bursts: int,
     gap: float,
-    seed,
+    seed: SeedLike,
     repeat_fraction: float = 0.8,
     unique_profiles: int = 8,
     bids_per_bidder: int = 4,
@@ -253,7 +258,7 @@ def burst_trace(
 # ----------------------------------------------------------------------
 # record / replay
 # ----------------------------------------------------------------------
-def _encode_valuation(v) -> dict:
+def _encode_valuation(v: Valuation) -> dict[str, Any]:
     """Like :func:`repro.io._valuation_to_dict` but order-preserving.
 
     The io layer canonicalizes explicit-style bids by sorting them;
@@ -273,7 +278,7 @@ def _encode_valuation(v) -> dict:
     return _valuation_to_dict(v)
 
 
-def save_trace(trace: TrafficTrace, path) -> pathlib.Path:
+def save_trace(trace: TrafficTrace, path: str | pathlib.Path) -> pathlib.Path:
     """Serialize a trace to JSON (valuations via the io-layer schema)."""
     payload = {
         "meta": trace.meta,
@@ -297,7 +302,7 @@ def save_trace(trace: TrafficTrace, path) -> pathlib.Path:
     return path
 
 
-def load_trace(path) -> TrafficTrace:
+def load_trace(path: str | pathlib.Path) -> TrafficTrace:
     """Load a trace written by :func:`save_trace` for replay."""
     payload = json.loads(pathlib.Path(path).read_text())
     requests = [

@@ -1,8 +1,9 @@
 """Shared utilities: seeded RNG handling, allocation validation, tables."""
 
+from repro.util.arrays import Array, BoolArray, FloatArray, IntArray
 from repro.util.ascii_plot import bar_chart
 from repro.util.lru import LRUCache
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 from repro.util.validation import (
     check_allocation_feasible,
@@ -11,8 +12,13 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "Array",
+    "BoolArray",
+    "FloatArray",
+    "IntArray",
     "bar_chart",
     "LRUCache",
+    "SeedLike",
     "ensure_rng",
     "spawn_rngs",
     "Table",

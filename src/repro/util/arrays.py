@@ -1,0 +1,21 @@
+"""Shared numpy array aliases for the strictly-typed packages.
+
+The engine deals in float/int/bool ndarrays whose dtypes are enforced at
+runtime by the kernels themselves; ``Array`` is the deliberately loose
+"some ndarray" alias used where dtype is the callee's concern, and the
+narrower aliases document intent at kernel boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["Array", "BoolArray", "FloatArray", "IntArray"]
+
+Array = npt.NDArray[Any]
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]

@@ -14,6 +14,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
+from typing import Any
 
 __all__ = ["LRUCache"]
 
@@ -34,13 +35,13 @@ class LRUCache:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self.capacity = capacity
         self.name = name
-        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()  #: guarded-by: _lock
         self._lock = threading.RLock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits = 0  #: guarded-by: _lock
+        self._misses = 0  #: guarded-by: _lock
+        self._evictions = 0  #: guarded-by: _lock
 
-    def get(self, key: Hashable, default=None):
+    def get(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:
             if key in self._data:
                 self._hits += 1
@@ -49,7 +50,7 @@ class LRUCache:
             self._misses += 1
             return default
 
-    def put(self, key: Hashable, value) -> None:
+    def put(self, key: Hashable, value: Any) -> None:
         with self._lock:
             if self.capacity == 0:
                 return
@@ -60,7 +61,7 @@ class LRUCache:
                 self._data.popitem(last=False)
                 self._evictions += 1
 
-    def get_or_create(self, key: Hashable, factory: Callable[[], object]):
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         """Fetch ``key``, building it via ``factory`` on a miss.
 
         The factory runs unlocked; if another thread inserted the key in
@@ -99,7 +100,7 @@ class LRUCache:
             self._data.clear()
             self._hits = self._misses = self._evictions = 0
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Counters snapshot: hits, misses, evictions, size, capacity, hit_rate."""
         with self._lock:
             total = self._hits + self._misses

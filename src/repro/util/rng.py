@@ -8,12 +8,18 @@ end to end from a single seed.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["SeedLike", "ensure_rng", "spawn_rngs"]
+
+# everything ensure_rng accepts: sweep harnesses hand SeedSequence
+# children straight through, so the alias is wider than a bare int seed
+SeedLike: TypeAlias = "int | np.random.Generator | np.random.SeedSequence | None"
 
 
-def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     Passing an existing generator returns it unchanged, so components can be
@@ -24,7 +30,7 @@ def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Gener
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent child generators.
 
     Used by parameter sweeps so that changing the number of repetitions of one

@@ -12,7 +12,8 @@ missing from the mapping implicitly receive the empty bundle.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
+from typing import Protocol
 
 __all__ = [
     "channel_holders",
@@ -22,6 +23,25 @@ __all__ = [
 ]
 
 Allocation = Mapping[int, frozenset[int]]
+
+
+class IndependenceGraph(Protocol):
+    """Anything that can answer independent-set queries (both graph
+    backends do)."""
+
+    def is_independent(self, vertices: Sequence[int]) -> bool: ...
+
+
+class SymmetrizedWeights(Protocol):
+    """Anything exposing the symmetrized weights w̄(u, v)."""
+
+    def wbar(self, u: int, v: int) -> float: ...
+
+
+class PiOrdering(Protocol):
+    """A vertex ordering π, queried by position."""
+
+    def position(self, v: int) -> int: ...
 
 
 def channel_holders(allocation: Allocation, k: int) -> list[list[int]]:
@@ -35,7 +55,9 @@ def channel_holders(allocation: Allocation, k: int) -> list[list[int]]:
     return holders
 
 
-def violated_channels(graph, allocation: Allocation, k: int) -> list[int]:
+def violated_channels(
+    graph: IndependenceGraph, allocation: Allocation, k: int
+) -> list[int]:
     """Channels whose holder set is *not* independent in ``graph``."""
     return [
         j
@@ -44,12 +66,18 @@ def violated_channels(graph, allocation: Allocation, k: int) -> list[int]:
     ]
 
 
-def check_allocation_feasible(graph, allocation: Allocation, k: int) -> bool:
+def check_allocation_feasible(
+    graph: IndependenceGraph, allocation: Allocation, k: int
+) -> bool:
     """True iff every channel's holder set is an independent set (Problem 1)."""
     return not violated_channels(graph, allocation, k)
 
 
-def check_partly_feasible(weighted_graph, ordering, allocation: Allocation) -> bool:
+def check_partly_feasible(
+    weighted_graph: SymmetrizedWeights,
+    ordering: PiOrdering,
+    allocation: Allocation,
+) -> bool:
     """Check Condition (5): for every vertex ``v``, the symmetric weights to
     earlier vertices sharing a channel with ``v`` sum to strictly below 1/2.
 

@@ -1,0 +1,147 @@
+"""CLI contract for ``python -m repro.analysis`` (reprolint): exit
+codes, JSON output, baseline round-trip, and the self-run gate asserting
+the repo itself is clean against the committed baseline."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import Baseline, split_findings
+from repro.analysis.engine import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DIRTY = """
+import time
+
+def stamp():
+    return time.time()
+"""
+
+CLEAN = """
+def stamp():
+    return 0.0
+"""
+
+
+@pytest.fixture
+def dirty_file(tmp_path: Path) -> Path:
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(DIRTY))
+    return path
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(textwrap.dedent(CLEAN))
+    assert main([str(tmp_path)]) == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(dirty_file, capsys):
+    assert main([str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    assert "wall-clock" in out and "1 new finding(s)" in out
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_json_output_is_machine_readable(dirty_file, capsys):
+    assert main([str(dirty_file), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["baselined"] == 0 and payload["stale_baseline"] == []
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "wall-clock"
+    assert finding["path"] == "mod.py"
+    assert finding["line"] == 5
+
+
+def test_list_rules_mentions_every_family(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for family in ("determinism", "concurrency", "parity"):
+        assert family in out
+    for rule_id in ("global-rng", "guarded-by", "kernel-mutation"):
+        assert rule_id in out
+
+
+def test_baseline_round_trip(dirty_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    # 1. record the current findings as the accepted debt
+    assert main([str(dirty_file), "--baseline", str(baseline), "--baseline-update"]) == 0
+    assert "baseline updated" in capsys.readouterr().out
+    saved = json.loads(baseline.read_text())
+    assert saved["version"] == 1 and len(saved["findings"]) == 1
+    # 2. unchanged tree is clean against the baseline
+    assert main([str(dirty_file), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # 3. fixing the violation makes the baseline entry stale -> exit 1,
+    #    forcing the baseline to be re-shrunk (debt only ratchets down)
+    dirty_file.write_text(textwrap.dedent(CLEAN))
+    assert main([str(dirty_file), "--baseline", str(baseline)]) == 1
+    assert "stale" in capsys.readouterr().out
+    # 4. refreshing the baseline empties it
+    assert main([str(dirty_file), "--baseline", str(baseline), "--baseline-update"]) == 0
+    assert json.loads(baseline.read_text())["findings"] == []
+
+
+def test_baseline_matches_on_context_not_line_number(dirty_file, tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    findings = analyze_paths([dirty_file])
+    Baseline.from_findings(findings).save(baseline_path)
+    # shift the violation down two lines: same context line, new lineno
+    dirty_file.write_text("# moved\n# moved\n" + textwrap.dedent(DIRTY))
+    moved = analyze_paths([dirty_file])
+    new, stale = split_findings(moved, Baseline.load(baseline_path))
+    assert new == [] and stale == []
+
+
+def test_baseline_budget_counts_duplicates(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def a():
+                return time.time()
+
+            def b():
+                return time.time()
+            """
+        )
+    )
+    findings = analyze_paths([path])
+    assert len(findings) == 2
+    # both findings share the same (rule, path, context) key — the
+    # baseline is a multiset, so a budget of 1 absorbs exactly one
+    baseline = Baseline.from_findings(findings[:1])
+    new, stale = split_findings(findings, baseline)
+    assert len(new) == 1 and stale == []
+
+
+def test_missing_baseline_file_means_empty(tmp_path, dirty_file):
+    assert Baseline.load(tmp_path / "absent.json").entries == {}
+    assert main([str(dirty_file), "--baseline", str(tmp_path / "absent.json")]) == 1
+
+
+def test_self_run_repo_is_clean_against_committed_baseline():
+    """The gate CI enforces: the repo's own sources have no findings
+    beyond the committed baseline."""
+    assert (
+        main(
+            [
+                str(REPO_ROOT / "src" / "repro"),
+                "--baseline",
+                str(REPO_ROOT / "reprolint-baseline.json"),
+            ]
+        )
+        == 0
+    )

@@ -1,0 +1,584 @@
+"""Per-rule fixtures for reprolint: every rule id has at least one
+positive (finding fired) and one negative (clean) snippet, plus pragma
+behavior and the guard-declaration forms."""
+
+from __future__ import annotations
+
+import dataclasses
+import textwrap
+from pathlib import Path
+
+from repro.analysis import DEFAULT_CONFIG, ALL_RULES, AnalysisConfig, analyze_paths
+from repro.analysis.rules import rule_index
+
+
+def lint(
+    tmp_path: Path,
+    source: str,
+    *,
+    filename: str = "snippet.py",
+    config: AnalysisConfig = DEFAULT_CONFIG,
+) -> list:
+    """Write one fixture file and run the full rule set over it."""
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    # scan the directory so `filename` can carry package-relative structure
+    # (e.g. "service/metrics.py" to exercise path allowlists)
+    return analyze_paths([tmp_path], config)
+
+
+def rules_fired(findings: list) -> set[str]:
+    return {f.rule for f in findings}
+
+
+def test_rule_registry_is_complete():
+    ids = {rule.rule_id for rule in ALL_RULES}
+    assert ids == {
+        "global-rng",
+        "set-iteration",
+        "json-sort-keys",
+        "wall-clock",
+        "guarded-by",
+        "module-state",
+        "mp-context",
+        "fork-reset",
+        "float-eq",
+        "kernel-mutation",
+    }
+    assert len(ids) >= 8  # the acceptance floor, with margin
+    assert set(rule_index()) == ids
+    for rule in ALL_RULES:
+        assert rule.family in ("determinism", "concurrency", "parity")
+        assert rule.invariant
+
+
+# ----------------------------------------------------------------------
+# determinism family
+# ----------------------------------------------------------------------
+def test_global_rng_positive_module_function(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import numpy as np
+        x = np.random.rand(3)
+        """,
+    )
+    assert "global-rng" in rules_fired(findings)
+
+
+def test_global_rng_positive_stdlib_import_and_call(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import random
+        from random import shuffle
+        y = random.random()
+        """,
+    )
+    assert sum(f.rule == "global-rng" for f in findings) == 2
+
+
+def test_global_rng_negative_seeded_generators(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import numpy as np
+        from random import Random
+        rng = np.random.default_rng(0)
+        ss = np.random.SeedSequence(1)
+        r = Random(2)
+        z = rng.random()
+        """,
+    )
+    assert "global-rng" not in rules_fired(findings)
+
+
+def test_global_rng_allowlisted_module_is_exempt(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import numpy as np
+        x = np.random.rand(3)
+        """,
+        filename="util/rng.py",
+    )
+    assert "global-rng" not in rules_fired(findings)
+
+
+def test_set_iteration_positive_forms(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def f(xs):
+            for x in {1, 2, 3}:
+                pass
+            ys = list(set(xs))
+            return [y for y in frozenset(xs)], ys
+        """,
+    )
+    assert sum(f.rule == "set-iteration" for f in findings) == 3
+
+
+def test_set_iteration_negative_sorted_and_sequences(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def f(xs):
+            for x in sorted({1, 2, 3}):
+                pass
+            for y in [1, 2]:
+                pass
+            return sorted(set(xs))
+        """,
+    )
+    assert "set-iteration" not in rules_fired(findings)
+
+
+def test_json_sort_keys_positive(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import json
+        def dump(d):
+            return json.dumps(d, sort_keys=True)
+        """,
+    )
+    assert "json-sort-keys" in rules_fired(findings)
+
+
+def test_json_sort_keys_negative_and_exempt(tmp_path):
+    clean = lint(
+        tmp_path,
+        """
+        import json
+        def dump(d):
+            return json.dumps(d, sort_keys=False) + json.dumps(d)
+        """,
+    )
+    assert "json-sort-keys" not in rules_fired(clean)
+    exempt = lint(
+        tmp_path,
+        """
+        import json
+        def dump(d):
+            return json.dumps(d, sort_keys=True)
+        """,
+        filename="io.py",
+    )
+    assert "json-sort-keys" not in rules_fired(exempt)
+
+
+def test_wall_clock_positive(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import time
+        from datetime import datetime
+        def stamp():
+            return time.time(), datetime.now()
+        """,
+    )
+    assert sum(f.rule == "wall-clock" for f in findings) == 2
+
+
+def test_wall_clock_negative_perf_counter_and_allowlist(tmp_path):
+    clean = lint(
+        tmp_path,
+        """
+        import time
+        def took():
+            return time.perf_counter()
+        """,
+    )
+    assert "wall-clock" not in rules_fired(clean)
+    allowed = lint(
+        tmp_path,
+        """
+        import time
+        def stamp():
+            return time.time()
+        """,
+        filename="service/metrics.py",
+    )
+    assert "wall-clock" not in rules_fired(allowed)
+
+
+# ----------------------------------------------------------------------
+# concurrency family
+# ----------------------------------------------------------------------
+GUARDED_CLASS = """
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  #: guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count
+
+    def _drain_locked(self):
+        return self._count
+"""
+
+
+def test_guarded_by_flags_unlocked_access_only(tmp_path):
+    findings = [f for f in lint(tmp_path, GUARDED_CLASS) if f.rule == "guarded-by"]
+    # peek() reads outside the lock; bump() (locked), __init__ (declaration
+    # site, exempt) and _drain_locked (caller-holds-lock convention) are clean
+    assert len(findings) == 1
+    assert "peek" not in findings[0].context  # context is the offending line
+    assert "self._count" in findings[0].context
+
+
+def test_guarded_by_registry_form(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import threading
+
+        class Box:
+            _guarded_by = {"items": "_lock"}
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.items = []
+
+            def safe(self):
+                with self._lock:
+                    return len(self.items)
+
+            def racy(self):
+                return len(self.items)
+        """,
+    )
+    assert sum(f.rule == "guarded-by" for f in findings) == 1
+
+
+def test_guarded_by_field_style_dataclass_fields(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import threading
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Handle:
+            jobs_done: int = 0  #: guarded-by: _lock
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.h = Handle()
+
+            def ok(self):
+                with self._lock:
+                    return self.h.jobs_done
+
+            def racy(self):
+                return self.h.jobs_done
+        """,
+    )
+    assert sum(f.rule == "guarded-by" for f in findings) == 1
+
+
+def test_guarded_by_nested_def_does_not_inherit_lock(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0  #: guarded-by: _lock
+
+            def run(self):
+                with self._lock:
+                    def callback():
+                        return self._n  # may run on another thread
+                    return callback
+        """,
+    )
+    assert sum(f.rule == "guarded-by" for f in findings) == 1
+
+
+def test_module_state_positive(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import something
+        cache = {}
+        pool = something.WorkerPool()
+        """,
+    )
+    assert sum(f.rule == "module-state" for f in findings) == 2
+
+
+def test_module_state_negative_constants_and_factories(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import threading
+        CACHE_SIZE = 32
+        DEFAULTS = {"a": 1}
+        _lock = threading.Lock()
+        _local = threading.local()
+        _sentinel = object()
+        """,
+    )
+    assert "module-state" not in rules_fired(findings)
+
+
+def test_mp_context_positive(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import multiprocessing as mp
+        from multiprocessing import Pool
+
+        def spawn():
+            ctx = mp.get_context("spawn")
+            return Pool(2), ctx
+        """,
+    )
+    assert sum(f.rule == "mp-context" for f in findings) == 2
+
+
+def test_mp_context_negative_via_util_mp_and_allowlist(tmp_path):
+    clean = lint(
+        tmp_path,
+        """
+        from repro.util.mp import mp_context
+
+        def spawn():
+            return mp_context("spawn")
+        """,
+    )
+    assert "mp-context" not in rules_fired(clean)
+    allowed = lint(
+        tmp_path,
+        """
+        import multiprocessing as mp
+        def spawn():
+            return mp.get_context("spawn")
+        """,
+        filename="util/mp.py",
+    )
+    assert "mp-context" not in rules_fired(allowed)
+
+
+def test_fork_reset_positive(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import threading
+        _local = threading.local()
+        """,
+    )
+    assert "fork-reset" in rules_fired(findings)
+
+
+def test_fork_reset_negative_with_registration(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import threading
+        from repro.util.mp import register_fork_reset
+
+        _local = threading.local()
+
+        def reset():
+            _local.__dict__.clear()
+
+        register_fork_reset("fixture", reset)
+        """,
+    )
+    assert "fork-reset" not in rules_fired(findings)
+
+
+# ----------------------------------------------------------------------
+# parity family
+# ----------------------------------------------------------------------
+def test_float_eq_positive(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def check(x, y):
+            return x == 1.0 or y != 0.5
+        """,
+    )
+    assert sum(f.rule == "float-eq" for f in findings) == 2
+
+
+def test_float_eq_negative_ints_and_ordering(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def check(x, n):
+            return x >= 0.5 and n == 3
+        """,
+    )
+    assert "float-eq" not in rules_fired(findings)
+
+
+KERNEL_CONFIG = dataclasses.replace(DEFAULT_CONFIG, kernel_modules=("*.py",))
+
+
+def test_kernel_mutation_positive_forms(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import numpy as np
+
+        def store(a):
+            a[0] = 1.0
+
+        def mutator(a):
+            a.sort()
+
+        def aug(a):
+            a += 1
+
+        def out_kwarg(a, buf):
+            np.add(a, a, out=buf)
+        """,
+        config=KERNEL_CONFIG,
+    )
+    assert sum(f.rule == "kernel-mutation" for f in findings) == 4
+
+
+def test_kernel_mutation_negative_copies_break_taint(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import numpy as np
+
+        def safe(a):
+            b = a.copy()
+            b[0] = 1.0
+            b.sort()
+            c = np.zeros(3)
+            np.add(b, b, out=c)
+            return b, c
+        """,
+        config=KERNEL_CONFIG,
+    )
+    assert "kernel-mutation" not in rules_fired(findings)
+
+
+def test_kernel_mutation_view_keeps_taint(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def through_view(a):
+            row = a[0]
+            row[1] = 2.0
+        """,
+        config=KERNEL_CONFIG,
+    )
+    assert "kernel-mutation" in rules_fired(findings)
+
+
+def test_kernel_mutation_outside_kernel_modules_not_checked(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def store(a):
+            a[0] = 1.0
+        """,
+    )  # DEFAULT_CONFIG: "snippet.py" is not a kernel module
+    assert "kernel-mutation" not in rules_fired(findings)
+
+
+def test_kernel_mutation_mutates_pragma(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def fix(q):  # repro: mutates[q] -- in-place by contract
+            q[0] = 1.0
+
+        def fix2(q, r):  # repro: mutates[q]
+            q[0] = 1.0
+            r[0] = 2.0
+        """,
+        config=KERNEL_CONFIG,
+    )
+    flagged = [f for f in findings if f.rule == "kernel-mutation"]
+    assert len(flagged) == 1
+    assert "'r'" in flagged[0].message
+
+
+# ----------------------------------------------------------------------
+# pragmas
+# ----------------------------------------------------------------------
+def test_allow_pragma_suppresses_named_rule_on_its_line(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import numpy as np
+        x = np.random.rand(3)  # repro: allow[global-rng] -- fixture
+        y = np.random.rand(3)
+        """,
+    )
+    assert sum(f.rule == "global-rng" for f in findings) == 1
+
+
+def test_allow_pragma_star_and_lists(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import time
+        def f(x):
+            a = time.time() if x == 1.0 else 0  # repro: allow[wall-clock, float-eq]
+            b = time.time() if x == 2.0 else 0  # repro: allow[*]
+            return a, b
+        """,
+    )
+    assert rules_fired(findings) == set()
+
+
+def test_allow_pragma_does_not_suppress_other_rules(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import time
+        t = time.time()  # repro: allow[float-eq] -- wrong rule id
+        """,
+    )
+    assert "wall-clock" in rules_fired(findings)
+
+
+def test_pragma_inside_string_is_not_a_pragma(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import time
+        doc = "# repro: allow[wall-clock]"
+        t = time.time()
+        """,
+    )
+    assert "wall-clock" in rules_fired(findings)
+
+
+def test_findings_carry_location_and_context(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import time
+        t = time.time()
+        """,
+    )
+    (finding,) = [f for f in findings if f.rule == "wall-clock"]
+    assert finding.path == "snippet.py"
+    assert finding.line == 3 and finding.col >= 1
+    assert finding.context == "t = time.time()"
+    assert finding.key() == ("wall-clock", "snippet.py", "t = time.time()")
+    payload = finding.to_json()
+    assert payload["rule"] == "wall-clock" and payload["line"] == 3
+    assert "snippet.py:3:" in finding.render()
