@@ -1,0 +1,255 @@
+"""Chaos acceptance benchmark — writes BENCH_chaos.json.
+
+Pins the fault-tolerance contract of the serving layer (DESIGN.md →
+"Fault tolerance & chaos") as regression-gated numbers:
+
+* ``crash_storm_n300`` — the library's seeded crash+slow plan against
+  the 2-worker process pool: worker incarnations 0–1 crash on half the
+  batches (keyed Bernoulli, so retries refire deterministically) while
+  5% of solves brown out.  The acceptance pin: **100% of accepted
+  requests complete, bit-identical to a fault-free serial replay** —
+  crash recovery must lose nothing and change nothing.
+* ``slow_worker_n300`` — injected per-batch worker latency only; the
+  parent sees a browning-out shard, nothing fails, replay stays
+  identical.
+* ``overload_shed_n300`` — a repeat-heavy serial scenario driven twice
+  over the same trace: once unloaded (arrival rate far below service
+  rate, unbounded queue) and once overloaded (near-simultaneous
+  arrivals against a small bounded queue).  The overloaded run must
+  shed typed (ShedError at admission, nothing accepted then dropped)
+  and serve what it accepts with **p99 within 2x of the unloaded p99**
+  — the queue bound, not the backlog, sets the tail.
+
+Each block records its invariant verdicts as 1.0/0.0 rates so
+check_regression.py can gate them exactly (tolerance 1.0x: any drop
+from the committed baseline fails the gate).
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py           # full, writes JSON
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke   # CI chaos-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.service import ChaosReport, Scenario, run_scenario, scenario_library
+
+OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_chaos.json"
+
+OVERLOAD_P99_FACTOR = 2.0  # accepted p99 under overload vs unloaded
+
+
+def _report_block(report: ChaosReport) -> dict:
+    """The JSON block shared by every scenario: counts + gated rates."""
+    return {
+        "scenario": report.scenario,
+        "accepted": report.accepted,
+        "shed": report.shed,
+        "completed": report.completed,
+        "degraded": report.degraded,
+        "failed_typed": report.failed_typed,
+        "failed_untyped": report.failed_untyped,
+        "replay_mismatches": report.replay_mismatches,
+        "completion_rate": report.completion_rate,
+        "invariants_ok": 1.0 if report.ok() else 0.0,
+        "invariants": report.invariants,
+        "pool_healthy": report.pool_healthy,
+        "p99_seconds": report.p99_seconds,
+        "fired": report.fired,
+    }
+
+
+def bench_fault_scenario(name: str, num_requests: int | None = None) -> dict:
+    """One library scenario under its own fault plan, replay-checked."""
+    scenario = scenario_library()[name]
+    if num_requests is not None:
+        scenario = dataclasses.replace(scenario, num_requests=num_requests)
+    report = run_scenario(scenario)
+    block = _report_block(report)
+    block["num_requests"] = scenario.num_requests
+    block["cores"] = os.cpu_count()
+    block["fault_plan"] = report.fault_plan
+    return block
+
+
+def _overload_base(num_requests: int) -> Scenario:
+    return Scenario(
+        name="overload_shed",
+        description=(
+            "repeat-heavy serial traffic, run unloaded (reference tail) "
+            "and overloaded against a bounded queue (shed + tail pin)"
+        ),
+        scene_size=24,
+        num_scenes=1,
+        num_requests=num_requests,
+        rate=100.0,  # unloaded: inter-arrival ≫ cached solve time
+        repeat_fraction=0.9,
+        unique_profiles=4,
+        service={"executor": "serial", "coalesce_window": 0.002},
+    )
+
+
+def bench_overload(num_requests: int = 300) -> dict:
+    """Shed-under-overload: typed admission control with a bounded tail.
+
+    Both runs replay the *same* trace (same seeds, same profiles) with
+    the profile cache pre-warmed, so the p99 comparison is steady state
+    against steady state: the overloaded tail measures what the queue
+    bound admits, not cold-start LP solves stacking in the backlog.
+    """
+    base = _overload_base(num_requests)
+    unloaded = run_scenario(base, check_replay=False, warmup_profiles=True)
+    overloaded_scenario = dataclasses.replace(
+        base,
+        rate=6000.0,  # near-simultaneous arrivals: the queue must flood
+        service={**base.service, "max_queue": 8},
+    )
+    overloaded = run_scenario(
+        overloaded_scenario, check_replay=False, warmup_profiles=True
+    )
+    p99_ratio = (
+        overloaded.p99_seconds / unloaded.p99_seconds
+        if overloaded.p99_seconds and unloaded.p99_seconds
+        else float("inf")
+    )
+    criterion_ok = (
+        unloaded.ok()
+        and overloaded.ok()
+        and overloaded.shed > 0
+        and overloaded.completed == overloaded.accepted
+        and p99_ratio <= OVERLOAD_P99_FACTOR
+    )
+    return {
+        "num_requests": num_requests,
+        "criterion": (
+            f"overload sheds typed (ShedError at admission) and accepted "
+            f"p99 stays within {OVERLOAD_P99_FACTOR}x of the unloaded p99"
+        ),
+        "unloaded": _report_block(unloaded),
+        "overloaded": _report_block(overloaded),
+        "p99_ratio": p99_ratio,
+        "shed_fraction": overloaded.shed / num_requests,
+        "criterion_ok": 1.0 if criterion_ok else 0.0,
+    }
+
+
+def measure_gate(num_requests: int = 300, overload_requests: int = 300) -> dict:
+    """The regression-gated chaos metrics (shape of BENCH_chaos.json).
+
+    check_regression.py calls this with a smaller ``num_requests`` budget
+    — the gated metrics are rates (completion, invariant verdicts), so
+    they compare across trace lengths; wall-clock fields are recorded
+    for context, not gated.
+    """
+    return {
+        "crash_storm_n300": bench_fault_scenario("crash_storm", num_requests),
+        "slow_worker_n300": bench_fault_scenario("slow_worker_brownout", num_requests),
+        "overload_shed_n300": bench_overload(overload_requests),
+    }
+
+
+def _warm() -> None:
+    """One throwaway serial run so HiGHS/import cold-start is not billed."""
+    scenario = dataclasses.replace(
+        scenario_library()["dense_metro"], num_requests=4, scene_size=12, num_scenes=1
+    )
+    run_scenario(scenario, check_replay=False)
+
+
+def _gate_ok(results: dict) -> bool:
+    return (
+        results["crash_storm_n300"]["completion_rate"] == 1.0
+        and results["crash_storm_n300"]["invariants_ok"] == 1.0
+        and results["slow_worker_n300"]["completion_rate"] == 1.0
+        and results["slow_worker_n300"]["invariants_ok"] == 1.0
+        and results["overload_shed_n300"]["criterion_ok"] == 1.0
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the two n=300 fault scenarios only (the CI chaos-smoke "
+        "job); exit nonzero unless every invariant holds with 100%% "
+        "completion",
+    )
+    args = parser.parse_args(argv)
+    _warm()
+
+    if args.smoke:
+        ok = True
+        for name in ("crash_storm", "slow_worker_brownout"):
+            block = bench_fault_scenario(name)
+            good = block["completion_rate"] == 1.0 and block["invariants_ok"] == 1.0
+            ok = ok and good
+            print(
+                f"{name} n={block['num_requests']}: "
+                f"{block['completed']}/{block['accepted']} completed, "
+                f"{block['replay_mismatches']} replay mismatches, "
+                f"pool {'healthy' if block['pool_healthy'] else 'UNHEALTHY'} -> "
+                f"{'OK' if good else 'FAIL'}"
+            )
+        return 0 if ok else 1
+
+    results = measure_gate()
+    storm = results["crash_storm_n300"]
+    print(
+        f"crash storm n=300: {storm['completed']}/{storm['accepted']} completed, "
+        f"replay {'identical' if storm['invariants']['replay_identical'] else 'DIVERGED'}, "
+        f"p99 {storm['p99_seconds']:.3f}s",
+        flush=True,
+    )
+    brownout = results["slow_worker_n300"]
+    print(
+        f"slow-worker brownout n=300: {brownout['completed']}/{brownout['accepted']} "
+        f"completed, p99 {brownout['p99_seconds']:.3f}s",
+        flush=True,
+    )
+    overload = results["overload_shed_n300"]
+    print(
+        f"overload shed n=300: shed {overload['overloaded']['shed']} "
+        f"({overload['shed_fraction']:.0%}), accepted p99 ratio "
+        f"{overload['p99_ratio']:.2f}x (cap {OVERLOAD_P99_FACTOR}x) -> "
+        f"{'OK' if overload['criterion_ok'] else 'FAIL'}",
+        flush=True,
+    )
+
+    results["config"] = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cores": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    results["headline"] = {
+        "criterion": (
+            "seeded crash+slow plan on n=300: 100% of accepted requests "
+            "complete bit-identically to a fault-free replay; overload "
+            "sheds typed with accepted p99 within "
+            f"{OVERLOAD_P99_FACTOR}x of unloaded"
+        ),
+        "crash_storm_completion_rate": storm["completion_rate"],
+        "crash_storm_replay_identical": storm["invariants"]["replay_identical"],
+        "overload_p99_ratio": overload["p99_ratio"],
+        "met": _gate_ok(results),
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results["headline"], indent=2))
+    print(f"wrote {OUTPUT}")
+    return 0 if results["headline"]["met"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,16 @@
 """CI perf-regression gate: re-measure smoke workloads, compare to baselines.
 
-The repo commits four benchmark baselines — BENCH_engine.json (PR 1),
+The repo commits five benchmark baselines — BENCH_engine.json (PR 1),
 BENCH_scale.json (PR 2), BENCH_service.json (PR 4), BENCH_mechanism.json
-(PR 5) — that CI used to run but never compare against, so a PR could
-quietly halve the engine's speedups.  This script closes the loop:
+(PR 5), BENCH_chaos.json (PR 8) — that CI used to run but never compare
+against, so a PR could quietly halve the engine's speedups.  This script
+closes the loop:
 
 1. **measure** — re-run budgeted versions of the baseline workloads
    (the n=40 engine fleets, one n=1000 scale point, the n=300 service
    smoke scenario, the n=300 process-pool smoke, the n=150
-   truthful-mechanism smoke trace; a few CPU-seconds each, best-of
-   ``--repeats``);
+   truthful-mechanism smoke trace, the chaos scenarios at n=120; a few
+   CPU-seconds each, best-of ``--repeats``);
 2. **compare** — each checked metric's *slowdown factor* against the
    committed baseline must stay under the noise tolerance.
 
@@ -23,7 +24,11 @@ vs no-cache baseline) are self-normalizing — both sides of the ratio run
 on the same machine — so they carry a tight default tolerance
 (``--tolerance``, 1.5x).  Absolute wall-clock metrics depend on the host,
 so they get a looser default (``--time-tolerance``, 2.5x) that still
-catches order-of-magnitude rot.
+catches order-of-magnitude rot.  Chaos-invariant metrics (completion
+rate under the seeded crash storm, invariant verdicts, the
+overload-shed criterion — all from BENCH_chaos.json) are exact booleans
+and rates: they carry a per-check tolerance of 1.0x, so *any* drop from
+the committed baseline fails the gate.
 
 Exit status is the gate: 0 when every check passes, 1 otherwise.
 ``--measured FILE`` skips measurement and compares a recorded
@@ -50,6 +55,7 @@ BASELINE_FILES = {
     "scale": REPO / "BENCH_scale.json",
     "service": REPO / "BENCH_service.json",
     "mechanism": REPO / "BENCH_mechanism.json",
+    "chaos": REPO / "BENCH_chaos.json",
 }
 
 SPEEDUP_TOLERANCE = 1.5
@@ -68,11 +74,14 @@ def _lookup(data: dict, path: str) -> float:
 class Check:
     """One gated metric: where it lives and how slowdown is computed."""
 
-    source: str  # baseline family: engine | scale | service
+    source: str  # baseline family: engine | scale | service | mechanism | chaos
     path: str  # dotted path into both the baseline and the measured dict
     # "speedup": self-normalized ratio, higher is better, tight tolerance.
     # "seconds" / "throughput": absolute wall-clock-dependent values (lower /
     # higher is better), compared under the looser --time-tolerance.
+    # "rate": an exact fraction/boolean (completion rate, invariant verdict);
+    # higher is better and the per-check tolerance pins it (1.0 = any drop
+    # from the baseline fails).
     kind: str
     # optional dotted path (same family) that must hold the *same* value in
     # baseline and measurement for the comparison to mean anything — the
@@ -80,6 +89,8 @@ class Check:
     # taken on a 1-core box is never compared against a 4-core CI runner
     # (the check is reported as skipped, not passed-by-luck or failed)
     guard: str | None = None
+    # per-check tolerance override; None falls back to the kind's default
+    tol: float | None = None
 
     @property
     def name(self) -> str:
@@ -116,6 +127,13 @@ CHECKS = [
     ),
     Check("mechanism", "smoke_truthful_n150.speedup", "speedup"),
     Check("mechanism", "smoke_truthful_n150.fast.throughput_rps", "throughput"),
+    # chaos family: exact pins (tol=1.0) — the fault-tolerance contract is
+    # a boolean, and "mostly fault-tolerant" is a regression
+    Check("chaos", "crash_storm_n300.completion_rate", "rate", tol=1.0),
+    Check("chaos", "crash_storm_n300.invariants_ok", "rate", tol=1.0),
+    Check("chaos", "slow_worker_n300.completion_rate", "rate", tol=1.0),
+    Check("chaos", "slow_worker_n300.invariants_ok", "rate", tol=1.0),
+    Check("chaos", "overload_shed_n300.criterion_ok", "rate", tol=1.0),
 ]
 
 
@@ -125,13 +143,14 @@ CHECKS = [
 def measure(repeats: int = 2) -> dict:
     """Re-run the gated workloads, best-of ``repeats`` per metric.
 
-    Returns ``{"engine": ..., "scale": ..., "service": ...}`` with the
-    same nested shape as the committed baseline files, restricted to the
-    paths in :data:`CHECKS`.  Best-of keeps one noisy scheduler stall
-    from failing the gate while a genuine regression still fails every
-    repeat.
+    Returns one nested dict per baseline family (engine, scale, service,
+    mechanism, chaos) with the same shape as the committed baseline
+    files, restricted to the paths in :data:`CHECKS`.  Best-of keeps one
+    noisy scheduler stall from failing the gate while a genuine
+    regression still fails every repeat.
     """
     sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    import bench_chaos
     import bench_engine
     import bench_mechanism
     import bench_scale
@@ -196,13 +215,19 @@ def measure(repeats: int = 2) -> dict:
         for _ in range(repeats)
     ]
 
+    # chaos: one budgeted run (n=120 traces), not best-of — the gated
+    # metrics are invariant verdicts, and a verdict that only holds on the
+    # best of N runs is exactly the flakiness the gate exists to catch
+    chaos_runs = [bench_chaos.measure_gate(num_requests=120, overload_requests=200)]
+
     runs = {
         "engine": engine_runs,
         "scale": scale_runs,
         "service": service_runs,
         "mechanism": mechanism_runs,
+        "chaos": chaos_runs,
     }
-    measured: dict = {"engine": {}, "scale": {}, "service": {}, "mechanism": {}}
+    measured: dict = {name: {} for name in runs}
     for chk in CHECKS:
         _assign(measured[chk.source], chk.path, best(runs[chk.source], chk.path, chk.kind))
         if chk.guard is not None:
@@ -260,7 +285,10 @@ def compare(
     """
     rows = []
     for chk in checks:
-        tol = tolerance if chk.kind == "speedup" else time_tolerance
+        if chk.tol is not None:
+            tol = chk.tol
+        else:
+            tol = tolerance if chk.kind == "speedup" else time_tolerance
         row = {"check": chk.name, "kind": chk.kind, "tolerance": tol}
         try:
             base = _lookup(baselines[chk.source], chk.path)

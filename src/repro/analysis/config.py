@@ -58,6 +58,10 @@ class AnalysisConfig:
     # float-equality comparisons allowed without a pragma (none by
     # default: use `# repro: allow[float-eq]` with a justification)
     float_eq_allowed: tuple[str, ...] = ()
+    # modules where except-blocks must visibly handle what they catch
+    # (re-raise, log, record a metric, or fail a future) — the serving
+    # layer's typed-resolution contract makes swallowed exceptions bugs
+    silent_except_modules: tuple[str, ...] = ("service/*.py",)
     # extra per-rule path exemptions: rule id -> glob tuple
     exempt: dict[str, tuple[str, ...]] = field(default_factory=dict)
 

@@ -16,6 +16,7 @@ from repro.analysis.rules.determinism import (
     WallClockRule,
 )
 from repro.analysis.rules.parity import FloatEqRule, KernelMutationRule
+from repro.analysis.rules.robustness import SilentExceptRule
 
 __all__ = ["ALL_RULES", "Finding", "Rule", "rule_index"]
 
@@ -30,6 +31,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ForkResetRule(),
     FloatEqRule(),
     KernelMutationRule(),
+    SilentExceptRule(),
 )
 
 

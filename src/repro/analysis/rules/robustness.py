@@ -1,0 +1,88 @@
+"""Robustness rule family.
+
+The serving layer's fault-tolerance contract (DESIGN.md → "Fault
+tolerance & chaos") is that every accepted request resolves to a result
+or a *typed* failure.  An ``except`` block that swallows an exception
+without doing anything observable breaks that contract silently — the
+request neither completes nor fails, it just vanishes from the
+accounting.  This family makes the convention machine-checkable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.rules.base import Finding, Rule
+from repro.analysis.rules.determinism import dotted_name
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import FileContext
+
+__all__ = ["SilentExceptRule"]
+
+# call names (last dotted segment) that count as visibly handling the
+# caught exception: failing a future, logging, or bumping a metric
+_HANDLER_CALLS = {
+    "set_exception",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "info",
+    "debug",
+}
+_HANDLER_PREFIXES = ("record_", "log")
+
+
+def _call_handles(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    last = name.rsplit(".", 1)[-1]
+    return last in _HANDLER_CALLS or last.startswith(_HANDLER_PREFIXES)
+
+
+def _handler_is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when nothing in the handler body re-raises, logs, records a
+    metric, or fails a future (nested ``try``/``def`` bodies included —
+    handling anywhere in the block counts)."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+        if isinstance(node, ast.Call) and _call_handles(node):
+            return False
+    return True
+
+
+class SilentExceptRule(Rule):
+    rule_id = "silent-except"
+    family = "robustness"
+    invariant = (
+        "in the serving layer, an except-block must visibly handle what it "
+        "catches: re-raise, log, record a metric, or fail a future — "
+        "swallowed exceptions make requests vanish from the typed-"
+        "resolution accounting"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        if not config.matches(ctx.rel, config.silent_except_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if _handler_is_silent(handler):
+                    caught = (
+                        ast.unparse(handler.type)
+                        if handler.type is not None
+                        else "BaseException"
+                    )
+                    yield self.finding(
+                        ctx,
+                        handler,
+                        f"except block swallows {caught} without re-raising, "
+                        "logging, or recording a metric",
+                    )

@@ -1,25 +1,44 @@
 """Auction service layer: serve allocation requests over the batch engine.
 
-Four modules (see DESIGN.md → "The auction service"):
+The modules (see DESIGN.md → "The auction service" and "Fault tolerance
+& chaos"):
 
 * :mod:`repro.service.scenes` — content-hash scene registry, so
   structurally identical interference scenes share one canonical object
   and therefore one compilation;
 * :mod:`repro.service.service` — :class:`AuctionService`: coalescing
   request queue, per-service LRU compilation caches, shard-affinity
-  routing, graceful drain;
+  routing, graceful drain, admission control + per-request deadlines
+  with greedy-baseline degradation;
 * :mod:`repro.service.pool` — :class:`ProcessShardPool`: long-lived
   worker processes (own HiGHS backend, warm bases, caches) behind the
   ``executor="process"`` service configuration — the GIL-free shard tier
-  for distinct-heavy traffic;
+  for distinct-heavy traffic — with capped-backoff respawn and
+  per-worker circuit breakers;
 * :mod:`repro.service.traffic` — open-loop Poisson/burst/replay traffic
   over the metro workload family;
 * :mod:`repro.service.metrics` — throughput, latency percentiles, cache
-  hit rates, persisted as JSON.
+  hit rates, shed/timeout/degraded counters, persisted as JSON;
+* :mod:`repro.service.errors` — the typed failure hierarchy
+  (:class:`ShedError`, :class:`DeadlineExceeded`,
+  :class:`InjectedFaultError`);
+* :mod:`repro.service.faults` — declarative, seeded fault injection at
+  named sites (:class:`FaultPlan`);
+* :mod:`repro.service.scenarios` / :mod:`repro.service.chaos` — the
+  named scenario library and the invariant-checking chaos runner.
 """
 
+from repro.service.chaos import ChaosReport, run_matrix, run_scenario
+from repro.service.errors import (
+    DeadlineExceeded,
+    InjectedFaultError,
+    ServiceFaultError,
+    ShedError,
+)
+from repro.service.faults import FAULT_SITES, FaultPlan, FaultSpec
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import ProcessShardPool, WorkerCrashError
+from repro.service.scenarios import Scenario, scenario_library
 from repro.service.scenes import SceneRegistry, scene_fingerprint
 from repro.service.service import AuctionRequest, AuctionService
 from repro.service.traffic import (
@@ -39,6 +58,18 @@ __all__ = [
     "SceneRegistry",
     "scene_fingerprint",
     "ServiceMetrics",
+    "ServiceFaultError",
+    "ShedError",
+    "DeadlineExceeded",
+    "InjectedFaultError",
+    "FAULT_SITES",
+    "FaultSpec",
+    "FaultPlan",
+    "ChaosReport",
+    "Scenario",
+    "scenario_library",
+    "run_scenario",
+    "run_matrix",
     "TrafficRequest",
     "TrafficTrace",
     "poisson_trace",

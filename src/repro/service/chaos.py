@@ -1,0 +1,257 @@
+"""Chaos runner: drive a scenario under faults, assert the serving invariants.
+
+:func:`run_scenario` replays one :class:`~repro.service.scenarios.Scenario`
+in real time through the queued service path, with its fault plan armed,
+and checks the fault-tolerance contract (DESIGN.md → "Fault tolerance &
+chaos"):
+
+1. **typed resolution** — every accepted request resolves to a result or
+   to a *typed* failure (:class:`~repro.service.errors.ServiceFaultError`
+   subclass or :class:`~repro.service.pool.WorkerCrashError`); an untyped
+   exception is a bug, not a fault;
+2. **replay fidelity** — every completed non-degraded result is
+   bit-identical to a fault-free serial replay of the same trace (the
+   per-request seeds make this checkable at all);
+3. **end-state health** — after draining, the pool (if any) holds only
+   live workers: crashes were absorbed by respawn, not papered over.
+
+Degraded results (greedy fallback, flagged ``details["degraded"]``) are
+exempt from invariant 2 by construction — they deliberately serve a
+different algorithm — and are counted separately.  Shed requests were
+never accepted, so they appear only in the report's ``shed`` count.
+
+:func:`run_matrix` sweeps scenario × fault-plan combinations — the
+"scenario library + stress/chaos harness" ROADMAP item — and is what the
+CI ``chaos-smoke`` job and ``benchmarks/bench_chaos.py`` drive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.service.errors import ServiceFaultError, ShedError
+from repro.service.faults import FaultPlan
+from repro.service.pool import WorkerCrashError
+from repro.service.scenarios import Scenario, scenario_library
+
+__all__ = ["TYPED_FAILURES", "ChaosReport", "run_scenario", "run_matrix"]
+
+# the complete set of failures the service is allowed to resolve with
+TYPED_FAILURES = (ServiceFaultError, WorkerCrashError)
+
+_UNSET = object()  # sentinel: "use the scenario's own fault plan"
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one scenario run, invariants included."""
+
+    scenario: str
+    fault_plan: dict[str, Any] | None
+    accepted: int
+    shed: int
+    completed: int
+    degraded: int
+    failed_typed: int
+    failed_untyped: int
+    replay_mismatches: int
+    pool_healthy: bool
+    p99_seconds: float | None
+    fired: dict[str, int] = field(default_factory=dict)
+    invariants: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def completion_rate(self) -> float:
+        """Completed over accepted (shed requests were never accepted)."""
+        return self.completed / self.accepted if self.accepted else 1.0
+
+    def ok(self) -> bool:
+        return all(self.invariants.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "fault_plan": self.fault_plan,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "failed_typed": self.failed_typed,
+            "failed_untyped": self.failed_untyped,
+            "replay_mismatches": self.replay_mismatches,
+            "completion_rate": self.completion_rate,
+            "pool_healthy": self.pool_healthy,
+            "p99_seconds": self.p99_seconds,
+            "fired": self.fired,
+            "invariants": self.invariants,
+        }
+
+
+def _warm_profiles(service: Any, trace: Any) -> None:
+    """Pre-solve one request per distinct profile, then zero the metrics.
+
+    Warm-up results are discarded — caches change solve *latency*, never
+    the bit-identical results — so the subsequent timed run measures
+    steady-state tails.  Requests without a profile key are uncacheable
+    and skipped.
+    """
+    seen: set[Any] = set()
+    futures = []
+    for item in trace:
+        key = item.request.profile_key
+        if key is None or key in seen:
+            continue
+        seen.add(key)
+        futures.append(service.submit(item.request))
+    for future in futures:
+        future.result(timeout=300)
+    service.metrics.reset()
+
+
+def _same_result(a: Any, b: Any) -> bool:
+    """Bit-identity for the two result kinds the service returns."""
+    if hasattr(a, "sampled_allocation"):  # MechanismOutcome
+        return bool(a.sampled_allocation == b.sampled_allocation)
+    return bool(
+        a.allocation == b.allocation
+        and a.welfare == b.welfare
+        and a.lp_value == b.lp_value
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    fault_plan: FaultPlan | None | object = _UNSET,
+    check_replay: bool = True,
+    warmup_profiles: bool = False,
+) -> ChaosReport:
+    """Run one scenario end to end and evaluate the invariants.
+
+    ``fault_plan`` overrides the scenario's own plan (``None`` runs it
+    fault-free — useful for sweeping one traffic shape across plans).
+    ``check_replay=False`` skips the fault-free reference run (roughly
+    halves the cost) and reports zero mismatches.  ``warmup_profiles``
+    pre-solves one request per distinct valuation profile in the trace
+    and then resets the metrics, so the reported latencies measure the
+    steady state (warm caches) instead of cold-start LP solves — the
+    overload benchmark compares unloaded vs overloaded tails this way.
+    """
+    plan = scenario.fault_plan if fault_plan is _UNSET else fault_plan
+    if plan is not None:
+        plan.reset()  # re-arm: fire caps and streams start fresh per run
+    registry, scene_ids = scenario.build_registry()
+    trace = scenario.build_trace(registry, scene_ids)
+
+    service = scenario.build_service(registry, fault_plan=plan)
+    slots: list[Any | None] = [None] * len(trace)  # future or None (shed)
+    shed = 0
+    try:
+        if warmup_profiles:
+            _warm_profiles(service, trace)
+        t0 = time.perf_counter()
+        for i, item in enumerate(trace):
+            delay = item.arrival - (time.perf_counter() - t0)
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                slots[i] = service.submit(item.request)
+            except ShedError:  # repro: allow[silent-except] -- counted into the report
+                shed += 1
+        service.drain()
+        pool_healthy = service.healthy()
+        snapshot = service.metrics_snapshot()
+    finally:
+        service.close()
+
+    completed = degraded = failed_typed = failed_untyped = 0
+    unresolved = 0
+    results: list[Any | None] = [None] * len(trace)
+    for i, future in enumerate(slots):
+        if future is None:
+            continue
+        if not future.done():  # drain() returned, so this is a bug
+            unresolved += 1
+            continue
+        exc = future.exception()
+        if exc is None:
+            results[i] = future.result()
+            completed += 1
+            details = getattr(results[i], "details", None)
+            if isinstance(details, dict) and details.get("degraded"):
+                degraded += 1
+        elif isinstance(exc, TYPED_FAILURES):
+            failed_typed += 1
+        else:
+            failed_untyped += 1
+
+    mismatches = 0
+    if check_replay and completed > degraded:
+        reference = scenario.build_service(
+            registry, fault_plan=None, executor="serial"
+        )
+        try:
+            replayed = reference.run_trace(trace)
+        finally:
+            reference.close()
+        for result, expected in zip(results, replayed):
+            if result is None:
+                continue
+            details = getattr(result, "details", None)
+            if isinstance(details, dict) and details.get("degraded"):
+                continue
+            if not _same_result(result, expected):
+                mismatches += 1
+
+    accepted = len(trace) - shed
+    latency = snapshot.get("latency_seconds") or {}
+    report = ChaosReport(
+        scenario=scenario.name,
+        fault_plan=None if plan is None else plan.to_dict(),
+        accepted=accepted,
+        shed=shed,
+        completed=completed,
+        degraded=degraded,
+        failed_typed=failed_typed,
+        failed_untyped=failed_untyped,
+        replay_mismatches=mismatches,
+        pool_healthy=pool_healthy,
+        p99_seconds=latency.get("p99"),
+        fired={} if plan is None else plan.fired_counts(),
+    )
+    report.invariants = {
+        "all_resolved": unresolved == 0,
+        "typed_failures_only": failed_untyped == 0,
+        "accounted": accepted == completed + failed_typed + failed_untyped,
+        "replay_identical": mismatches == 0,
+        "pool_healthy": pool_healthy,
+    }
+    return report
+
+
+def run_matrix(
+    scenarios: Iterable[Scenario] | None = None,
+    fault_plans: Iterable[FaultPlan | None] | None = None,
+    *,
+    check_replay: bool = True,
+) -> list[ChaosReport]:
+    """Sweep scenario × fault plan; returns one report per combination.
+
+    Defaults: every library scenario, each under its own fault plan.
+    Passing ``fault_plans`` crosses *every* scenario with every given
+    plan instead (``None`` entries mean fault-free).
+    """
+    if scenarios is None:
+        scenarios = scenario_library().values()
+    reports: list[ChaosReport] = []
+    for scenario in scenarios:
+        plans: list[FaultPlan | None] = (
+            [scenario.fault_plan] if fault_plans is None else list(fault_plans)
+        )
+        for plan in plans:
+            reports.append(
+                run_scenario(scenario, fault_plan=plan, check_replay=check_replay)
+            )
+    return reports

@@ -1,0 +1,41 @@
+"""Typed failure modes of the auction service.
+
+The fault-tolerance contract (DESIGN.md → "Fault tolerance & chaos") is
+that a request submitted to the service resolves in exactly one of three
+ways: a result, a *typed* error from this hierarchy (plus
+:class:`~repro.service.pool.WorkerCrashError`), or a synchronous typed
+rejection at submit time.  Untyped exceptions escaping a future are a
+bug, and the chaos runner (:mod:`repro.service.chaos`) asserts exactly
+that invariant.
+
+* :class:`ShedError` — admission control rejected the request because the
+  bounded queue was full; raised synchronously by ``submit`` so the
+  caller can back off (nothing was accepted, nothing is in flight).
+* :class:`DeadlineExceeded` — the request was accepted but its deadline
+  budget expired before the service could (usefully) start solving it;
+  set on the request's future.
+* :class:`InjectedFaultError` — a :class:`~repro.service.faults.FaultPlan`
+  fired a backend-error fault at a solve site; stands in for a native
+  solver failure in chaos runs and is typed so injected failures are
+  distinguishable from real bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServiceFaultError", "ShedError", "DeadlineExceeded", "InjectedFaultError"]
+
+
+class ServiceFaultError(RuntimeError):
+    """Base of the service's typed failure modes."""
+
+
+class ShedError(ServiceFaultError):
+    """Admission control rejected the request (bounded queue full)."""
+
+
+class DeadlineExceeded(ServiceFaultError):
+    """The request's deadline budget expired before it could be served."""
+
+
+class InjectedFaultError(ServiceFaultError):
+    """A fault plan injected a backend error at a solve site."""

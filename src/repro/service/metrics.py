@@ -39,6 +39,9 @@ class ServiceMetrics:
         self._submitted = 0  #: guarded-by: _lock
         self._completed = 0  #: guarded-by: _lock
         self._failed = 0  #: guarded-by: _lock
+        self._shed = 0  #: guarded-by: _lock
+        self._timeouts = 0  #: guarded-by: _lock
+        self._degraded = 0  #: guarded-by: _lock
         self._first_submit: float | None = None  #: guarded-by: _lock
         self._last_done: float | None = None  #: guarded-by: _lock
 
@@ -57,14 +60,41 @@ class ServiceMetrics:
             if len(self._batch_sizes) < self.max_samples:
                 self._batch_sizes.append(size)
 
-    def record_done(self, latency: float, failed: bool = False) -> None:
-        """Mark one request finished ``latency`` seconds after its submit."""
+    def record_shed(self) -> None:
+        """Mark one request rejected at admission (bounded queue full).
+
+        Shed requests were never accepted, so they count in neither
+        ``submitted`` nor ``failed`` — the completion-rate denominator
+        stays "accepted requests", the chaos invariant's population.
+        """
+        with self._lock:
+            self._shed += 1
+
+    def record_done(
+        self,
+        latency: float,
+        failed: bool = False,
+        *,
+        timed_out: bool = False,
+        degraded: bool = False,
+    ) -> None:
+        """Mark one request finished ``latency`` seconds after its submit.
+
+        ``timed_out`` marks a typed :class:`DeadlineExceeded` failure
+        (implies ``failed``); ``degraded`` marks a *completed* request
+        served by the greedy fallback instead of LP + rounding.
+        """
         now = time.perf_counter()
         with self._lock:
-            if failed:
+            if timed_out:
+                self._timeouts += 1
+                self._failed += 1
+            elif failed:
                 self._failed += 1
             else:
                 self._completed += 1
+                if degraded:
+                    self._degraded += 1
             if len(self._latencies) < self.max_samples:
                 self._latencies.append(latency)
             self._last_done = now
@@ -78,6 +108,9 @@ class ServiceMetrics:
                 "submitted": self._submitted,
                 "completed": self._completed,
                 "failed": self._failed,
+                "shed": self._shed,
+                "timeouts": self._timeouts,
+                "degraded": self._degraded,
             }
 
     # ------------------------------------------------------------------
@@ -98,6 +131,9 @@ class ServiceMetrics:
                 "requests_submitted": self._submitted,
                 "requests_completed": self._completed,
                 "requests_failed": self._failed,
+                "requests_shed": self._shed,
+                "requests_timed_out": self._timeouts,
+                "requests_degraded": self._degraded,
                 "wall_seconds": span,
                 "throughput_rps": (self._completed / span) if span else None,
                 "batches": len(batch_sizes),
@@ -133,4 +169,5 @@ class ServiceMetrics:
             self._latencies.clear()
             self._batch_sizes.clear()
             self._submitted = self._completed = self._failed = 0
+            self._shed = self._timeouts = self._degraded = 0
             self._first_submit = self._last_done = None

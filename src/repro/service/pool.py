@@ -42,6 +42,15 @@ the pipe.  The owning parent thread respawns the worker (fresh
 generation, fresh registry snapshot) and retries the in-flight batch up
 to ``max_retries`` times before failing its futures with
 :class:`WorkerCrashError`; later batches queued behind it are unaffected.
+Respawns back off exponentially (``respawn_backoff`` doubling per
+consecutive crash, capped at ``backoff_cap``), and a slot that crashes
+more than ``respawn_limit`` times in a row trips a per-worker **circuit
+breaker**: the slot is abandoned, routing and queued jobs move to the
+remaining workers, and after ``breaker_cooldown`` seconds a single
+half-open probe incarnation may close the breaker again.  Fault
+injection at the worker sites (crash, slow batch, spawn failure) is
+driven by the parent service's :class:`~repro.service.faults.FaultPlan`,
+shipped in ``worker_config``.
 
 **Stray-process guard.**  Workers are daemonic *and* every started pool
 registers its ``close`` with :mod:`atexit`, so examples and tests that
@@ -91,11 +100,15 @@ def _pool_worker_main(  # pragma: no cover - runs in worker processes
     ``scenes`` is the registry snapshot taken at spawn; ``config`` holds
     the cache/pricing configuration of the parent service so the worker's
     private :class:`AuctionService` solves exactly as the in-process path
-    would.  ``generation`` counts respawns of this worker slot — the
-    crash-injection hook below compares against it so a test can crash
-    incarnation 0 and let incarnation 1 serve the retry.
+    would — including an armed copy of the parent's
+    :class:`~repro.service.faults.FaultPlan`, whose worker sites
+    (``"pool.worker.spawn"``, ``"pool.worker.batch"``) this loop
+    evaluates itself.  ``generation`` counts respawns of this worker slot
+    — generation-scoped crash faults compare against it so a plan can
+    crash incarnation 0 and let incarnation 1 serve the retry.
     """
     import repro.engine.highs  # noqa: F401 - registers its fork-reset hook
+    from repro.service.faults import legacy_crash_fires
     from repro.service.service import AuctionService
     from repro.util.mp import run_fork_resets
 
@@ -106,6 +119,9 @@ def _pool_worker_main(  # pragma: no cover - runs in worker processes
     # reset before the first solve — and the HiGHS hook is *required*:
     # a missing registration fails here, at spawn, not as a wrong solve
     run_fork_resets(require=("repro.engine.highs",))
+    plan = config.get("fault_plan")
+    if plan is not None and plan.fires("pool.worker.spawn", generation=generation):
+        os._exit(4)  # injected spawn failure: die before serving anything
     service = AuctionService(
         executor="serial",
         coalesce_window=0.0,
@@ -131,19 +147,29 @@ def _pool_worker_main(  # pragma: no cover - runs in worker processes
                     )
                 continue
             _, job_id, requests = message
-            crash = any(
-                r.metadata.get("_crash_worker") in (generation, "always")
-                for r in requests
-            )
-            if crash:  # fault-injection hook for the crash-recovery tests
+            # deprecated metadata["_crash_worker"] hook, shimmed via faults
+            crash = legacy_crash_fires(requests, generation)
+            slow = 0.0
+            if plan is not None:
+                key = requests[0].seed if requests else None
+                for spec in plan.actions(
+                    "pool.worker.batch", generation=generation, key=key
+                ):
+                    if spec.kind == "crash":
+                        crash = True
+                    else:
+                        slow += spec.delay
+            if crash:
                 os._exit(3)
+            if slow > 0:  # slow-worker brownout: the parent just sees latency
+                time.sleep(slow)
             try:
                 results = service.solve_batch(requests)
                 reply = ("done", job_id, results, _worker_stats(service, generation))
-            except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            except BaseException as exc:  # noqa: BLE001  # repro: allow[silent-except] -- shipped to the parent as an error reply
                 reply = ("error", job_id, f"{type(exc).__name__}: {exc}")
             conn.send_bytes(pickle.dumps(reply))
-    except (EOFError, BrokenPipeError, KeyboardInterrupt):  # parent went away
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):  # repro: allow[silent-except] -- parent went away; nothing left to tell
         pass
 
 
@@ -197,6 +223,12 @@ class _WorkerHandle:
     bytes_received: int = 0  #: guarded-by: _lock
     ipc_seconds: float = 0.0  #: guarded-by: _lock
     restarts: int = 0  #: guarded-by: _lock
+    # circuit breaker: crashes since the last success; when it exceeds the
+    # respawn limit the slot trips (process = None, breaker_until set) and
+    # jobs route around it until the cooldown elapses (half-open probe)
+    consecutive_failures: int = 0  #: guarded-by: _lock
+    breaker_until: float | None = None  #: guarded-by: _lock
+    breaker_trips: int = 0  #: guarded-by: _lock
     last_stats: dict[str, Any] = field(default_factory=dict)  #: guarded-by: _lock
 
 
@@ -220,17 +252,37 @@ class ProcessShardPool:
         max_retries: int = 1,
         spill: bool = True,
         close_timeout: float = 5.0,
+        respawn_limit: int = 5,
+        respawn_backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        breaker_cooldown: float = 30.0,
     ) -> None:
+        """``respawn_limit`` bounds *consecutive* crashes of one worker
+        slot (the counter resets on any successful batch); beyond it the
+        slot's circuit breaker trips: no further respawns, jobs route
+        around it, and after ``breaker_cooldown`` seconds one half-open
+        probe incarnation is allowed (a single failure re-trips).  Each
+        respawn waits ``respawn_backoff * 2**(failures-1)`` seconds,
+        capped at ``backoff_cap`` — a worker crashing at spawn burns
+        through its budget in bounded time instead of respawn-storming."""
         if num_workers < 1:
             raise ValueError("need at least one worker")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if respawn_limit < 0:
+            raise ValueError("respawn_limit must be non-negative")
+        if respawn_backoff < 0 or backoff_cap < 0 or breaker_cooldown < 0:
+            raise ValueError("backoff/cooldown settings must be non-negative")
         self.registry = registry
         self.num_workers = num_workers
         self.worker_config = dict(worker_config or {})
         self.max_retries = max_retries
         self.spill = spill
         self.close_timeout = close_timeout
+        self.respawn_limit = respawn_limit
+        self.respawn_backoff = respawn_backoff
+        self.backoff_cap = backoff_cap
+        self.breaker_cooldown = breaker_cooldown
         self._ctx = mp_context(start_method)
         self.start_method = self._ctx.get_start_method()
         self._lock = threading.Lock()
@@ -241,6 +293,7 @@ class ProcessShardPool:
         self._restarts = 0  #: guarded-by: _lock
         self._retried_batches = 0  #: guarded-by: _lock
         self._failed_batches = 0  #: guarded-by: _lock
+        self._rerouted_batches = 0  #: guarded-by: _lock
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -313,13 +366,35 @@ class ProcessShardPool:
     def home_of(self, scene_id: str) -> int:
         return int(scene_id, 16) % self.num_workers
 
+    def _breaker_open_locked(self, handle: _WorkerHandle) -> bool:
+        """Is this slot's circuit breaker open right now (not routable)?
+
+        A tripped slot holds no process; once its cooldown elapses the
+        breaker reads closed again, routing resumes, and the slot's feeder
+        revives it as a half-open probe on the next job.
+        """
+        return (
+            handle.process is None
+            and handle.breaker_until is not None
+            and time.monotonic() < handle.breaker_until
+        )
+
     def _route_locked(self, scene_id: str) -> _WorkerHandle:
-        """Home worker unless it is strictly busier than the idlest one
-        (load reads require the caller to hold ``_lock``)."""
+        """Home worker unless it is strictly busier than the idlest one or
+        its breaker is open (load reads require the caller to hold
+        ``_lock``)."""
         home = self.home_of(scene_id)
-        if not self.spill or self.num_workers == 1:
+        open_ = [self._breaker_open_locked(w) for w in self._workers]
+        if all(open_):
+            # nothing routable: queue on home anyway — its feeder fails
+            # the job typed (or revives the slot if the cooldown elapsed)
             return self._workers[home]
-        loads = [w.outstanding for w in self._workers]
+        if (not self.spill or self.num_workers == 1) and not open_[home]:
+            return self._workers[home]
+        loads = [
+            float("inf") if open_[i] else w.outstanding
+            for i, w in enumerate(self._workers)
+        ]
         if loads[home] <= min(loads):
             return self._workers[home]
         # deterministic scan from the home index keeps ties stable
@@ -361,17 +436,72 @@ class ProcessShardPool:
                 with self._lock:
                     handle.outstanding -= 1
 
+    def _slot_ready(self, handle: _WorkerHandle) -> bool:
+        """True when the slot holds a process to talk to, reviving a
+        tripped breaker whose cooldown elapsed (half-open probe).
+
+        The probe incarnation starts with its failure budget spent down to
+        the limit, so a single crash re-trips the breaker immediately.
+        """
+        with self._lock:
+            if handle.process is not None:
+                return True
+            if self._breaker_open_locked(handle):
+                return False
+            handle.consecutive_failures = self.respawn_limit
+            handle.breaker_until = None
+            handle.generation += 1
+            handle.restarts += 1
+            self._restarts += 1
+            self._spawn_locked(handle)
+            return True
+
+    def _reroute_or_fail(self, handle: _WorkerHandle, job: _Job) -> None:
+        """Hand a job on a broken slot to the idlest routable worker, or
+        fail it typed when every other slot's breaker is open too."""
+        with self._lock:
+            candidates = [
+                w
+                for w in self._workers
+                if w is not handle and not self._breaker_open_locked(w)
+            ]
+            target = (
+                min(candidates, key=lambda w: (w.outstanding, w.index))
+                if candidates
+                else None
+            )
+            if target is not None:
+                target.outstanding += 1
+                self._rerouted_batches += 1
+            else:
+                self._failed_batches += 1
+        if target is None:
+            job.future.set_exception(
+                WorkerCrashError(
+                    f"worker {handle.index} circuit breaker open and no "
+                    f"routable worker left"
+                )
+            )
+            return
+        target.jobs.put(job)
+
     def _run_job(self, handle: _WorkerHandle, job: _Job) -> None:
         while True:
+            if not self._slot_ready(handle):
+                self._reroute_or_fail(handle, job)
+                return
             try:
                 results, stats = self._roundtrip(handle, job)
             except WorkerCrashError as exc:
-                self._respawn(handle)
+                respawned = self._respawn(handle)
                 if job.attempts < self.max_retries:
                     job.attempts += 1
                     with self._lock:
                         self._retried_batches += 1
-                    continue  # retry the in-flight batch on the fresh worker
+                    if respawned:
+                        continue  # retry the batch on the fresh worker
+                    self._reroute_or_fail(handle, job)
+                    return
                 with self._lock:
                     self._failed_batches += 1
                 job.future.set_exception(exc)
@@ -379,6 +509,9 @@ class ProcessShardPool:
             with self._lock:
                 handle.jobs_done += 1
                 handle.last_stats = stats
+                # any completed batch closes the crash streak
+                handle.consecutive_failures = 0
+                handle.breaker_until = None
             job.future.set_result(results)
             return
 
@@ -434,30 +567,52 @@ class ProcessShardPool:
             handle.bytes_sent += len(payload)
             handle.ipc_seconds += pipe_seconds
 
-    def _respawn(self, handle: _WorkerHandle) -> None:
-        """Replace a dead worker; its pickle-once state starts over."""
+    def _respawn(self, handle: _WorkerHandle) -> bool:
+        """Replace a dead worker; its pickle-once state starts over.
+
+        Returns ``False`` when the slot's consecutive-crash budget is
+        exhausted: the circuit breaker trips instead of respawning, and
+        the slot stays empty until its cooldown elapses.  Successful
+        respawns back off exponentially (outside the lock — other slots
+        keep serving) so a crash-at-spawn worker cannot respawn-storm.
+        """
         try:
             handle.conn.close()
-        except OSError:  # pragma: no cover - already gone
+        except OSError:  # pragma: no cover  # repro: allow[silent-except] -- pipe already gone; the crash is handled by the caller
             pass
         if handle.process.is_alive():  # crashed pipe, live process: reap it
             handle.process.terminate()
         handle.process.join(self.close_timeout)
+        with self._lock:
+            handle.consecutive_failures += 1
+            failures = handle.consecutive_failures
+            if failures > self.respawn_limit:
+                handle.breaker_trips += 1
+                handle.breaker_until = time.monotonic() + self.breaker_cooldown
+                handle.process = None
+                handle.conn = None
+                return False
+        delay = min(self.respawn_backoff * 2 ** (failures - 1), self.backoff_cap)
+        if delay > 0:
+            time.sleep(delay)
         with self._lock:
             handle.generation += 1
             handle.restarts += 1
             handle.job_counter = 0
             self._restarts += 1
             self._spawn_locked(handle)
+        return True
 
     def _shutdown_worker(self, handle: _WorkerHandle) -> None:
         process, conn = handle.process, handle.conn
+        if process is None:  # breaker-tripped slot: nothing to stop
+            return
         try:
             self._send(handle, ("close",))
             if conn.poll(self.close_timeout):
                 conn.recv_bytes()  # ("closed",) acknowledgement
-        except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
-            pass  # already dead — joining below is all that is left
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError):  # repro: allow[silent-except] -- already dead; joining below is all that is left
+            pass
         process.join(self.close_timeout)
         if process.is_alive():  # pragma: no cover - stuck worker escalation
             process.terminate()
@@ -475,6 +630,11 @@ class ProcessShardPool:
             w.process is not None and w.process.is_alive() for w in self._workers
         ]
 
+    def healthy(self) -> bool:
+        """Every worker slot holds a live process (no tripped breakers,
+        no undetected deaths) — the chaos runner's end-state invariant."""
+        return all(self.alive())
+
     def stats(self) -> dict[str, Any]:
         """Pool-level + per-worker accounting for the metrics snapshot."""
         with self._lock:
@@ -485,6 +645,9 @@ class ProcessShardPool:
                     "alive": w.process is not None and w.process.is_alive(),
                     "generation": w.generation,
                     "restarts": w.restarts,
+                    "consecutive_failures": w.consecutive_failures,
+                    "breaker_open": self._breaker_open_locked(w),
+                    "breaker_trips": w.breaker_trips,
                     "jobs": w.jobs_done,
                     "outstanding": w.outstanding,
                     "scenes_held": len(w.shipped),
@@ -503,6 +666,9 @@ class ProcessShardPool:
                 "restarts": self._restarts,
                 "retried_batches": self._retried_batches,
                 "failed_batches": self._failed_batches,
+                "rerouted_batches": self._rerouted_batches,
+                "breaker_trips": sum(w["breaker_trips"] for w in workers),
+                "healthy": all(w["alive"] for w in workers),
                 "ipc_bytes_sent": sum(w["ipc_bytes_sent"] for w in workers),
                 "ipc_bytes_received": sum(w["ipc_bytes_received"] for w in workers),
                 "ipc_seconds": sum(w["ipc_seconds"] for w in workers),

@@ -43,6 +43,19 @@ compilation caches — with scene-affinity routing (plus spill to the
 least-loaded worker), pickle-once scene shipping, and crash recovery.
 Per-request seeds make pool results bit-identical to the serial path, so
 the choice of executor is purely a throughput decision.
+
+**Fault tolerance** (DESIGN.md → "Fault tolerance & chaos"): the queued
+path enforces *admission control* (``max_queue`` bounds the backlog;
+overflow raises :class:`~repro.service.errors.ShedError` synchronously)
+and *per-request deadlines* (``AuctionRequest.deadline`` is a budget in
+seconds from submit; a batch never waits past the point where its
+earliest member could still be served, an expired request fails typed
+with :class:`~repro.service.errors.DeadlineExceeded`, and a request
+whose remaining budget cannot fit an LP solve degrades to the paper's
+greedy baseline allocation, flagged ``details["degraded"]``).  A
+:class:`~repro.service.faults.FaultPlan` injects slow-solve latency and
+backend errors at the ``"service.solve"`` site (and crash/spawn faults
+in the pool workers); production configurations carry no plan.
 """
 
 from __future__ import annotations
@@ -59,6 +72,7 @@ from repro.core.result import SolverResult
 from repro.engine.batch import BatchAuctionEngine
 from repro.engine.compiled import CompiledAuction, compile_structure
 from repro.engine.highs import warm_start_stats
+from repro.service.errors import DeadlineExceeded, InjectedFaultError, ShedError
 from repro.service.metrics import ServiceMetrics
 from repro.service.scenes import SceneRegistry
 from repro.util.lru import LRUCache
@@ -68,6 +82,7 @@ if TYPE_CHECKING:
     import pathlib
 
     from repro.mechanism.truthful import MechanismOutcome
+    from repro.service.faults import FaultPlan
     from repro.service.pool import ProcessShardPool
     from repro.service.scenes import AnyStructure
     from repro.service.traffic import TrafficTrace
@@ -103,6 +118,13 @@ class AuctionRequest:
     compiled structure.  ``seed`` drives the rounding/sampling RNG; fixing
     it makes the request's outcome reproducible bit-for-bit and
     independent of how requests were coalesced.
+
+    ``deadline`` is a latency budget in seconds from submission (queued
+    path only; ``None`` = unbounded).  An accepted request whose budget
+    expires before dispatch fails typed with
+    :class:`~repro.service.errors.DeadlineExceeded`; one whose remaining
+    budget cannot fit an LP solve is served by the greedy baseline
+    instead, with ``details["degraded"]`` set on the result.
     """
 
     scene_id: str
@@ -111,6 +133,7 @@ class AuctionRequest:
     seed: int | None = None
     profile_key: str | None = None
     mode: str = "allocate"
+    deadline: float | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
 
 
@@ -119,6 +142,7 @@ class _Pending:
     request: AuctionRequest
     future: Future[SolverResult]
     submitted_at: float
+    expires_at: float | None = None
 
 
 class AuctionService:
@@ -141,6 +165,11 @@ class AuctionService:
         adaptive_coalescing: bool = True,
         mp_start_method: str = "auto",
         worker_retries: int = 1,
+        max_queue: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        degrade_headroom: float = 1.0,
+        solve_time_hint: float | None = None,
+        pool_config: dict[str, Any] | None = None,
         metrics: ServiceMetrics | None = None,
     ) -> None:
         """``mechanism_cache_size`` bounds the LRU of prepared truthful
@@ -159,7 +188,22 @@ class AuctionService:
         batch whose worker crashed is retried on the respawned worker
         before its futures fail.  The cache sizes and pricing/rounding
         options configure each *worker's* caches — the parent-side caches
-        stay idle, since compilation happens where the solving does."""
+        stay idle, since compilation happens where the solving does.
+        ``pool_config`` forwards extra keyword arguments to
+        :class:`~repro.service.pool.ProcessShardPool` (respawn backoff and
+        circuit-breaker tuning).
+
+        ``max_queue`` bounds the dispatcher backlog (``None`` =
+        unbounded); :meth:`submit` raises
+        :class:`~repro.service.errors.ShedError` synchronously when the
+        bound is hit.  ``degrade_headroom`` scales the solve-time
+        estimate used by deadline triage: a request is degraded to the
+        greedy baseline when its remaining budget is below
+        ``degrade_headroom`` times the estimated solve time (0 disables
+        degradation — expired requests still fail typed).
+        ``solve_time_hint`` seeds the EWMA solve-time estimate before the
+        first observation.  ``fault_plan`` arms a
+        :class:`~repro.service.faults.FaultPlan` for chaos runs."""
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
         if num_shards < 1:
@@ -170,11 +214,21 @@ class AuctionService:
             raise ValueError(f"unknown mechanism pricing {mechanism_pricing!r}")
         if worker_retries < 0:
             raise ValueError("worker_retries must be non-negative")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be positive (or None for unbounded)")
+        if degrade_headroom < 0:
+            raise ValueError("degrade_headroom must be non-negative")
+        if solve_time_hint is not None and solve_time_hint <= 0:
+            raise ValueError("solve_time_hint must be positive")
         self.registry = registry or SceneRegistry()
         self.executor = executor
         self.num_shards = num_shards if executor in ("thread", "process") else 1
         self.mp_start_method = mp_start_method
         self.worker_retries = worker_retries
+        self.max_queue = max_queue
+        self.fault_plan = fault_plan
+        self.degrade_headroom = degrade_headroom
+        self.pool_config = dict(pool_config or {})
         self.coalesce_window = coalesce_window
         self.max_batch = max_batch
         self.adaptive_coalescing = adaptive_coalescing
@@ -202,6 +256,8 @@ class AuctionService:
         self._state_lock = threading.Lock()
         self._idle = threading.Condition(self._state_lock)
         self._warm_totals = {"warm": 0, "cold": 0}  #: guarded-by: _state_lock, _idle
+        # EWMA of observed per-request solve time, feeding deadline triage
+        self._solve_ewma: float | None = solve_time_hint  #: guarded-by: _state_lock
         self._closed = False  #: guarded-by: _state_lock, _idle
         self._dispatcher: threading.Thread | None = None
         self._shards: list[ThreadPoolExecutor] = []
@@ -276,6 +332,7 @@ class AuctionService:
             raise ValueError(
                 f"mode must be one of {_REQUEST_MODES}, got {bad[0]!r}"
             )
+        self._inject_solve_faults(requests)
         results: list[Any] = [None] * len(requests)
         alloc = [(i, r) for i, r in enumerate(requests) if r.mode == "allocate"]
         if alloc:
@@ -332,17 +389,46 @@ class AuctionService:
             recent.append(head.profile_key is not None)
         return bool(recent) and sum(recent) / len(recent) < 0.25
 
+    def _inject_solve_faults(self, requests: list[AuctionRequest]) -> None:
+        """Evaluate the ``"service.solve"`` fault site for one scene group.
+
+        Keyed by each request's seed, so the decision is independent of
+        how requests were coalesced.  Injected slow-downs accumulate
+        (each fired request browns out the shared solve); an injected
+        backend error fails the whole group typed, exactly like a native
+        solver failure would.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return
+        delay = 0.0
+        errored = False
+        for request in requests:
+            for spec in plan.actions("service.solve", key=request.seed):
+                if spec.kind == "slow":
+                    delay += spec.delay
+                else:
+                    errored = True
+        if delay > 0:
+            time.sleep(delay)
+        if errored:
+            raise InjectedFaultError("injected backend error at site service.solve")
+
     def _solve_group(
         self, group: list[tuple[AuctionRequest, CompiledAuction]]
     ) -> list[SolverResult]:
         before = warm_start_stats()
+        t0 = time.perf_counter()
         results = self.engine.solve_compiled(
             [(compiled, req.seed) for req, compiled in group]
         )
+        elapsed = time.perf_counter() - t0
         after = warm_start_stats()
         with self._state_lock:
             self._warm_totals["warm"] += after["warm"] - before["warm"]
             self._warm_totals["cold"] += after["cold"] - before["cold"]
+        if group:
+            self._observe_solve_time(elapsed / len(group))
         return results
 
     def solve_batch(self, requests: list[AuctionRequest]) -> list[SolverResult]:
@@ -423,6 +509,7 @@ class AuctionService:
             "mechanism_pricing": self.mechanism_pricing,
             "rounding_attempts": self.engine.solve_kwargs["rounding_attempts"],
             "lp_warm_start": self.engine.solve_kwargs["lp_warm_start"],
+            "fault_plan": self.fault_plan,
         }
 
     def _start_locked(self) -> None:
@@ -444,6 +531,7 @@ class AuctionService:
                     worker_config=self._worker_config(),
                     start_method=self.mp_start_method,
                     max_retries=self.worker_retries,
+                    **self.pool_config,
                 ).start()
             self._dispatcher = threading.Thread(
                 target=self._dispatch_loop, name="auction-dispatcher", daemon=True
@@ -451,13 +539,20 @@ class AuctionService:
             self._dispatcher.start()
 
     def submit(self, request: AuctionRequest) -> Future:
-        """Enqueue one request; returns a future resolving to its result."""
+        """Enqueue one request; returns a future resolving to its result.
+
+        Raises :class:`~repro.service.errors.ShedError` synchronously when
+        admission control rejects the request (``max_queue`` backlog full)
+        — nothing was accepted and nothing is in flight.
+        """
         if request.scene_id not in self.registry:
             raise KeyError(f"unknown scene {request.scene_id!r}; register it first")
         if request.mode not in _REQUEST_MODES:
             raise ValueError(
                 f"mode must be one of {_REQUEST_MODES}, got {request.mode!r}"
             )
+        if request.deadline is not None and request.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {request.deadline}")
         future: Future = Future()
         # closed-check and accounting under one lock hold: once _queued is
         # incremented a concurrent close() cannot observe an empty queue, so
@@ -465,10 +560,23 @@ class AuctionService:
         with self._state_lock:
             if self._closed:
                 raise RuntimeError("service is closed")
-            self._start_locked()
-            self._queued += 1
-            self._inflight += 1
-        pending = _Pending(request, future, self.metrics.record_submit())
+            if self.max_queue is not None and self._queued >= self.max_queue:
+                shed = True
+            else:
+                shed = False
+                self._start_locked()
+                self._queued += 1
+                self._inflight += 1
+        if shed:
+            self.metrics.record_shed()
+            raise ShedError(
+                f"queue full ({self.max_queue} pending); request shed"
+            )
+        submitted_at = self.metrics.record_submit()
+        expires_at = (
+            None if request.deadline is None else submitted_at + request.deadline
+        )
+        pending = _Pending(request, future, submitted_at, expires_at)
         self._queue.put(pending)
         return future
 
@@ -476,7 +584,7 @@ class AuctionService:
         while True:
             try:
                 first = self._queue.get(timeout=0.02)
-            except queue.Empty:
+            except queue.Empty:  # repro: allow[silent-except] -- idle poll; loops back to the queue
                 with self._state_lock:
                     if self._closed and self._queued == 0:
                         return
@@ -485,17 +593,26 @@ class AuctionService:
             window = (
                 0.0 if self._bypass_window(first.request) else self.coalesce_window
             )
-            deadline = time.perf_counter() + window
+            # a batch never waits past the point where its earliest-deadline
+            # member could still be served: each deadlined member pulls the
+            # cutoff up to its expiry minus a solve-estimate margin
+            cutoff = time.perf_counter() + window
+            cutoff = min(cutoff, self._dispatch_by(first))
             while len(batch) < self.max_batch:
-                remaining = deadline - time.perf_counter()
+                remaining = cutoff - time.perf_counter()
                 if remaining <= 0:
                     break
                 try:
-                    batch.append(self._queue.get(timeout=remaining))
-                except queue.Empty:
+                    member = self._queue.get(timeout=remaining)
+                except queue.Empty:  # repro: allow[silent-except] -- window elapsed; batch dispatches as-is
                     break
+                batch.append(member)
+                cutoff = min(cutoff, self._dispatch_by(member))
             with self._state_lock:
                 self._queued -= len(batch)
+            batch = self._triage(batch)
+            if not batch:
+                continue
             self.metrics.record_batch(len(batch))
             self._note_requests([p.request for p in batch])
             groups: dict[str, list[_Pending]] = {}
@@ -511,6 +628,115 @@ class AuctionService:
                 else:
                     self._run_pendings(pendings)
 
+    # ------------------------------------------------------------------
+    # deadlines: triage + graceful degradation
+    # ------------------------------------------------------------------
+    def _solve_estimate(self) -> float | None:
+        """Current EWMA estimate of one request's solve time (or None)."""
+        with self._state_lock:
+            return self._solve_ewma
+
+    def _observe_solve_time(self, per_request: float) -> None:
+        """Fold one observed per-request solve latency into the EWMA."""
+        with self._state_lock:
+            if self._solve_ewma is None:
+                self._solve_ewma = per_request
+            else:
+                self._solve_ewma += 0.2 * (per_request - self._solve_ewma)
+
+    def _dispatch_by(self, pending: _Pending) -> float:
+        """Latest useful dispatch time for one pending request.
+
+        Expiry minus a solve-estimate margin, so a request dispatched at
+        the cutoff still has budget to be solved (or at least degraded);
+        requests without deadlines never tighten the batch window.
+        """
+        if pending.expires_at is None:
+            return float("inf")
+        estimate = self._solve_estimate() or 0.0
+        return pending.expires_at - 1.5 * self.degrade_headroom * estimate
+
+    def _triage(self, batch: list[_Pending]) -> list[_Pending]:
+        """Deadline triage at dispatch time; returns the members that
+        proceed to the full pipeline.
+
+        Expired members fail typed with :class:`DeadlineExceeded`
+        (recorded as timeouts); allocate members whose remaining budget
+        cannot fit an estimated LP solve are served by the greedy
+        baseline inline (degradation is parent-side only — remote
+        workers never see them, so ``perf_counter`` stamps are never
+        compared across processes).
+        """
+        now = time.perf_counter()
+        estimate = self._solve_estimate()
+        keep: list[_Pending] = []
+        degraded: list[_Pending] = []
+        for p in batch:
+            if p.expires_at is None:
+                keep.append(p)
+                continue
+            remaining = p.expires_at - now
+            if remaining <= 0:
+                self.metrics.record_done(now - p.submitted_at, timed_out=True)
+                p.future.set_exception(
+                    DeadlineExceeded(
+                        f"deadline {p.request.deadline}s expired before dispatch"
+                    )
+                )
+                self._mark_finished(1)
+            elif (
+                self.degrade_headroom > 0
+                and estimate is not None
+                and remaining < self.degrade_headroom * estimate
+                and p.request.mode == "allocate"
+            ):
+                degraded.append(p)
+            else:
+                keep.append(p)
+        if degraded:
+            self._serve_degraded(degraded)
+        return keep
+
+    def _serve_degraded(self, pendings: list[_Pending]) -> None:
+        """Serve low-budget requests with the greedy baseline, inline."""
+        for p in pendings:
+            try:
+                result = self._greedy_result(p.request)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to the future
+                self.metrics.record_done(
+                    time.perf_counter() - p.submitted_at, failed=True
+                )
+                p.future.set_exception(exc)
+            else:
+                self.metrics.record_done(
+                    time.perf_counter() - p.submitted_at, degraded=True
+                )
+                p.future.set_result(result)
+            self._mark_finished(1)
+
+    def _greedy_result(self, request: AuctionRequest) -> SolverResult:
+        """The paper's greedy baseline as a flagged, LP-free result.
+
+        ``lp_value=0`` states honestly that no LP bound was computed
+        (``meets_guarantee`` is vacuously true, ``guarantee`` is inf);
+        ``details`` carries the degradation flag the chaos runner and
+        clients key on.
+        """
+        from repro.core.baselines import greedy_channel_allocation
+
+        structure = self.registry.get(request.scene_id)
+        problem = AuctionProblem(structure, request.k, list(request.valuations))
+        allocation = greedy_channel_allocation(problem)
+        return SolverResult(
+            allocation=allocation,
+            welfare=problem.welfare(allocation),
+            lp_value=0.0,
+            feasible=True,
+            guarantee=float("inf"),
+            lp_iterations=0,
+            details={"degraded": True, "fallback": "greedy"},
+        )
+
     def _submit_remote(self, scene_id: str, pendings: list[_Pending]) -> None:
         """Hand one scene group to the process pool; futures resolve later.
 
@@ -521,6 +747,7 @@ class AuctionService:
         """
         pool = self._pool
         assert pool is not None  # created with the dispatcher for executor="process"
+        dispatched_at = time.perf_counter()
         group_future = pool.submit(scene_id, [p.request for p in pendings])
 
         def finish(
@@ -533,6 +760,9 @@ class AuctionService:
                     self.metrics.record_done(now - p.submitted_at, failed=True)
                     p.future.set_exception(exc)
             else:
+                # remote roundtrip (solve + IPC) feeds the triage EWMA —
+                # what a parent-side deadline actually has to budget for
+                self._observe_solve_time((now - dispatched_at) / len(pendings))
                 for p, result in zip(pendings, f.result()):
                     self.metrics.record_done(time.perf_counter() - p.submitted_at)
                     p.future.set_result(result)
@@ -606,6 +836,20 @@ class AuctionService:
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        """Can the service accept and serve requests right now?
+
+        Serial/thread executors are healthy while open; the process
+        executor additionally requires at least one routable worker
+        (circuit breakers open on every worker means submits would only
+        queue and fail).
+        """
+        with self._state_lock:
+            if self._closed:
+                return False
+            pool = self._pool
+        return True if pool is None else pool.healthy()
+
     def cache_stats(self) -> dict[str, Any]:
         with self._state_lock:
             warm = dict(self._warm_totals)
@@ -639,6 +883,11 @@ class AuctionService:
             "lp_warm_start": self.engine.solve_kwargs["lp_warm_start"],
             "mp_start_method": self.mp_start_method,
             "worker_retries": self.worker_retries,
+            "max_queue": self.max_queue,
+            "degrade_headroom": self.degrade_headroom,
+            "fault_plan": (
+                None if self.fault_plan is None else self.fault_plan.to_dict()
+            ),
             "scenes": len(self.registry),
         }
         return snapshot

@@ -119,6 +119,7 @@ def _requests_for_arrivals(
     bids_per_bidder: int,
     rng: np.random.Generator,
     mode: str = "allocate",
+    deadline: float | None = None,
 ) -> list[TrafficRequest]:
     pools = _profile_pools(
         registry, scene_ids, k, unique_profiles, bids_per_bidder, rng
@@ -150,6 +151,7 @@ def _requests_for_arrivals(
                     seed=int(rng.integers(2**31)),
                     profile_key=profile_key,
                     mode=mode,
+                    deadline=deadline,
                 ),
             )
         )
@@ -168,6 +170,7 @@ def poisson_trace(
     unique_profiles: int = 8,
     bids_per_bidder: int = 4,
     mode: str = "allocate",
+    deadline: float | None = None,
 ) -> TrafficTrace:
     """Open-loop Poisson arrivals at ``rate`` requests/second.
 
@@ -175,7 +178,9 @@ def poisson_trace(
     requests reuse a pooled profile (with ``profile_key`` set), the rest
     are distinct.  ``mode="truthful"`` marks every request for the
     truthful-mechanism pipeline (repeat-heavy truthful traces are the
-    ``BENCH_mechanism.json`` acceptance workload).  Fully deterministic
+    ``BENCH_mechanism.json`` acceptance workload).  ``deadline`` stamps
+    every request with the same per-request latency budget (seconds from
+    submit) for deadline/degradation scenarios.  Fully deterministic
     from ``seed``.
     """
     if rate <= 0 or num_requests < 0:
@@ -192,6 +197,7 @@ def poisson_trace(
         bids_per_bidder,
         rng,
         mode=mode,
+        deadline=deadline,
     )
     return TrafficTrace(
         requests=requests,
@@ -204,6 +210,7 @@ def poisson_trace(
             "k": k,
             "scenes": list(scene_ids),
             "mode": mode,
+            "deadline": deadline,
         },
     )
 
@@ -221,10 +228,12 @@ def burst_trace(
     unique_profiles: int = 8,
     bids_per_bidder: int = 4,
     mode: str = "allocate",
+    deadline: float | None = None,
 ) -> TrafficTrace:
     """``bursts`` bursts of ``burst_size`` simultaneous arrivals, ``gap``
     seconds apart — the coalescing window's best case and the queue's
-    worst case."""
+    worst case (and, with ``deadline``/``max_queue`` set, the overload
+    scenario that exercises admission control)."""
     if burst_size < 1 or bursts < 1 or gap < 0:
         raise ValueError("need burst_size >= 1, bursts >= 1, gap >= 0")
     rng = ensure_rng(seed)
@@ -239,6 +248,7 @@ def burst_trace(
         bids_per_bidder,
         rng,
         mode=mode,
+        deadline=deadline,
     )
     return TrafficTrace(
         requests=requests,
@@ -251,6 +261,7 @@ def burst_trace(
             "k": k,
             "scenes": list(scene_ids),
             "mode": mode,
+            "deadline": deadline,
         },
     )
 
@@ -290,6 +301,7 @@ def save_trace(trace: TrafficTrace, path: str | pathlib.Path) -> pathlib.Path:
                 "seed": item.request.seed,
                 "profile_key": item.request.profile_key,
                 "mode": item.request.mode,
+                "deadline": item.request.deadline,
                 "valuations": [
                     _encode_valuation(v) for v in item.request.valuations
                 ],
@@ -317,6 +329,7 @@ def load_trace(path: str | pathlib.Path) -> TrafficTrace:
                 seed=entry["seed"],
                 profile_key=entry["profile_key"],
                 mode=entry.get("mode", "allocate"),  # pre-mechanism traces
+                deadline=entry.get("deadline"),  # pre-deadline traces
             ),
         )
         for entry in payload["requests"]

@@ -45,11 +45,12 @@ def test_rule_registry_is_complete():
         "fork-reset",
         "float-eq",
         "kernel-mutation",
+        "silent-except",
     }
     assert len(ids) >= 8  # the acceptance floor, with margin
     assert set(rule_index()) == ids
     for rule in ALL_RULES:
-        assert rule.family in ("determinism", "concurrency", "parity")
+        assert rule.family in ("determinism", "concurrency", "parity", "robustness")
         assert rule.invariant
 
 
@@ -512,6 +513,105 @@ def test_kernel_mutation_mutates_pragma(tmp_path):
     flagged = [f for f in findings if f.rule == "kernel-mutation"]
     assert len(flagged) == 1
     assert "'r'" in flagged[0].message
+
+
+# ----------------------------------------------------------------------
+# robustness family
+# ----------------------------------------------------------------------
+def test_silent_except_positive_pass_and_unrelated_body(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def swallow(q):
+            try:
+                q.get()
+            except Exception:
+                pass
+
+        def busywork(q):
+            try:
+                q.get()
+            except (ValueError, KeyError):
+                q = None
+        """,
+        filename="service/feed.py",
+    )
+    flagged = [f for f in findings if f.rule == "silent-except"]
+    assert len(flagged) == 2
+    assert "Exception" in flagged[0].message
+    assert "(ValueError, KeyError)" in flagged[1].message
+
+
+def test_silent_except_negative_visible_handling(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import logging
+
+        def handled(q, future, metrics, log=logging.getLogger(__name__)):
+            try:
+                q.get()
+            except ValueError:
+                raise
+            except KeyError as exc:
+                future.set_exception(exc)
+            except TypeError:
+                log.warning("bad item")
+            except OSError:
+                metrics.record_shed()
+        """,
+        filename="service/feed.py",
+    )
+    assert "silent-except" not in rules_fired(findings)
+
+
+def test_silent_except_handling_in_nested_scope_counts(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def retry(q):
+            try:
+                q.get()
+            except EOFError:
+                if q.closed:
+                    raise RuntimeError("gone")
+        """,
+        filename="service/feed.py",
+    )
+    assert "silent-except" not in rules_fired(findings)
+
+
+def test_silent_except_scoped_to_service_modules(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def swallow(q):
+            try:
+                q.get()
+            except Exception:
+                pass
+        """,
+    )  # DEFAULT_CONFIG: "snippet.py" is outside service/*
+    assert "silent-except" not in rules_fired(findings)
+
+
+def test_silent_except_pragma_suppresses_with_reason(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def poll(q):
+            try:
+                q.get()
+            except TimeoutError:  # repro: allow[silent-except] -- idle poll
+                pass
+            try:
+                q.get()
+            except TimeoutError:
+                pass
+        """,
+        filename="service/feed.py",
+    )
+    assert sum(f.rule == "silent-except" for f in findings) == 1
 
 
 # ----------------------------------------------------------------------

@@ -32,7 +32,7 @@ def baselines(gate):
 
 def _as_measured(gate, baselines):
     """A perfect measurement: exactly the committed baseline values."""
-    measured = {"engine": {}, "scale": {}, "service": {}, "mechanism": {}}
+    measured = {name: {} for name in gate.BASELINE_FILES}
     for chk in gate.CHECKS:
         gate._assign(
             measured[chk.source],
@@ -70,14 +70,37 @@ class TestCompare:
         assert all(row["slowdown"] == pytest.approx(3.0) for row in rows)
 
     def test_slowdown_within_tolerance_passes(self, gate, baselines):
+        """1.2x degradation passes the noise-tolerant perf checks — but
+        the exact chaos-rate pins (tol 1.0x) fail on any drop at all."""
         rows = gate.compare(_slowed(gate, baselines, 1.2), baselines)
-        assert all(row["ok"] for row in rows)
+        by_kind = {row["kind"]: row["ok"] for row in rows}
+        assert all(row["ok"] for row in rows if row["kind"] != "rate")
+        assert by_kind["rate"] is False
 
     def test_speedup_tolerance_tighter_than_time_tolerance(self, gate, baselines):
         rows = gate.compare(_slowed(gate, baselines, 2.0), baselines)
         by_kind = {row["kind"]: row["ok"] for row in rows}
         assert by_kind["speedup"] is False  # 2.0 > 1.5
         assert by_kind["seconds"] is True  # 2.0 < 2.5
+
+    def test_rate_checks_pin_exact_values(self, gate, baselines):
+        """The chaos invariants are booleans recorded as rates: equality
+        passes, and even a 1% drop (one lost request in a hundred) fails."""
+        rate_checks = [chk for chk in gate.CHECKS if chk.kind == "rate"]
+        assert rate_checks, "expected chaos rate checks in CHECKS"
+        assert all(chk.tol == 1.0 for chk in rate_checks)
+        measured = _as_measured(gate, baselines)
+        rows = {row["check"]: row for row in gate.compare(measured, baselines)}
+        assert all(rows[chk.name]["ok"] for chk in rate_checks)
+        victim = rate_checks[0]
+        gate._assign(
+            measured[victim.source],
+            victim.path,
+            gate._lookup(baselines[victim.source], victim.path) * 0.99,
+        )
+        rows = {row["check"]: row for row in gate.compare(measured, baselines)}
+        assert not rows[victim.name]["ok"]
+        assert rows[victim.name]["tolerance"] == 1.0
 
     def test_missing_metric_is_a_failure(self, gate, baselines):
         measured = _as_measured(gate, baselines)
@@ -160,12 +183,31 @@ class TestMainExitCodes:
         assert "FAIL" in capsys.readouterr().out
 
     def test_tolerance_flags_respected(self, gate, baselines, tmp_path):
-        path = self._write(tmp_path, _slowed(gate, baselines, 2.5))
+        measured = _slowed(gate, baselines, 2.5)
+        # the CLI noise tolerances apply to perf checks only — restore the
+        # exact-pin rate metrics, which no flag is allowed to loosen
+        for chk in gate.CHECKS:
+            if chk.kind == "rate":
+                gate._assign(
+                    measured[chk.source],
+                    chk.path,
+                    gate._lookup(baselines[chk.source], chk.path),
+                )
+        path = self._write(tmp_path, measured)
         assert (
             gate.main(
                 ["--measured", path, "--tolerance", "5", "--time-tolerance", "5"]
             )
             == 0
+        )
+
+    def test_tolerance_flags_never_loosen_rate_pins(self, gate, baselines, tmp_path):
+        path = self._write(tmp_path, _slowed(gate, baselines, 1.01))
+        assert (
+            gate.main(
+                ["--measured", path, "--tolerance", "5", "--time-tolerance", "5"]
+            )
+            == 1
         )
 
     def test_json_report_written(self, gate, baselines, tmp_path):

@@ -554,7 +554,14 @@ class TestSmallSamplePercentiles:
         metrics.record_submit()
         metrics.record_done(0.03, failed=True)
         counts = metrics.counts()
-        assert counts == {"submitted": 3, "completed": 2, "failed": 1}
+        assert counts == {
+            "submitted": 3,
+            "completed": 2,
+            "failed": 1,
+            "shed": 0,
+            "timeouts": 0,
+            "degraded": 0,
+        }
         snap = metrics.snapshot()
         assert snap["requests_completed"] == counts["completed"]
         assert snap["requests_failed"] == counts["failed"]

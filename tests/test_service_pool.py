@@ -7,6 +7,8 @@ not throughput; the scaling numbers live in benchmarks/bench_service.py.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,8 @@ from repro.experiments.workloads import metro_disk_scene, metro_protocol_scene
 from repro.service import (
     AuctionRequest,
     AuctionService,
+    FaultPlan,
+    FaultSpec,
     WorkerCrashError,
     poisson_trace,
 )
@@ -100,27 +104,56 @@ class TestCrashRecovery:
     def test_crashed_worker_respawns_and_batch_retries(self, scene):
         """A worker killed mid-batch must not hang the queue: the pool
         respawns it and the respawned incarnation serves the retry."""
-        service = make_service(scene, num_shards=1, coalesce_window=0.0)
+        plan = FaultPlan(
+            # incarnation 0 dies on its first batch, incarnation 1 solves
+            [FaultSpec(site="pool.worker.batch", kind="crash", generations=(0,))]
+        )
+        service = make_service(
+            scene,
+            num_shards=1,
+            coalesce_window=0.0,
+            fault_plan=plan,
+            pool_config={"respawn_backoff": 0.01},
+        )
         [scene_id] = service.registry.ids()
         vals = random_xor_valuations(N, K, seed=5)
         reference = make_service(scene, executor="serial")
         expected = reference.solve_batch(
             [AuctionRequest(scene_id, K, vals, seed=9)]
         )[0]
-        # the fault-injection hook: incarnation 0 dies, incarnation 1 solves
-        crashing = AuctionRequest(
-            scene_id, K, vals, seed=9, metadata={"_crash_worker": 0}
-        )
-        future = service.submit(crashing)
+        future = service.submit(AuctionRequest(scene_id, K, vals, seed=9))
         assert future.result(timeout=180).allocation == expected.allocation
         stats = service._pool.stats()
         assert stats["restarts"] == 1
         assert stats["retried_batches"] == 1
         assert stats["failed_batches"] == 0
+        assert stats["breaker_trips"] == 0
+        assert stats["healthy"]
         assert service.close(timeout=180)
         assert not any(w["alive"] for w in service._pool.stats()["workers"])
         assert service.metrics.counts()["failed"] == 0
         reference.close()
+
+    def test_legacy_crash_worker_metadata_shim(self, scene):
+        """Deprecation pin: the PR 6 ``metadata["_crash_worker"]`` hook
+        still kills the named incarnation (via the faults-module shim)
+        until a major version removes it — new code uses FaultPlan."""
+        service = make_service(
+            scene,
+            num_shards=1,
+            coalesce_window=0.0,
+            pool_config={"respawn_backoff": 0.01},
+        )
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=5)
+        crashing = AuctionRequest(
+            scene_id, K, vals, seed=9, metadata={"_crash_worker": 0}
+        )
+        assert service.submit(crashing).result(timeout=180).feasible
+        stats = service._pool.stats()
+        assert stats["restarts"] == 1
+        assert stats["retried_batches"] == 1
+        assert service.close(timeout=180)
 
     def test_killed_idle_worker_recovers_on_next_batch(self, scene):
         service = make_service(scene, num_shards=1, coalesce_window=0.0)
@@ -135,16 +168,25 @@ class TestCrashRecovery:
         assert service.close(timeout=180)
 
     def test_exhausted_retries_fail_future_but_not_service(self, scene):
+        plan = FaultPlan(
+            # incarnations 0 and 1 both crash: the attempt and its single
+            # retry die, so the batch fails typed; incarnation 2 is clean
+            [FaultSpec(site="pool.worker.batch", kind="crash", generations=(0, 1))]
+        )
         service = make_service(
-            scene, num_shards=1, coalesce_window=0.0, worker_retries=1
+            scene,
+            num_shards=1,
+            coalesce_window=0.0,
+            worker_retries=1,
+            fault_plan=plan,
+            pool_config={"respawn_backoff": 0.01},
         )
         [scene_id] = service.registry.ids()
         vals = random_xor_valuations(N, K, seed=7)
-        doomed = AuctionRequest(
-            scene_id, K, vals, seed=2, metadata={"_crash_worker": "always"}
-        )
         with pytest.raises(WorkerCrashError):
-            service.submit(doomed).result(timeout=180)
+            service.submit(AuctionRequest(scene_id, K, vals, seed=2)).result(
+                timeout=180
+            )
         stats = service._pool.stats()
         assert stats["failed_batches"] == 1
         assert stats["restarts"] == 2  # initial attempt + one retry
@@ -155,6 +197,137 @@ class TestCrashRecovery:
         counts = service.metrics.counts()
         assert counts["failed"] == 1
         assert counts["completed"] == 1
+
+
+class TestCircuitBreaker:
+    def test_exhausted_respawn_budget_trips_breaker(self, scene):
+        """Consecutive crashes beyond respawn_limit stop the respawn loop:
+        the slot's breaker opens, further jobs fail typed (no routable
+        worker left), and the pool reports itself unhealthy."""
+        plan = FaultPlan(
+            [FaultSpec(site="pool.worker.batch", kind="crash")]  # every batch
+        )
+        service = make_service(
+            scene,
+            num_shards=1,
+            coalesce_window=0.0,
+            worker_retries=0,
+            fault_plan=plan,
+            pool_config={
+                "respawn_limit": 1,
+                "respawn_backoff": 0.01,
+                "breaker_cooldown": 60.0,
+            },
+        )
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=11)
+        for i in range(3):
+            with pytest.raises(WorkerCrashError):
+                service.submit(AuctionRequest(scene_id, K, vals, seed=i)).result(
+                    timeout=180
+                )
+        stats = service._pool.stats()
+        assert stats["breaker_trips"] == 1
+        assert stats["restarts"] == 1  # one respawn, then the trip
+        assert stats["failed_batches"] == 3
+        assert stats["workers"][0]["breaker_open"]
+        assert not stats["healthy"]
+        assert not service.healthy()
+        assert service.metrics.counts()["failed"] == 3
+        assert service.close(timeout=180)  # a tripped slot closes cleanly
+
+    def test_half_open_probe_recovers_after_cooldown(self, scene):
+        """Once the cooldown elapses, one probe incarnation is allowed;
+        a clean batch closes the breaker and resets the crash streak."""
+        plan = FaultPlan(
+            # only incarnation 0 crashes: the probe (incarnation 1) is clean
+            [FaultSpec(site="pool.worker.batch", kind="crash", generations=(0,))]
+        )
+        service = make_service(
+            scene,
+            num_shards=1,
+            coalesce_window=0.0,
+            worker_retries=1,
+            fault_plan=plan,
+            pool_config={
+                "respawn_limit": 0,  # first crash trips immediately
+                "respawn_backoff": 0.01,
+                "breaker_cooldown": 0.3,
+            },
+        )
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=12)
+        with pytest.raises(WorkerCrashError):
+            service.submit(AuctionRequest(scene_id, K, vals, seed=1)).result(
+                timeout=180
+            )
+        assert service._pool.stats()["workers"][0]["breaker_open"]
+        time.sleep(0.4)  # past the cooldown: the next job probes the slot
+        ok = service.submit(AuctionRequest(scene_id, K, vals, seed=2))
+        assert ok.result(timeout=180).feasible
+        stats = service._pool.stats()
+        assert stats["breaker_trips"] == 1
+        assert not stats["workers"][0]["breaker_open"]
+        assert stats["workers"][0]["consecutive_failures"] == 0
+        assert stats["healthy"]
+        assert service.healthy()
+        assert service.close(timeout=180)
+
+    def test_open_breaker_routes_batches_to_surviving_worker(self, scene):
+        """Routing skips breaker-open slots: a scene whose home shard is
+        tripped is served by the surviving worker, not queued forever."""
+        service = make_service(scene, num_shards=2, coalesce_window=0.0)
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=13)
+        service.submit(AuctionRequest(scene_id, K, vals, seed=1)).result(timeout=180)
+        pool = service._pool
+        home = pool.home_of(scene_id)
+        handle = pool._workers[home]
+        with pool._lock:  # trip the home shard's breaker by hand
+            handle.process.terminate()
+            handle.process.join(5.0)
+            handle.process = None
+            handle.conn = None
+            handle.breaker_trips += 1
+            handle.breaker_until = time.monotonic() + 60.0
+        ok = service.submit(AuctionRequest(scene_id, K, vals, seed=2))
+        assert ok.result(timeout=180).feasible
+        stats = pool.stats()
+        assert stats["workers"][home]["breaker_open"]
+        assert stats["workers"][1 - home]["jobs"] >= 1
+        assert not stats["healthy"]
+        assert service.close(timeout=180)
+
+    def test_injected_spawn_failure_is_absorbed_by_retry(self, scene):
+        """A worker that dies *at spawn* (the respawn-storm case) is
+        detected on first contact; the backoff respawn brings up a clean
+        incarnation that serves the retried batch."""
+        plan = FaultPlan(
+            [FaultSpec(site="pool.worker.spawn", kind="crash", generations=(0,))]
+        )
+        service = make_service(
+            scene,
+            num_shards=1,
+            coalesce_window=0.0,
+            worker_retries=1,
+            fault_plan=plan,
+            pool_config={"respawn_backoff": 0.01},
+        )
+        [scene_id] = service.registry.ids()
+        vals = random_xor_valuations(N, K, seed=14)
+        reference = make_service(scene, executor="serial")
+        expected = reference.solve_batch(
+            [AuctionRequest(scene_id, K, vals, seed=3)]
+        )[0]
+        future = service.submit(AuctionRequest(scene_id, K, vals, seed=3))
+        assert future.result(timeout=180).allocation == expected.allocation
+        stats = service._pool.stats()
+        assert stats["restarts"] == 1
+        assert stats["retried_batches"] == 1
+        assert stats["failed_batches"] == 0
+        assert stats["healthy"]
+        assert service.close(timeout=180)
+        reference.close()
 
 
 class TestSceneShippingAndStats:
@@ -228,6 +401,12 @@ class TestValidation:
             ProcessShardPool(SceneRegistry(), 1, max_retries=-1)
         with pytest.raises(ValueError):
             ProcessShardPool(SceneRegistry(), 1, start_method="hologram")
+        with pytest.raises(ValueError):
+            ProcessShardPool(SceneRegistry(), 1, respawn_limit=-1)
+        with pytest.raises(ValueError):
+            ProcessShardPool(SceneRegistry(), 1, respawn_backoff=-0.1)
+        with pytest.raises(ValueError):
+            ProcessShardPool(SceneRegistry(), 1, breaker_cooldown=-1.0)
 
     def test_submit_requires_started_pool(self, scene):
         from repro.service.pool import ProcessShardPool
