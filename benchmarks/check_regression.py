@@ -1,16 +1,18 @@
 """CI perf-regression gate: re-measure smoke workloads, compare to baselines.
 
-The repo commits five benchmark baselines — BENCH_engine.json (PR 1),
+The repo commits six benchmark baselines — BENCH_engine.json (PR 1),
 BENCH_scale.json (PR 2), BENCH_service.json (PR 4), BENCH_mechanism.json
-(PR 5), BENCH_chaos.json (PR 8) — that CI used to run but never compare
+(PR 5), BENCH_chaos.json (PR 8), BENCH_gateway.json (PR 9) — that CI
+used to run but never compare
 against, so a PR could quietly halve the engine's speedups.  This script
 closes the loop:
 
 1. **measure** — re-run budgeted versions of the baseline workloads
    (the n=40 engine fleets, one n=1000 scale point, the n=300 service
    smoke scenario, the n=300 process-pool smoke, the n=150
-   truthful-mechanism smoke trace, the chaos scenarios at n=120; a few
-   CPU-seconds each, best-of ``--repeats``);
+   truthful-mechanism smoke trace, the chaos scenarios at n=120, the
+   n=300 gateway smoke over a localhost socket; a few CPU-seconds each,
+   best-of ``--repeats``);
 2. **compare** — each checked metric's *slowdown factor* against the
    committed baseline must stay under the noise tolerance.
 
@@ -56,6 +58,7 @@ BASELINE_FILES = {
     "service": REPO / "BENCH_service.json",
     "mechanism": REPO / "BENCH_mechanism.json",
     "chaos": REPO / "BENCH_chaos.json",
+    "gateway": REPO / "BENCH_gateway.json",
 }
 
 SPEEDUP_TOLERANCE = 1.5
@@ -74,7 +77,7 @@ def _lookup(data: dict, path: str) -> float:
 class Check:
     """One gated metric: where it lives and how slowdown is computed."""
 
-    source: str  # baseline family: engine | scale | service | mechanism | chaos
+    source: str  # family: engine | scale | service | mechanism | chaos | gateway
     path: str  # dotted path into both the baseline and the measured dict
     # "speedup": self-normalized ratio, higher is better, tight tolerance.
     # "seconds" / "throughput": absolute wall-clock-dependent values (lower /
@@ -134,6 +137,10 @@ CHECKS = [
     Check("chaos", "slow_worker_n300.completion_rate", "rate", tol=1.0),
     Check("chaos", "slow_worker_n300.invariants_ok", "rate", tol=1.0),
     Check("chaos", "overload_shed_n300.criterion_ok", "rate", tol=1.0),
+    # gateway family: HTTP serving-edge smoke — replay parity over the wire
+    # is an exact pin, throughput rides the wall-clock tolerance
+    Check("gateway", "smoke_n300.replay_identical", "rate", tol=1.0),
+    Check("gateway", "smoke_n300.gateway.throughput_rps", "throughput"),
 ]
 
 
@@ -152,6 +159,7 @@ def measure(repeats: int = 2) -> dict:
     sys.path.insert(0, str(pathlib.Path(__file__).parent))
     import bench_chaos
     import bench_engine
+    import bench_gateway
     import bench_mechanism
     import bench_scale
     import bench_service
@@ -219,6 +227,10 @@ def measure(repeats: int = 2) -> dict:
     # metrics are invariant verdicts, and a verdict that only holds on the
     # best of N runs is exactly the flakiness the gate exists to catch
     chaos_runs = [bench_chaos.measure_gate(num_requests=120, overload_requests=200)]
+    # gateway: replay parity is asserted inside bench_smoke (a divergence
+    # raises, failing the measurement outright); best-of applies to the
+    # throughput metric only
+    gateway_runs = [{"smoke_n300": bench_gateway.bench_smoke()} for _ in range(repeats)]
 
     runs = {
         "engine": engine_runs,
@@ -226,6 +238,7 @@ def measure(repeats: int = 2) -> dict:
         "service": service_runs,
         "mechanism": mechanism_runs,
         "chaos": chaos_runs,
+        "gateway": gateway_runs,
     }
     measured: dict = {name: {} for name in runs}
     for chk in CHECKS:

@@ -1,7 +1,7 @@
 """Auction service layer: serve allocation requests over the batch engine.
 
-The modules (see DESIGN.md → "The auction service" and "Fault tolerance
-& chaos"):
+The modules (see DESIGN.md → "The auction service", "Fault tolerance &
+chaos", and "The serving edge"):
 
 * :mod:`repro.service.scenes` — content-hash scene registry, so
   structurally identical interference scenes share one canonical object
@@ -15,6 +15,18 @@ The modules (see DESIGN.md → "The auction service" and "Fault tolerance
   ``executor="process"`` service configuration — the GIL-free shard tier
   for distinct-heavy traffic — with capped-backoff respawn and
   per-worker circuit breakers;
+* :mod:`repro.service.wire` — the versioned wire schema
+  (``schema_version`` :data:`SCHEMA_VERSION`): :class:`AuctionRequest` /
+  :class:`AuctionResponse` with exact JSON round trips, and every typed
+  error mapped to a stable ``error_code`` + HTTP status
+  (:data:`WIRE_ERROR_CODES`);
+* :mod:`repro.service.gateway` — :class:`AuctionGateway`, the
+  stdlib-asyncio HTTP/1.1 front-end serving the wire schema over
+  localhost sockets (plus :class:`GatewayServer`, its sync wrapper);
+* :mod:`repro.service.client` — :class:`GatewayClient` (asyncio,
+  pooled keep-alive connections, typed-error reconstruction) and
+  :class:`SyncGatewayClient` (future-based ``submit``, mirroring the
+  in-process service);
 * :mod:`repro.service.traffic` — open-loop Poisson/burst/replay traffic
   over the metro workload family;
 * :mod:`repro.service.metrics` — throughput, latency percentiles, cache
@@ -29,6 +41,7 @@ The modules (see DESIGN.md → "The auction service" and "Fault tolerance
 """
 
 from repro.service.chaos import ChaosReport, run_matrix, run_scenario
+from repro.service.client import GatewayClient, SyncGatewayClient
 from repro.service.errors import (
     DeadlineExceeded,
     InjectedFaultError,
@@ -36,11 +49,12 @@ from repro.service.errors import (
     ShedError,
 )
 from repro.service.faults import FAULT_SITES, FaultPlan, FaultSpec
+from repro.service.gateway import AuctionGateway, GatewayServer
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import ProcessShardPool, WorkerCrashError
 from repro.service.scenarios import Scenario, scenario_library
 from repro.service.scenes import SceneRegistry, scene_fingerprint
-from repro.service.service import AuctionRequest, AuctionService
+from repro.service.service import AuctionService
 from repro.service.traffic import (
     TrafficRequest,
     TrafficTrace,
@@ -49,10 +63,37 @@ from repro.service.traffic import (
     poisson_trace,
     save_trace,
 )
+from repro.service.wire import (
+    SCHEMA_VERSION,
+    WIRE_ERROR_CODES,
+    AuctionRequest,
+    AuctionResponse,
+    decode_valuation,
+    encode_valuation,
+    error_from_wire,
+    error_to_wire,
+    http_status_for,
+    request_from_wire,
+    request_to_wire,
+)
 
 __all__ = [
     "AuctionRequest",
+    "AuctionResponse",
     "AuctionService",
+    "SCHEMA_VERSION",
+    "WIRE_ERROR_CODES",
+    "encode_valuation",
+    "decode_valuation",
+    "request_to_wire",
+    "request_from_wire",
+    "error_to_wire",
+    "error_from_wire",
+    "http_status_for",
+    "AuctionGateway",
+    "GatewayServer",
+    "GatewayClient",
+    "SyncGatewayClient",
     "ProcessShardPool",
     "WorkerCrashError",
     "SceneRegistry",

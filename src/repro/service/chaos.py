@@ -31,8 +31,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro.service.client import SyncGatewayClient
 from repro.service.errors import ServiceFaultError, ShedError
 from repro.service.faults import FaultPlan
+from repro.service.gateway import GatewayServer
 from repro.service.pool import WorkerCrashError
 from repro.service.scenarios import Scenario, scenario_library
 
@@ -59,6 +61,7 @@ class ChaosReport:
     replay_mismatches: int
     pool_healthy: bool
     p99_seconds: float | None
+    transport: str = "in-process"
     fired: dict[str, int] = field(default_factory=dict)
     invariants: dict[str, bool] = field(default_factory=dict)
 
@@ -82,6 +85,7 @@ class ChaosReport:
             "failed_untyped": self.failed_untyped,
             "replay_mismatches": self.replay_mismatches,
             "completion_rate": self.completion_rate,
+            "transport": self.transport,
             "pool_healthy": self.pool_healthy,
             "p99_seconds": self.p99_seconds,
             "fired": self.fired,
@@ -127,6 +131,7 @@ def run_scenario(
     fault_plan: FaultPlan | None | object = _UNSET,
     check_replay: bool = True,
     warmup_profiles: bool = False,
+    transport: str = "in-process",
 ) -> ChaosReport:
     """Run one scenario end to end and evaluate the invariants.
 
@@ -138,7 +143,20 @@ def run_scenario(
     and then resets the metrics, so the reported latencies measure the
     steady state (warm caches) instead of cold-start LP solves — the
     overload benchmark compares unloaded vs overloaded tails this way.
+
+    ``transport="gateway"`` drives the same service through a real
+    localhost HTTP gateway (:class:`~repro.service.gateway.GatewayServer`
+    + :class:`~repro.service.client.SyncGatewayClient`) instead of
+    in-process ``submit``: the invariants must hold across the wire too.
+    Two accounting consequences are inherent to the network boundary —
+    admission-control sheds arrive asynchronously as
+    :class:`~repro.service.errors.ShedError`-failed futures (and are
+    counted into ``shed``, exactly as the synchronous path counts them),
+    and draining means awaiting every HTTP response rather than the
+    service queue alone.
     """
+    if transport not in ("in-process", "gateway"):
+        raise ValueError(f"unknown transport {transport!r}")
     plan = scenario.fault_plan if fault_plan is _UNSET else fault_plan
     if plan is not None:
         plan.reset()  # re-arm: fire caps and streams start fresh per run
@@ -146,9 +164,15 @@ def run_scenario(
     trace = scenario.build_trace(registry, scene_ids)
 
     service = scenario.build_service(registry, fault_plan=plan)
+    server: GatewayServer | None = None
+    client: SyncGatewayClient | None = None
     slots: list[Any | None] = [None] * len(trace)  # future or None (shed)
     shed = 0
     try:
+        if transport == "gateway":
+            server = GatewayServer(service).start()
+            client = SyncGatewayClient(port=server.port)
+        submit = service.submit if client is None else client.submit
         if warmup_profiles:
             _warm_profiles(service, trace)
         t0 = time.perf_counter()
@@ -157,13 +181,24 @@ def run_scenario(
             if delay > 0:
                 time.sleep(delay)
             try:
-                slots[i] = service.submit(item.request)
+                slots[i] = submit(item.request)
             except ShedError:  # repro: allow[silent-except] -- counted into the report
                 shed += 1
+        if client is not None:
+            # over HTTP "drained" means every response has arrived, not
+            # just that the service queue is empty — responses still in
+            # flight on the gateway loop are otherwise invisible here
+            for future in slots:
+                if future is not None:
+                    future.exception(timeout=300)
         service.drain()
         pool_healthy = service.healthy()
         snapshot = service.metrics_snapshot()
     finally:
+        if client is not None:
+            client.close()
+        if server is not None:
+            server.close()
         service.close()
 
     completed = degraded = failed_typed = failed_untyped = 0
@@ -182,6 +217,11 @@ def run_scenario(
             details = getattr(results[i], "details", None)
             if isinstance(details, dict) and details.get("degraded"):
                 degraded += 1
+        elif isinstance(exc, ShedError):
+            # gateway transport: the 503 surfaces on the future instead of
+            # synchronously at submit; same meaning — never accepted
+            slots[i] = None
+            shed += 1
         elif isinstance(exc, TYPED_FAILURES):
             failed_typed += 1
         else:
@@ -219,6 +259,7 @@ def run_scenario(
         replay_mismatches=mismatches,
         pool_healthy=pool_healthy,
         p99_seconds=latency.get("p99"),
+        transport=transport,
         fired={} if plan is None else plan.fired_counts(),
     )
     report.invariants = {

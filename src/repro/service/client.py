@@ -1,0 +1,273 @@
+"""Clients for the auction gateway (wire schema over HTTP/1.1).
+
+:class:`GatewayClient` is the asyncio client: a keep-alive connection
+pool over :func:`asyncio.open_connection`, one coroutine per in-flight
+request, decoding success payloads to
+:class:`~repro.service.wire.AuctionResponse` and error payloads back to
+the *typed exception* the in-process API would have raised
+(:func:`~repro.service.wire.error_from_wire`) — so ``try/except
+ShedError`` works identically whether the service is local or across
+the network.
+
+:class:`SyncGatewayClient` wraps it for synchronous callers by running
+an event loop on a daemon thread; its ``submit`` mirrors
+:meth:`AuctionService.submit`'s future-based contract
+(``submit(request) -> concurrent.futures.Future``), which is what lets
+the chaos harness and the open-loop benchmark drive a gateway exactly
+like an in-process service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Any
+
+from repro.io import _structure_to_dict
+from repro.service.wire import (
+    AuctionResponse,
+    error_from_wire,
+    request_to_wire,
+)
+
+if TYPE_CHECKING:
+    from repro.conflicts.base import AnyStructure
+    from repro.service.wire import AuctionRequest
+
+__all__ = ["GatewayClient", "SyncGatewayClient"]
+
+_Connection = tuple[asyncio.StreamReader, asyncio.StreamWriter]
+
+
+class GatewayClient:
+    """Asyncio client for one gateway endpoint, pooling keep-alive
+    connections up to ``max_connections`` (back-pressure beyond that is a
+    semaphore wait, not a connect storm)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, max_connections: int = 128
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._idle: list[_Connection] = []
+        self._gate = asyncio.Semaphore(max_connections)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    async def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """One HTTP exchange on a pooled connection; returns (status, payload)."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        payload = b"" if body is None else json.dumps(body).encode()
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
+        request = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
+            "\r\n"
+        ).encode("latin-1") + payload
+        async with self._gate:
+            reader, writer = await self._checkout()
+            try:
+                writer.write(request)
+                await writer.drain()
+                status, response = await self._read_response(reader)
+            except BaseException:
+                writer.close()  # a half-used connection cannot be pooled
+                raise
+            self._checkin((reader, writer))
+        return status, response
+
+    async def _checkout(self) -> _Connection:
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+            writer.close()
+        return await asyncio.open_connection(self.host, self.port)
+
+    def _checkin(self, conn: _Connection) -> None:
+        if self._closed or conn[1].is_closing():
+            conn[1].close()
+        else:
+            self._idle.append(conn)
+
+    async def _read_response(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any]]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await reader.readexactly(length) if length else b""
+        payload = json.loads(body) if body else {}
+        if not isinstance(payload, dict):
+            raise ValueError(f"gateway returned a non-object body: {payload!r}")
+        return status, payload
+
+    @staticmethod
+    def _raise_if_error(payload: dict[str, Any]) -> dict[str, Any]:
+        if payload.get("status") == "error":
+            raise error_from_wire(payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    async def health(self) -> bool:
+        status, _payload = await self._exchange("GET", "/v1/health")
+        return status == 200
+
+    async def metrics(self) -> dict[str, Any]:
+        _status, payload = await self._exchange("GET", "/v1/metrics")
+        return self._raise_if_error(payload)
+
+    async def register_scene(self, structure: AnyStructure) -> str:
+        """Register a conflict structure; returns its fingerprint scene id."""
+        _status, payload = await self._exchange(
+            "POST", "/v1/scenes", {"structure": _structure_to_dict(structure)}
+        )
+        return str(self._raise_if_error(payload)["scene_id"])
+
+    async def solve(self, request: AuctionRequest) -> AuctionResponse:
+        """Solve one request; raises the typed error on failure.
+
+        A ``request.deadline`` travels as the ``X-Auction-Deadline``
+        header — exercising the same path a non-Python client would use —
+        and is enforced server-side by the service's EWMA triage.
+        """
+        headers = (
+            {"X-Auction-Deadline": repr(request.deadline)}
+            if request.deadline is not None
+            else None
+        )
+        _status, payload = await self._exchange(
+            "POST", "/v1/solve", request_to_wire(request), headers
+        )
+        return AuctionResponse.from_wire(self._raise_if_error(payload))
+
+    async def solve_batch(
+        self, requests: list[AuctionRequest]
+    ) -> list[AuctionResponse | Exception]:
+        """Solve a batch in one exchange; per-item failures come back as
+        the typed exception *instances* in request order (mirroring how
+        the in-process API fails futures individually)."""
+        _status, payload = await self._exchange(
+            "POST",
+            "/v1/solve-batch",
+            {"requests": [request_to_wire(r) for r in requests]},
+        )
+        envelopes = self._raise_if_error(payload)["responses"]
+        return [
+            error_from_wire(item)
+            if item.get("status") == "error"
+            else AuctionResponse.from_wire(item)
+            for item in envelopes
+        ]
+
+    async def close(self) -> None:
+        self._closed = True
+        while self._idle:
+            _reader, writer = self._idle.pop()
+            writer.close()
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+
+class SyncGatewayClient:
+    """Synchronous facade: :class:`GatewayClient` on a daemon loop thread.
+
+    ``submit(request)`` returns a :class:`concurrent.futures.Future`
+    resolving to an :class:`~repro.service.wire.AuctionResponse` or
+    failing with the typed error — the same contract as
+    :meth:`AuctionService.submit`, so open-loop drivers and the chaos
+    harness can target a gateway without changing shape.  (One
+    difference is inherent to the network boundary: admission-control
+    sheds arrive asynchronously as a failed future, not as a synchronous
+    ``ShedError`` from ``submit``.)
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, max_connections: int = 128
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="gateway-client-loop", daemon=True
+        )
+        self._thread.start()
+
+        async def make_client() -> GatewayClient:
+            return GatewayClient(host, port, max_connections)
+
+        self._client: GatewayClient = asyncio.run_coroutine_threadsafe(
+            make_client(), self._loop
+        ).result(timeout=30)
+
+    def submit(self, request: AuctionRequest) -> Future[AuctionResponse]:
+        """Start one solve; returns a future (typed error on failure)."""
+        return asyncio.run_coroutine_threadsafe(
+            self._client.solve(request), self._loop
+        )
+
+    def solve(self, request: AuctionRequest) -> AuctionResponse:
+        return self.submit(request).result()
+
+    def solve_batch(
+        self, requests: list[AuctionRequest]
+    ) -> list[AuctionResponse | Exception]:
+        return asyncio.run_coroutine_threadsafe(
+            self._client.solve_batch(requests), self._loop
+        ).result()
+
+    def register_scene(self, structure: AnyStructure) -> str:
+        return asyncio.run_coroutine_threadsafe(
+            self._client.register_scene(structure), self._loop
+        ).result(timeout=30)
+
+    def metrics(self) -> dict[str, Any]:
+        return asyncio.run_coroutine_threadsafe(
+            self._client.metrics(), self._loop
+        ).result(timeout=30)
+
+    def health(self) -> bool:
+        return asyncio.run_coroutine_threadsafe(
+            self._client.health(), self._loop
+        ).result(timeout=30)
+
+    def close(self) -> None:
+        loop, thread = self._loop, self._thread
+        if not loop.is_closed():
+            asyncio.run_coroutine_threadsafe(self._client.close(), loop).result(
+                timeout=30
+            )
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30)
+            loop.close()
+
+    def __enter__(self) -> "SyncGatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

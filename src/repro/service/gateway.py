@@ -1,0 +1,440 @@
+"""Asyncio HTTP/1.1 gateway: the network-facing edge of the auction service.
+
+:class:`AuctionGateway` serves the versioned wire schema
+(:mod:`repro.service.wire`) over plain HTTP/1.1 on the stdlib event loop
+— no web framework, no extra dependency — in front of a backing
+:class:`~repro.service.AuctionService`.  The event loop only parses,
+routes, and encodes; every solve is bridged onto the service's own
+dispatcher/shard machinery by wrapping the ``submit`` future with
+:func:`asyncio.wrap_future`, so thousands of concurrent connections cost
+one coroutine each while the thread or process executor does the actual
+work.
+
+Endpoints (all request/response bodies are JSON; see DESIGN.md → "The
+serving edge" for the full table):
+
+========  ====================  =============================================
+method    path                  semantics
+========  ====================  =============================================
+POST      ``/v1/scenes``        register a conflict structure (io-layer
+                                schema); returns its content-hash
+                                ``scene_id`` — the fingerprint clients
+                                re-solve by, so shard affinity survives the
+                                network boundary
+POST      ``/v1/solve``         one wire request → one wire response
+POST      ``/v1/solve-batch``   ``{"requests": [...]}`` → per-item success
+                                *or* error envelopes, submitted concurrently
+                                so the service can coalesce them
+GET       ``/v1/metrics``       the service metrics snapshot plus gateway
+                                HTTP counters
+GET       ``/v1/health``        200 while the service can serve, 503 after
+                                close or an all-breakers-open pool
+========  ====================  =============================================
+
+Failure semantics are the wire schema's: every typed service failure
+maps to a distinct HTTP status with a machine-readable ``error_code``
+(shed → 503, deadline-exceeded → 504, worker-crash → 502, injected
+fault → 500, malformed request → 400, unknown scene → 404), and the
+asyncio client (:mod:`repro.service.client`) reconstructs the exact
+exception type — the PR 8 fault-tolerance contract crosses the wire
+unchanged.  Deadlines propagate from the ``X-Auction-Deadline`` header
+(seconds of budget; overrides the body's ``deadline`` field) into the
+request the service triages with its EWMA solve-time estimate.
+
+:class:`GatewayServer` runs the event loop on a background thread for
+synchronous callers (benchmarks, tests, the chaos harness's gateway
+transport); async applications embed :class:`AuctionGateway` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.io import _structure_from_dict
+from repro.service.errors import ShedError
+from repro.service.wire import (
+    SCHEMA_VERSION,
+    error_to_wire,
+    http_status_for,
+    request_from_wire,
+)
+
+if TYPE_CHECKING:
+    from repro.service.service import AuctionService
+    from repro.service.wire import AuctionRequest
+
+__all__ = ["AuctionGateway", "GatewayServer"]
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 256 * 1024 * 1024
+
+# the peer vanishing mid-exchange is a per-connection event, not a
+# service failure: the connection handler just ends
+_PEER_GONE = (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError)
+
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _HttpError(Exception):
+    """A request-shaped failure with a wire error code attached."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "status": "error",
+            "error_code": self.code,
+            "message": str(self),
+        }
+
+
+class AuctionGateway:
+    """HTTP/1.1 front-end over one :class:`AuctionService` (asyncio)."""
+
+    def __init__(self, service: AuctionService) -> None:
+        self.service = service
+        # mutated only on the event loop (one thread), read via /v1/metrics
+        # on the same loop — no lock needed by construction
+        self._counters: dict[str, int] = {
+            "connections": 0,
+            "requests": 0,
+            "responses_ok": 0,
+            "responses_error": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # server lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        return await asyncio.start_server(self._handle_connection, host, port)
+
+    def counters(self) -> dict[str, int]:
+        """Gateway-level HTTP accounting (copied; loop-thread safe)."""
+        return dict(self._counters)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._counters["connections"] += 1
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                self._counters["requests"] += 1
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                status, payload = await self._dispatch(method, path, headers, body)
+                if status == 200:
+                    self._counters["responses_ok"] += 1
+                else:
+                    self._counters["responses_error"] += 1
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except _PEER_GONE:  # repro: allow[silent-except] -- peer hung up mid-request; per-connection, nothing to fail
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # repro: allow[silent-except] -- close raced the peer's reset
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between requests: keep-alive ended
+            raise
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError("bad-request", "header section too large") from exc
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _HttpError("bad-request", "header section too large")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, path, _version = lines[0].split(" ", 2)
+        except ValueError as exc:
+            raise _HttpError("bad-request", f"malformed request line {lines[0]!r}") from exc
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError("bad-request", f"body of {length} bytes exceeds limit")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        """Route one request; never raises — failures become error envelopes."""
+        try:
+            if path == "/v1/health" and method == "GET":
+                return self._health()
+            if path == "/v1/metrics" and method == "GET":
+                return 200, self._metrics()
+            if path == "/v1/scenes" and method == "POST":
+                return self._register_scene(self._json_body(body))
+            if path == "/v1/solve" and method == "POST":
+                request = self._decode_request(self._json_body(body), headers)
+                return await self._solve_one(request)
+            if path == "/v1/solve-batch" and method == "POST":
+                return await self._solve_batch(self._json_body(body), headers)
+            if path.startswith("/v1/"):
+                raise _HttpError("not-found", f"no such endpoint {path!r}")
+            raise _HttpError("not-found", f"unknown path {path!r} (try /v1/...)")
+        except _HttpError as exc:  # repro: allow[silent-except] -- returned to the client as its error envelope
+            return http_status_for(exc.code), exc.to_wire()
+        except asyncio.CancelledError:
+            raise  # server shutdown; not an error envelope
+        except BaseException as exc:  # noqa: BLE001  # repro: allow[silent-except] -- encoded into a typed wire error for the client
+            wire = error_to_wire(exc)
+            return http_status_for(str(wire["error_code"])), wire
+
+    def _json_body(self, body: bytes) -> dict[str, Any]:
+        try:
+            data = json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpError("bad-request", f"body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise _HttpError("bad-request", "body must be a JSON object")
+        return data
+
+    def _health(self) -> tuple[int, dict[str, Any]]:
+        healthy = self.service.healthy()
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok" if healthy else "error",
+            "healthy": healthy,
+        }
+        if not healthy:
+            payload["error_code"] = "service-fault"
+            payload["message"] = "service is closed or has no routable workers"
+        return (200 if healthy else 503), payload
+
+    def _metrics(self) -> dict[str, Any]:
+        snapshot = self.service.metrics_snapshot()
+        snapshot["schema_version"] = SCHEMA_VERSION
+        snapshot["gateway"] = self.counters()
+        return snapshot
+
+    def _register_scene(self, data: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        structure_data = data.get("structure", data)
+        if not isinstance(structure_data, dict) or "type" not in structure_data:
+            raise _HttpError(
+                "bad-request", "expected an io-layer structure object"
+            )
+        try:
+            structure = _structure_from_dict(structure_data)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise _HttpError("bad-request", f"malformed structure: {exc}") from exc
+        scene_id = self.service.register_scene(structure)
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "scene_id": scene_id,
+            "n": structure.n,
+        }
+
+    def _decode_request(
+        self, data: dict[str, Any], headers: dict[str, str]
+    ) -> AuctionRequest:
+        try:
+            request = request_from_wire(data)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise _HttpError("bad-request", f"malformed request: {exc}") from exc
+        if request.mode != "allocate":
+            raise _HttpError(
+                "bad-request",
+                f"mode {request.mode!r} is not servable over the wire "
+                "(schema_version 1 serializes allocate results only)",
+            )
+        deadline_header = headers.get("x-auction-deadline")
+        if deadline_header is not None:
+            try:
+                request.deadline = float(deadline_header)
+            except ValueError as exc:
+                raise _HttpError(
+                    "bad-request",
+                    f"X-Auction-Deadline {deadline_header!r} is not a number",
+                ) from exc
+        if request.deadline is not None and request.deadline <= 0:
+            raise _HttpError(
+                "bad-request", f"deadline must be positive, got {request.deadline}"
+            )
+        return request
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    async def _solve_one(self, request: AuctionRequest) -> tuple[int, dict[str, Any]]:
+        """Submit one request and await its (wrapped) service future."""
+        try:
+            future = self.service.submit(request)
+        except KeyError as exc:
+            raise _HttpError(
+                "unknown-scene",
+                f"scene {request.scene_id!r} is not registered; "
+                "POST it to /v1/scenes first",
+            ) from exc
+        except (ValueError, RuntimeError) as exc:
+            # invalid mode/deadline, or submit-after-close — nothing accepted
+            if isinstance(exc, ShedError):
+                raise  # typed shed keeps its 503, it is not a bad request
+            raise _HttpError("bad-request", str(exc)) from exc
+        result = await asyncio.wrap_future(future)
+        return 200, result.to_wire()
+
+    async def _solve_batch(
+        self, data: dict[str, Any], headers: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        """Submit a batch concurrently; one envelope per item, in order.
+
+        Items are submitted back to back *before* any is awaited, so the
+        service's coalescing window sees them as one arrival wave — the
+        wire-level equivalent of :meth:`AuctionService.solve_batch` —
+        and per-item failures stay per-item (HTTP 200 with mixed
+        envelopes), matching how the in-process API fails futures
+        individually.
+        """
+        items = data.get("requests")
+        if not isinstance(items, list):
+            raise _HttpError("bad-request", 'expected {"requests": [...]}')
+        requests = [self._decode_request(item, headers) for item in items]
+
+        async def run(request: AuctionRequest) -> dict[str, Any]:
+            try:
+                _status, payload = await self._solve_one(request)
+            except _HttpError as exc:  # repro: allow[silent-except] -- per-item error envelope in the batch response
+                return exc.to_wire()
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001  # repro: allow[silent-except] -- per-item typed wire error in the batch response
+                return error_to_wire(exc)
+            return payload
+
+        responses = await asyncio.gather(*(run(request) for request in requests))
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "responses": list(responses),
+        }
+
+
+class GatewayServer:
+    """Synchronous wrapper: the gateway's event loop on a daemon thread.
+
+    ``with GatewayServer(service) as server:`` binds an ephemeral
+    localhost port (``server.port``), serves until ``close()``, and never
+    outlives the interpreter (daemon thread).  The backing service is
+    *not* closed by this wrapper — the caller owns its lifecycle, so one
+    service can be driven through the gateway and in-process at once
+    (which is exactly how the replay-parity benchmark works).
+    """
+
+    def __init__(
+        self,
+        service: AuctionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.gateway = AuctionGateway(service)
+        self.host = host
+        self._requested_port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.Server | None = None
+        self.port: int = 0
+
+    def start(self) -> "GatewayServer":
+        """Start the loop thread and bind the listening socket."""
+        if self._thread is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="gateway-loop", daemon=True
+        )
+        self._thread.start()
+        started = asyncio.run_coroutine_threadsafe(
+            self.gateway.start(self.host, self._requested_port), self._loop
+        )
+        self._server = started.result(timeout=30)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop accepting, close the listener, and join the loop thread."""
+        loop, server, thread = self._loop, self._server, self._thread
+        if loop is None or thread is None:
+            return
+        if server is not None:
+
+            async def shutdown() -> None:
+                server.close()
+                await server.wait_closed()
+
+            asyncio.run_coroutine_threadsafe(shutdown(), loop).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+        loop.close()
+        self._loop = self._thread = self._server = None
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

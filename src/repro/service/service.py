@@ -64,17 +64,17 @@ import queue
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
 from repro.core.auction import AuctionProblem
-from repro.core.result import SolverResult
 from repro.engine.batch import BatchAuctionEngine
 from repro.engine.compiled import CompiledAuction, compile_structure
 from repro.engine.highs import warm_start_stats
 from repro.service.errors import DeadlineExceeded, InjectedFaultError, ShedError
 from repro.service.metrics import ServiceMetrics
 from repro.service.scenes import SceneRegistry
+from repro.service.wire import AuctionRequest, AuctionResponse
 from repro.util.lru import LRUCache
 from repro.util.rng import ensure_rng
 
@@ -86,8 +86,9 @@ if TYPE_CHECKING:
     from repro.service.pool import ProcessShardPool
     from repro.service.scenes import AnyStructure
     from repro.service.traffic import TrafficTrace
-    from repro.valuations.base import Valuation
 
+# AuctionRequest is defined in the wire module (the request *is* the
+# wire schema) and re-exported here for the pre-gateway import path
 __all__ = ["AuctionRequest", "AuctionService"]
 
 _EXECUTORS = ("serial", "thread", "process")
@@ -97,50 +98,9 @@ _REQUEST_MODES = ("allocate", "truthful")
 
 
 @dataclass
-class AuctionRequest:
-    """One request against a registered scene.
-
-    ``mode`` selects the pipeline: ``"allocate"`` runs the approximation
-    algorithm (LP + randomized rounding) and resolves to a
-    :class:`~repro.core.result.SolverResult`; ``"truthful"`` runs the
-    Section 5 truthful-in-expectation mechanism — Lavi–Swamy decomposition
-    plus scaled fractional VCG payments — and resolves to a
-    :class:`~repro.mechanism.truthful.MechanismOutcome` whose
-    ``sampled_allocation`` is drawn with this request's ``seed``.
-
-    ``profile_key`` declares that this exact valuation profile may recur
-    (license renewals, mechanism re-pricing probes): allocate requests
-    sharing ``(scene_id, k, profile_key)`` share one compiled auction and
-    one LP solve through the service's problem cache, and truthful
-    requests share one *prepared decomposition + payments* through the
-    mechanism cache (each request then only pays for sampling).  ``None``
-    marks the profile as one-off — nothing is cached beyond the scene's
-    compiled structure.  ``seed`` drives the rounding/sampling RNG; fixing
-    it makes the request's outcome reproducible bit-for-bit and
-    independent of how requests were coalesced.
-
-    ``deadline`` is a latency budget in seconds from submission (queued
-    path only; ``None`` = unbounded).  An accepted request whose budget
-    expires before dispatch fails typed with
-    :class:`~repro.service.errors.DeadlineExceeded`; one whose remaining
-    budget cannot fit an LP solve is served by the greedy baseline
-    instead, with ``details["degraded"]`` set on the result.
-    """
-
-    scene_id: str
-    k: int
-    valuations: list[Valuation]
-    seed: int | None = None
-    profile_key: str | None = None
-    mode: str = "allocate"
-    deadline: float | None = None
-    metadata: dict[str, Any] = field(default_factory=dict)
-
-
-@dataclass
 class _Pending:
     request: AuctionRequest
-    future: Future[SolverResult]
+    future: Future[AuctionResponse]
     submitted_at: float
     expires_at: float | None = None
 
@@ -416,7 +376,7 @@ class AuctionService:
 
     def _solve_group(
         self, group: list[tuple[AuctionRequest, CompiledAuction]]
-    ) -> list[SolverResult]:
+    ) -> list[AuctionResponse]:
         before = warm_start_stats()
         t0 = time.perf_counter()
         results = self.engine.solve_compiled(
@@ -427,15 +387,30 @@ class AuctionService:
         with self._state_lock:
             self._warm_totals["warm"] += after["warm"] - before["warm"]
             self._warm_totals["cold"] += after["cold"] - before["cold"]
+        per_request = elapsed / len(group) if group else 0.0
         if group:
-            self._observe_solve_time(elapsed / len(group))
-        return results
+            self._observe_solve_time(per_request)
+        # the engine's bare SolverResults gain the wire envelope here, so
+        # every path out of the service (queue, batch, pool, gateway)
+        # hands back the canonical AuctionResponse
+        return [
+            AuctionResponse.from_result(
+                result,
+                scene_id=req.scene_id,
+                seed=req.seed,
+                timing={"solve_seconds": per_request},
+            )
+            for (req, _), result in zip(group, results)
+        ]
 
-    def solve_batch(self, requests: list[AuctionRequest]) -> list[SolverResult]:
+    def solve_batch(self, requests: list[AuctionRequest]) -> list[AuctionResponse]:
         """Solve one coalesced batch synchronously, grouped by scene.
 
         This is the queueless entry point: results come back in request
-        order, and every request's latency is recorded from batch start
+        order — :class:`~repro.service.wire.AuctionResponse` for allocate
+        requests (the canonical wire-schema result),
+        :class:`~repro.mechanism.truthful.MechanismOutcome` for truthful
+        ones — and every request's latency is recorded from batch start
         (the queue-based path records from its actual submit instead).
         """
         bad = [r.mode for r in requests if r.mode not in _REQUEST_MODES]
@@ -451,7 +426,7 @@ class AuctionService:
         groups: dict[str, list[int]] = {}
         for i, request in enumerate(requests):
             groups.setdefault(request.scene_id, []).append(i)
-        results: list[SolverResult | None] = [None] * len(requests)
+        results: list[AuctionResponse | None] = [None] * len(requests)
         for indices in groups.values():
             solved = self._solve_scene_group([requests[i] for i in indices])
             for i, result in zip(indices, solved):
@@ -459,7 +434,7 @@ class AuctionService:
                 self.metrics.record_done(time.perf_counter() - start)
         return results  # type: ignore[return-value]
 
-    def run_trace(self, trace: TrafficTrace, realtime: bool = False) -> list[SolverResult]:
+    def run_trace(self, trace: TrafficTrace, realtime: bool = False) -> list[AuctionResponse]:
         """Replay a :class:`~repro.service.traffic.TrafficTrace`.
 
         ``realtime=False`` (default) simulates the open-loop arrival
@@ -473,14 +448,14 @@ class AuctionService:
         requests = list(trace)
         if realtime:
             t0 = time.perf_counter()
-            futures: list[Future[SolverResult]] = []
+            futures: list[Future[AuctionResponse]] = []
             for item in requests:
                 delay = item.arrival - (time.perf_counter() - t0)
                 if delay > 0:
                     time.sleep(delay)
                 futures.append(self.submit(item.request))
             return [f.result() for f in futures]
-        results: list[SolverResult] = []
+        results: list[AuctionResponse] = []
         i = 0
         while i < len(requests):
             head = requests[i].request
@@ -714,7 +689,7 @@ class AuctionService:
                 p.future.set_result(result)
             self._mark_finished(1)
 
-    def _greedy_result(self, request: AuctionRequest) -> SolverResult:
+    def _greedy_result(self, request: AuctionRequest) -> AuctionResponse:
         """The paper's greedy baseline as a flagged, LP-free result.
 
         ``lp_value=0`` states honestly that no LP bound was computed
@@ -726,8 +701,9 @@ class AuctionService:
 
         structure = self.registry.get(request.scene_id)
         problem = AuctionProblem(structure, request.k, list(request.valuations))
+        t0 = time.perf_counter()
         allocation = greedy_channel_allocation(problem)
-        return SolverResult(
+        return AuctionResponse(
             allocation=allocation,
             welfare=problem.welfare(allocation),
             lp_value=0.0,
@@ -735,6 +711,9 @@ class AuctionService:
             guarantee=float("inf"),
             lp_iterations=0,
             details={"degraded": True, "fallback": "greedy"},
+            scene_id=request.scene_id,
+            seed=request.seed,
+            timing={"solve_seconds": time.perf_counter() - t0},
         )
 
     def _submit_remote(self, scene_id: str, pendings: list[_Pending]) -> None:
@@ -751,7 +730,7 @@ class AuctionService:
         group_future = pool.submit(scene_id, [p.request for p in pendings])
 
         def finish(
-            f: Future[list[SolverResult]], pendings: list[_Pending] = pendings
+            f: Future[list[AuctionResponse]], pendings: list[_Pending] = pendings
         ) -> None:
             exc = f.exception()
             now = time.perf_counter()

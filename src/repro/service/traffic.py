@@ -31,12 +31,10 @@ from typing import Any
 
 import numpy as np
 
-from repro.io import _valuation_from_dict, _valuation_to_dict
 from repro.service.scenes import SceneRegistry
-from repro.service.service import AuctionRequest
+from repro.service.wire import AuctionRequest, decode_valuation, encode_valuation
 from repro.util.rng import SeedLike, ensure_rng
 from repro.valuations.base import Valuation
-from repro.valuations.explicit import ExplicitValuation, XORValuation
 from repro.valuations.generators import random_xor_valuations
 
 __all__ = [
@@ -269,24 +267,8 @@ def burst_trace(
 # ----------------------------------------------------------------------
 # record / replay
 # ----------------------------------------------------------------------
-def _encode_valuation(v: Valuation) -> dict[str, Any]:
-    """Like :func:`repro.io._valuation_to_dict` but order-preserving.
-
-    The io layer canonicalizes explicit-style bids by sorting them;
-    replay must keep the original bid order instead, because LP column
-    order follows it and a reordered (degenerate) LP can round to a
-    different — equally optimal — allocation.  Preserving order keeps
-    replays bit-identical to the recorded run.  Exact type checks:
-    subclasses (``SingleMindedValuation``: one bid, so order-trivial)
-    keep their own io encoding and round-trip to their own type.
-    """
-    if type(v) in (XORValuation, ExplicitValuation):
-        return {
-            "type": "xor" if type(v) is XORValuation else "explicit",
-            "k": v.k,
-            "bids": [[sorted(bundle), value] for bundle, value in v.bids.items()],
-        }
-    return _valuation_to_dict(v)
+# trace files use the wire layer's order-preserving valuation encoding
+# (bid order is LP column order; see repro.service.wire.encode_valuation)
 
 
 def save_trace(trace: TrafficTrace, path: str | pathlib.Path) -> pathlib.Path:
@@ -303,7 +285,7 @@ def save_trace(trace: TrafficTrace, path: str | pathlib.Path) -> pathlib.Path:
                 "mode": item.request.mode,
                 "deadline": item.request.deadline,
                 "valuations": [
-                    _encode_valuation(v) for v in item.request.valuations
+                    encode_valuation(v) for v in item.request.valuations
                 ],
             }
             for item in trace.requests
@@ -324,7 +306,7 @@ def load_trace(path: str | pathlib.Path) -> TrafficTrace:
                 scene_id=entry["scene_id"],
                 k=int(entry["k"]),
                 valuations=[
-                    _valuation_from_dict(v) for v in entry["valuations"]
+                    decode_valuation(v) for v in entry["valuations"]
                 ],
                 seed=entry["seed"],
                 profile_key=entry["profile_key"],

@@ -1,0 +1,452 @@
+"""Versioned wire schema for the auction service (`schema_version` 1).
+
+This module is the single source of truth for what crosses the network
+boundary: the request/response dataclasses shared by the in-process
+:class:`~repro.service.AuctionService`, the HTTP gateway
+(:mod:`repro.service.gateway`), and the asyncio client
+(:mod:`repro.service.client`).  Everything here is plain data with
+explicit ``to_wire``/``from_wire`` (dict) and ``to_json``/``from_json``
+(string) forms, and every payload carries ``schema_version`` so a
+client and server disagreeing about the schema fail loudly instead of
+misparsing each other.
+
+Design rules, in decreasing order of importance:
+
+* **Round trips are bit-exact.**  ``from_json(to_json(x)) == x`` for
+  every request, response, and typed error — floats survive through
+  ``repr`` (Python's JSON encoder), non-finite floats are encoded as
+  the strings ``"inf"``/``"-inf"``/``"nan"``, and valuation *bid order*
+  is preserved (LP column order follows it; a sorted re-encoding can
+  round a degenerate LP to a different, equally optimal allocation).
+  Replaying a recorded trace through the gateway therefore yields
+  results bit-identical to an in-process replay.
+* **Key order is load order.**  Nothing here sorts keys; the canonical
+  sorted encoder lives in :mod:`repro.io` only.  Decoding is, however,
+  insensitive to key order, so payloads re-serialized by a client with
+  ``sort_keys=True`` still decode identically (pinned by the wire
+  tests).
+* **Errors are part of the schema.**  Every typed failure the service
+  can resolve a request with (:mod:`repro.service.errors` plus
+  :class:`~repro.service.pool.WorkerCrashError`) has a stable
+  ``error_code``, maps to a distinct HTTP status, and reconstructs to
+  the same exception type on the client — the fault-tolerance contract
+  of PR 8 survives the network boundary unchanged.
+* **Versioning policy.**  ``schema_version`` is bumped on any change
+  that an old decoder would misread (field removal, meaning change);
+  purely additive fields keep the version and must be optional on
+  decode.  Decoders reject payloads whose version they do not know.
+
+:class:`AuctionResponse` — a :class:`~repro.core.result.SolverResult`
+subclass carrying the wire envelope (schema version, scene id, request
+seed, per-request timing) — is the canonical result of the service's
+``solve_batch``/gateway paths; :meth:`AuctionResponse.as_solver_result`
+is the deprecated compatibility shim for callers that still want the
+bare base record.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.result import SolverResult
+from repro.io import _valuation_from_dict, _valuation_to_dict
+from repro.service.errors import (
+    DeadlineExceeded,
+    InjectedFaultError,
+    ServiceFaultError,
+    ShedError,
+)
+from repro.service.pool import WorkerCrashError
+from repro.valuations.explicit import ExplicitValuation, XORValuation
+
+if TYPE_CHECKING:
+    from repro.valuations.base import Valuation
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WIRE_ERROR_CODES",
+    "AuctionRequest",
+    "AuctionResponse",
+    "encode_valuation",
+    "decode_valuation",
+    "request_to_wire",
+    "request_from_wire",
+    "error_to_wire",
+    "error_from_wire",
+    "http_status_for",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _check_version(data: dict[str, Any], what: str) -> None:
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported {what} schema_version {version!r} "
+            f"(this build speaks {SCHEMA_VERSION})"
+        )
+
+
+# ----------------------------------------------------------------------
+# floats: exact, JSON-strict
+# ----------------------------------------------------------------------
+def _encode_float(value: float) -> float | str:
+    """A float as strict JSON: finite values pass through (``repr`` round
+    trips them exactly), non-finite ones become strings — Python's
+    encoder would emit bare ``Infinity``, which other JSON parsers
+    reject."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):
+        return "nan"
+    return float(value)
+
+
+def _decode_float(value: Any) -> float:
+    return float(value)  # float("inf"/"-inf"/"nan") parses the sentinels
+
+
+# ----------------------------------------------------------------------
+# valuations: order-preserving encoding
+# ----------------------------------------------------------------------
+def encode_valuation(v: Valuation) -> dict[str, Any]:
+    """Like :func:`repro.io._valuation_to_dict` but order-preserving.
+
+    The io layer canonicalizes explicit-style bids by sorting them;
+    the wire must keep the original bid order instead, because LP
+    column order follows it and a reordered (degenerate) LP can round
+    to a different — equally optimal — allocation.  Preserving order
+    keeps gateway replays bit-identical to in-process runs.  Exact type
+    checks: subclasses (``SingleMindedValuation``: one bid, so
+    order-trivial) keep their own io encoding and round-trip to their
+    own type.
+    """
+    if type(v) in (XORValuation, ExplicitValuation):
+        return {
+            "type": "xor" if type(v) is XORValuation else "explicit",
+            "k": v.k,
+            "bids": [[sorted(bundle), value] for bundle, value in v.bids.items()],
+        }
+    return _valuation_to_dict(v)
+
+
+def decode_valuation(data: dict[str, Any]) -> Valuation:
+    """Inverse of :func:`encode_valuation` (io-layer schema superset)."""
+    return _valuation_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+@dataclass
+class AuctionRequest:
+    """One request against a registered scene.
+
+    ``mode`` selects the pipeline: ``"allocate"`` runs the approximation
+    algorithm (LP + randomized rounding) and resolves to an
+    :class:`AuctionResponse`; ``"truthful"`` runs the Section 5
+    truthful-in-expectation mechanism — Lavi–Swamy decomposition plus
+    scaled fractional VCG payments — and resolves to a
+    :class:`~repro.mechanism.truthful.MechanismOutcome` whose
+    ``sampled_allocation`` is drawn with this request's ``seed``.
+
+    ``profile_key`` declares that this exact valuation profile may recur
+    (license renewals, mechanism re-pricing probes): allocate requests
+    sharing ``(scene_id, k, profile_key)`` share one compiled auction and
+    one LP solve through the service's problem cache, and truthful
+    requests share one *prepared decomposition + payments* through the
+    mechanism cache (each request then only pays for sampling).  ``None``
+    marks the profile as one-off — nothing is cached beyond the scene's
+    compiled structure.  ``seed`` drives the rounding/sampling RNG; fixing
+    it makes the request's outcome reproducible bit-for-bit and
+    independent of how requests were coalesced.
+
+    ``deadline`` is a latency budget in seconds from submission (queued
+    path only; ``None`` = unbounded).  An accepted request whose budget
+    expires before dispatch fails typed with
+    :class:`~repro.service.errors.DeadlineExceeded`; one whose remaining
+    budget cannot fit an LP solve is served by the greedy baseline
+    instead, with ``details["degraded"]`` set on the result.  Over the
+    gateway the budget arrives in the request body or the
+    ``X-Auction-Deadline`` header (the header wins) and is enforced by
+    the same server-side EWMA triage.
+    """
+
+    scene_id: str
+    k: int
+    valuations: list[Valuation]
+    seed: int | None = None
+    profile_key: str | None = None
+    mode: str = "allocate"
+    deadline: float | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+def request_to_wire(request: AuctionRequest) -> dict[str, Any]:
+    """An :class:`AuctionRequest` as a wire dict (bid order preserved)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scene_id": request.scene_id,
+        "k": request.k,
+        "valuations": [encode_valuation(v) for v in request.valuations],
+        "seed": request.seed,
+        "profile_key": request.profile_key,
+        "mode": request.mode,
+        "deadline": request.deadline,
+        "metadata": dict(request.metadata),
+    }
+
+
+def request_from_wire(data: dict[str, Any]) -> AuctionRequest:
+    """Decode a wire dict; rejects unknown schema versions."""
+    _check_version(data, "request")
+    return AuctionRequest(
+        scene_id=str(data["scene_id"]),
+        k=int(data["k"]),
+        valuations=[decode_valuation(v) for v in data["valuations"]],
+        seed=None if data.get("seed") is None else int(data["seed"]),
+        profile_key=data.get("profile_key"),
+        mode=str(data.get("mode", "allocate")),
+        deadline=(
+            None if data.get("deadline") is None else float(data["deadline"])
+        ),
+        metadata=dict(data.get("metadata") or {}),
+    )
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+@dataclass
+class AuctionResponse(SolverResult):
+    """The canonical result of the service's allocate paths.
+
+    A :class:`~repro.core.result.SolverResult` (so every existing caller
+    keeps working unchanged) extended with the wire envelope: the schema
+    version, which scene and seed produced it, and per-request timing.
+    ``timing`` is excluded from equality — two runs of the same request
+    are *the same result* even though their latencies differ — which is
+    what lets the chaos runner compare gateway results against an
+    in-process replay with ``==`` semantics on the payload fields.
+    """
+
+    schema_version: int = SCHEMA_VERSION
+    scene_id: str | None = None
+    seed: int | None = None
+    timing: dict[str, float] = field(default_factory=dict, compare=False)
+
+    @classmethod
+    def from_result(
+        cls,
+        result: SolverResult,
+        *,
+        scene_id: str | None = None,
+        seed: int | None = None,
+        timing: dict[str, float] | None = None,
+    ) -> "AuctionResponse":
+        """Wrap a bare :class:`SolverResult` into the wire envelope."""
+        if isinstance(result, AuctionResponse):
+            merged = dict(result.timing)
+            merged.update(timing or {})
+            result.scene_id = result.scene_id or scene_id
+            result.seed = result.seed if result.seed is not None else seed
+            result.timing = merged
+            return result
+        return cls(
+            allocation=result.allocation,
+            welfare=result.welfare,
+            lp_value=result.lp_value,
+            feasible=result.feasible,
+            guarantee=result.guarantee,
+            rounds_algorithm3=result.rounds_algorithm3,
+            lp_iterations=result.lp_iterations,
+            channel_powers=result.channel_powers,
+            sinr_feasible=result.sinr_feasible,
+            details=result.details,
+            scene_id=scene_id,
+            seed=seed,
+            timing=dict(timing or {}),
+        )
+
+    def as_solver_result(self) -> SolverResult:
+        """Deprecated: downcast to the bare pre-wire :class:`SolverResult`.
+
+        Every :class:`AuctionResponse` *is* a :class:`SolverResult`;
+        callers that still materialize the base record should read the
+        response directly instead.  Kept one deprecation cycle for code
+        written against the pre-gateway API.
+        """
+        warnings.warn(
+            "AuctionResponse.as_solver_result() is deprecated: "
+            "AuctionResponse is a SolverResult — use the response directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SolverResult(
+            allocation=self.allocation,
+            welfare=self.welfare,
+            lp_value=self.lp_value,
+            feasible=self.feasible,
+            guarantee=self.guarantee,
+            rounds_algorithm3=self.rounds_algorithm3,
+            lp_iterations=self.lp_iterations,
+            channel_powers=self.channel_powers,
+            sinr_feasible=self.sinr_feasible,
+            details=self.details,
+        )
+
+    # ------------------------------------------------------------------
+    # wire forms
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict[str, Any]:
+        """This response as a JSON-native dict (``status: "ok"``).
+
+        The allocation is encoded vertex-sorted — dict equality is
+        order-insensitive, so the round trip stays exact while the
+        encoding stays deterministic.
+        """
+        return {
+            "schema_version": self.schema_version,
+            "status": "ok",
+            "scene_id": self.scene_id,
+            "seed": self.seed,
+            "allocation": [
+                [v, sorted(bundle)] for v, bundle in sorted(self.allocation.items())
+            ],
+            "welfare": _encode_float(self.welfare),
+            "lp_value": _encode_float(self.lp_value),
+            "feasible": bool(self.feasible),
+            "guarantee": _encode_float(self.guarantee),
+            "rounds_algorithm3": int(self.rounds_algorithm3),
+            "lp_iterations": int(self.lp_iterations),
+            "channel_powers": {
+                str(ch): [_encode_float(float(p)) for p in powers]
+                for ch, powers in self.channel_powers.items()
+            },
+            "sinr_feasible": self.sinr_feasible,
+            "details": dict(self.details),
+            "timing": {name: float(t) for name, t in self.timing.items()},
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> "AuctionResponse":
+        """Decode a wire dict; rejects unknown schema versions."""
+        _check_version(data, "response")
+        if data.get("status") != "ok":
+            raise ValueError(
+                f"not a success response (status {data.get('status')!r}); "
+                "use error_from_wire for error payloads"
+            )
+        return cls(
+            allocation={
+                int(v): frozenset(int(c) for c in bundle)
+                for v, bundle in data["allocation"]
+            },
+            welfare=_decode_float(data["welfare"]),
+            lp_value=_decode_float(data["lp_value"]),
+            feasible=bool(data["feasible"]),
+            guarantee=_decode_float(data["guarantee"]),
+            rounds_algorithm3=int(data.get("rounds_algorithm3", 0)),
+            lp_iterations=int(data.get("lp_iterations", 1)),
+            channel_powers={
+                int(ch): np.array([_decode_float(p) for p in powers])
+                for ch, powers in (data.get("channel_powers") or {}).items()
+            },
+            sinr_feasible=data.get("sinr_feasible"),
+            details=dict(data.get("details") or {}),
+            scene_id=data.get("scene_id"),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+            timing=dict(data.get("timing") or {}),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_wire())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "AuctionResponse":
+        return cls.from_wire(json.loads(payload))
+
+
+# ----------------------------------------------------------------------
+# errors
+# ----------------------------------------------------------------------
+# code -> (exception type, HTTP status); order matters for encoding —
+# the first entry whose type matches exactly (then first subclass match)
+# names the code, so subclasses never collapse into their base
+WIRE_ERROR_CODES: dict[str, tuple[type[Exception], int]] = {
+    "shed": (ShedError, 503),
+    "deadline-exceeded": (DeadlineExceeded, 504),
+    "injected-fault": (InjectedFaultError, 500),
+    "worker-crash": (WorkerCrashError, 502),
+    "service-fault": (ServiceFaultError, 500),
+}
+
+# request-shaped failures the gateway raises before anything is accepted
+_GATEWAY_CODES: dict[str, int] = {
+    "bad-request": 400,
+    "unknown-scene": 404,
+    "not-found": 404,
+    "internal": 500,
+}
+
+
+def error_to_wire(exc: BaseException) -> dict[str, Any]:
+    """A typed failure as a wire dict (``status: "error"``).
+
+    Exceptions outside the typed hierarchy encode as ``"internal"`` —
+    they still cross the wire, but the code marks them as a bug rather
+    than a serving fault, mirroring the chaos runner's
+    ``typed_failures_only`` invariant.
+    """
+    code = "internal"
+    for name, (exc_type, _) in WIRE_ERROR_CODES.items():
+        if type(exc) is exc_type:
+            code = name
+            break
+    else:
+        for name, (exc_type, _) in WIRE_ERROR_CODES.items():
+            if isinstance(exc, exc_type):
+                code = name
+                break
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "status": "error",
+        "error_code": code,
+        "message": str(exc),
+    }
+
+
+def error_from_wire(data: dict[str, Any]) -> Exception:
+    """Reconstruct the typed exception an error payload describes.
+
+    Codes from :data:`WIRE_ERROR_CODES` round-trip to their exact
+    exception type; gateway-level codes (bad request, unknown scene)
+    and unknown codes come back as :class:`ValueError`/:class:`KeyError`
+    shaped to what the in-process API would have raised.
+    """
+    _check_version(data, "error")
+    code = str(data.get("error_code", "internal"))
+    message = str(data.get("message", ""))
+    entry = WIRE_ERROR_CODES.get(code)
+    if entry is not None:
+        return entry[0](message)
+    if code == "unknown-scene":
+        return KeyError(message)
+    if code == "bad-request":
+        return ValueError(message)
+    return RuntimeError(f"[{code}] {message}")
+
+
+def http_status_for(code: str) -> int:
+    """The HTTP status a wire ``error_code`` maps to (500 if unknown)."""
+    entry = WIRE_ERROR_CODES.get(code)
+    if entry is not None:
+        return entry[1]
+    return _GATEWAY_CODES.get(code, 500)

@@ -322,7 +322,7 @@ class TestTraffic:
 
     def test_encode_valuation_preserves_bid_order(self):
         from repro.io import _valuation_from_dict
-        from repro.service.traffic import _encode_valuation
+        from repro.service.wire import encode_valuation
         from repro.valuations.explicit import (
             ExplicitValuation,
             SingleMindedValuation,
@@ -331,13 +331,13 @@ class TestTraffic:
 
         bids = {frozenset({2}): 5.0, frozenset({0, 1}): 3.0}  # not sorted
         for cls in (XORValuation, ExplicitValuation):
-            encoded = _encode_valuation(cls(3, bids))
+            encoded = encode_valuation(cls(3, bids))
             assert encoded["bids"] == [[[2], 5.0], [[0, 1], 3.0]]
             decoded = _valuation_from_dict(encoded)
             assert type(decoded) is cls
             assert list(decoded.bids) == list(bids)
         single = SingleMindedValuation(3, frozenset({1, 2}), 4.0)
-        assert type(_valuation_from_dict(_encode_valuation(single))) is (
+        assert type(_valuation_from_dict(encode_valuation(single))) is (
             SingleMindedValuation
         )
 

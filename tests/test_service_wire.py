@@ -1,0 +1,331 @@
+"""Wire schema: exact round trips, typed errors, versioning, deprecation."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.result import SolverResult
+from repro.service import errors as errors_module
+from repro.service.errors import (
+    DeadlineExceeded,
+    InjectedFaultError,
+    ServiceFaultError,
+    ShedError,
+)
+from repro.service.pool import WorkerCrashError
+from repro.service.wire import (
+    SCHEMA_VERSION,
+    WIRE_ERROR_CODES,
+    AuctionRequest,
+    AuctionResponse,
+    decode_valuation,
+    encode_valuation,
+    error_from_wire,
+    error_to_wire,
+    http_status_for,
+    request_from_wire,
+    request_to_wire,
+)
+from repro.valuations.explicit import XORValuation
+
+
+def make_valuations():
+    # deliberately unsorted bid order: the wire must preserve it exactly
+    return [
+        XORValuation(
+            3,
+            {
+                frozenset({2, 0}): 5.0,
+                frozenset({1}): 3.5,
+                frozenset({0}): 1.25,
+            },
+        ),
+        XORValuation(3, {frozenset({1, 2}): 7.0, frozenset({0, 1}): 2.0}),
+    ]
+
+
+def make_request(**overrides):
+    options = dict(
+        scene_id="a" * 16,
+        k=3,
+        valuations=make_valuations(),
+        seed=7,
+        profile_key="renewal:42",
+        mode="allocate",
+        deadline=0.75,
+        metadata={"tenant": "metro-east"},
+    )
+    options.update(overrides)
+    return AuctionRequest(**options)
+
+
+def make_response(**overrides):
+    options = dict(
+        allocation={0: frozenset({2, 0}), 1: frozenset({1})},
+        welfare=8.5,
+        lp_value=9.25,
+        feasible=True,
+        guarantee=48.0,
+        rounds_algorithm3=2,
+        lp_iterations=3,
+        channel_powers={0: np.array([0.5, 0.25]), 2: np.array([1.0])},
+        sinr_feasible=True,
+        details={"batched": True},
+        scene_id="a" * 16,
+        seed=7,
+        timing={"solve_seconds": 0.012},
+    )
+    options.update(overrides)
+    return AuctionResponse(**options)
+
+
+RESPONSE_SHAPES = {
+    "success": make_response(),
+    "degraded": make_response(
+        guarantee=float("inf"),
+        details={"degraded": True, "fallback": "greedy"},
+    ),
+    "empty-allocation": make_response(
+        allocation={}, welfare=0.0, channel_powers={}, sinr_feasible=None
+    ),
+    "non-finite": make_response(
+        lp_value=float("inf"),
+        guarantee=float("nan"),
+        channel_powers={1: np.array([float("inf"), 0.0])},
+    ),
+}
+
+
+class TestRequestRoundTrip:
+    def test_round_trip_is_exact(self):
+        request = make_request()
+        decoded = request_from_wire(request_to_wire(request))
+        assert decoded.scene_id == request.scene_id
+        assert decoded.k == request.k
+        assert decoded.seed == request.seed
+        assert decoded.profile_key == request.profile_key
+        assert decoded.mode == request.mode
+        assert decoded.deadline == request.deadline
+        assert decoded.metadata == request.metadata
+        assert [encode_valuation(v) for v in decoded.valuations] == [
+            encode_valuation(v) for v in request.valuations
+        ]
+
+    def test_bid_order_is_preserved(self):
+        [valuation, _] = make_valuations()
+        encoded = encode_valuation(valuation)
+        assert encoded["bids"] == [[[0, 2], 5.0], [[1], 3.5], [[0], 1.25]]
+        redecoded = encode_valuation(decode_valuation(encoded))
+        assert redecoded == encoded
+
+    def test_optional_fields_default(self):
+        wire = {
+            "schema_version": SCHEMA_VERSION,
+            "scene_id": "b" * 16,
+            "k": 2,
+            "valuations": [encode_valuation(make_valuations()[0])],
+        }
+        decoded = request_from_wire(wire)
+        assert decoded.seed is None
+        assert decoded.profile_key is None
+        assert decoded.mode == "allocate"
+        assert decoded.deadline is None
+        assert decoded.metadata == {}
+
+    def test_unknown_schema_version_rejected(self):
+        wire = request_to_wire(make_request())
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            request_from_wire(wire)
+
+    def test_survives_sort_keys_reserialization(self):
+        wire = request_to_wire(make_request())
+        resorted = json.loads(json.dumps(wire, sort_keys=True))
+        assert request_to_wire(request_from_wire(resorted)) == wire
+
+
+class TestResponseRoundTrip:
+    @pytest.mark.parametrize("shape", sorted(RESPONSE_SHAPES))
+    def test_round_trip_is_bit_identical(self, shape):
+        response = RESPONSE_SHAPES[shape]
+        decoded = AuctionResponse.from_json(response.to_json())
+        # wire-dict identity covers every field exactly (floats via repr,
+        # numpy powers element-wise); ndarray values make full dataclass
+        # equality unusable here, the wire form is the canonical comparison
+        assert decoded.to_wire() == response.to_wire()
+        assert decoded.scene_id == response.scene_id
+        assert decoded.seed == response.seed
+        assert decoded.timing == response.timing
+
+    @pytest.mark.parametrize("shape", sorted(RESPONSE_SHAPES))
+    def test_survives_sort_keys_reserialization(self, shape):
+        response = RESPONSE_SHAPES[shape]
+        resorted = json.loads(json.dumps(response.to_wire(), sort_keys=True))
+        assert AuctionResponse.from_wire(resorted).to_wire() == response.to_wire()
+
+    def test_non_finite_floats_cross_as_json_strings(self):
+        payload = RESPONSE_SHAPES["non-finite"].to_json()
+        data = json.loads(payload)  # strict JSON: no bare Infinity/NaN
+        assert data["lp_value"] == "inf"
+        assert data["guarantee"] == "nan"
+        decoded = AuctionResponse.from_json(payload)
+        assert math.isinf(decoded.lp_value)
+        assert math.isnan(decoded.guarantee)
+
+    def test_json_form_is_a_string_round_trip(self):
+        response = RESPONSE_SHAPES["success"]
+        assert json.loads(response.to_json()) == response.to_wire()
+
+    def test_unknown_schema_version_rejected(self):
+        wire = RESPONSE_SHAPES["success"].to_wire()
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            AuctionResponse.from_wire(wire)
+
+    def test_error_payload_rejected_by_from_wire(self):
+        with pytest.raises(ValueError, match="status"):
+            AuctionResponse.from_wire(error_to_wire(ShedError("full")))
+
+    def test_is_a_solver_result(self):
+        assert isinstance(RESPONSE_SHAPES["success"], SolverResult)
+
+    def test_equality_ignores_timing(self):
+        a = make_response(timing={"solve_seconds": 0.5})
+        b = make_response(timing={"solve_seconds": 0.001})
+        a.channel_powers = b.channel_powers = {}
+        assert a == b
+
+
+class TestResultShim:
+    def test_from_result_wraps_bare_results(self):
+        bare = SolverResult(
+            allocation={0: frozenset({1})},
+            welfare=3.5,
+            lp_value=4.0,
+            feasible=True,
+            guarantee=48.0,
+        )
+        wrapped = AuctionResponse.from_result(
+            bare, scene_id="c" * 16, seed=9, timing={"solve_seconds": 0.01}
+        )
+        assert wrapped.allocation == bare.allocation
+        assert wrapped.scene_id == "c" * 16
+        assert wrapped.seed == 9
+
+    def test_from_result_merges_existing_envelope(self):
+        response = make_response(channel_powers={})
+        merged = AuctionResponse.from_result(
+            response, scene_id="ignored", seed=None, timing={"queue_seconds": 0.2}
+        )
+        assert merged is response
+        assert merged.scene_id == "a" * 16  # original envelope wins
+        assert merged.timing == {"solve_seconds": 0.012, "queue_seconds": 0.2}
+
+    def test_as_solver_result_warns_deprecation(self):
+        response = make_response(channel_powers={})
+        with pytest.warns(DeprecationWarning, match="as_solver_result"):
+            bare = response.as_solver_result()
+        assert type(bare) is SolverResult
+        assert bare.allocation == response.allocation
+        assert bare.welfare == response.welfare
+
+
+def all_typed_errors():
+    """Every public exception type in service/errors.py, plus the pool's."""
+    from_module = [
+        obj
+        for name in errors_module.__all__
+        if isinstance(obj := getattr(errors_module, name), type)
+        and issubclass(obj, BaseException)
+    ]
+    return from_module + [WorkerCrashError]
+
+
+class TestErrorRoundTrip:
+    @pytest.mark.parametrize(
+        "exc_type", all_typed_errors(), ids=lambda t: t.__name__
+    )
+    def test_every_errors_type_round_trips_exactly(self, exc_type):
+        exc = exc_type("the queue is full (12 waiting)")
+        wire = error_to_wire(exc)
+        assert wire["status"] == "error"
+        decoded = error_from_wire(wire)
+        assert type(decoded) is exc_type
+        assert str(decoded) == str(exc)
+
+    def test_every_errors_type_is_in_the_code_table(self):
+        tabled = {exc_type for exc_type, _ in WIRE_ERROR_CODES.values()}
+        for exc_type in all_typed_errors():
+            assert exc_type in tabled, f"{exc_type.__name__} has no wire code"
+
+    @pytest.mark.parametrize(
+        "exc_type", all_typed_errors(), ids=lambda t: t.__name__
+    )
+    def test_round_trip_survives_sort_keys(self, exc_type):
+        wire = error_to_wire(exc_type("boom"))
+        resorted = json.loads(json.dumps(wire, sort_keys=True))
+        assert type(error_from_wire(resorted)) is exc_type
+
+    def test_http_status_map_is_pinned(self):
+        assert http_status_for("shed") == 503
+        assert http_status_for("deadline-exceeded") == 504
+        assert http_status_for("worker-crash") == 502
+        assert http_status_for("injected-fault") == 500
+        assert http_status_for("service-fault") == 500
+        assert http_status_for("bad-request") == 400
+        assert http_status_for("unknown-scene") == 404
+        assert http_status_for("not-found") == 404
+        assert http_status_for("internal") == 500
+        assert http_status_for("never-heard-of-it") == 500
+
+    def test_subclasses_do_not_collapse_into_their_base(self):
+        # ShedError/DeadlineExceeded/InjectedFaultError subclass
+        # ServiceFaultError; exact-type matching must keep them distinct
+        assert error_to_wire(ShedError("x"))["error_code"] == "shed"
+        assert (
+            error_to_wire(DeadlineExceeded("x"))["error_code"]
+            == "deadline-exceeded"
+        )
+        assert (
+            error_to_wire(InjectedFaultError("x"))["error_code"]
+            == "injected-fault"
+        )
+        assert (
+            error_to_wire(ServiceFaultError("x"))["error_code"] == "service-fault"
+        )
+
+    def test_untyped_exceptions_become_internal(self):
+        wire = error_to_wire(ZeroDivisionError("1/0"))
+        assert wire["error_code"] == "internal"
+        decoded = error_from_wire(wire)
+        assert isinstance(decoded, RuntimeError)
+
+    def test_gateway_codes_reconstruct_callsite_shapes(self):
+        unknown = error_from_wire(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "status": "error",
+                "error_code": "unknown-scene",
+                "message": "no scene deadbeef",
+            }
+        )
+        assert isinstance(unknown, KeyError)
+        bad = error_from_wire(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "status": "error",
+                "error_code": "bad-request",
+                "message": "k must be positive",
+            }
+        )
+        assert isinstance(bad, ValueError)
+
+    def test_unknown_schema_version_rejected(self):
+        wire = error_to_wire(ShedError("x"))
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            error_from_wire(wire)
