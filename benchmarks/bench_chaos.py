@@ -19,6 +19,14 @@ Pins the fault-tolerance contract of the serving layer (DESIGN.md →
   shed typed (ShedError at admission, nothing accepted then dropped)
   and serve what it accepts with **p99 within 2x of the unloaded p99**
   — the queue bound, not the backlog, sets the tail.
+* ``flaky_network_n300`` / ``gateway_partition_n300`` — the network
+  scenarios driven over a real localhost gateway
+  (``transport="gateway"``): dropped and truncated responses,
+  connection resets, injected connect latency, and a 30%-refusal
+  partition.  The retrying client (RetryPolicy + idempotency keys) must
+  land **every accepted request bit-identically with zero duplicate
+  solves** — lost responses are replayed from the gateway's
+  idempotency journal, never re-solved.
 
 Each block records its invariant verdicts as 1.0/0.0 rates so
 check_regression.py can gate them exactly (tolerance 1.0x: any drop
@@ -26,8 +34,9 @@ from the committed baseline fails the gate).
 
 Run from the repository root:
 
-    PYTHONPATH=src python benchmarks/bench_chaos.py           # full, writes JSON
-    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke   # CI chaos-smoke
+    PYTHONPATH=src python benchmarks/bench_chaos.py                 # full, writes JSON
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke         # CI chaos-smoke
+    PYTHONPATH=src python benchmarks/bench_chaos.py --network-smoke # CI network-chaos-smoke
 """
 
 from __future__ import annotations
@@ -80,6 +89,27 @@ def bench_fault_scenario(name: str, num_requests: int | None = None) -> dict:
     block["num_requests"] = scenario.num_requests
     block["cores"] = os.cpu_count()
     block["fault_plan"] = report.fault_plan
+    return block
+
+
+def bench_network_scenario(name: str, num_requests: int | None = None) -> dict:
+    """One network scenario over a real localhost gateway, replay-checked.
+
+    The fault plan bites the wire (dropped/truncated responses, connect
+    resets, refused accepts), the client retries under the scenario's
+    RetryPolicy, and the gateway's idempotency journal turns replayed
+    deliveries into cache hits — the block records both sides' counters
+    so the baseline pins *how* the trace survived, not just that it did.
+    """
+    scenario = scenario_library()[name]
+    if num_requests is not None:
+        scenario = dataclasses.replace(scenario, num_requests=num_requests)
+    report = run_scenario(scenario, transport="gateway")
+    block = _report_block(report)
+    block["num_requests"] = scenario.num_requests
+    block["fault_plan"] = report.fault_plan
+    block["gateway"] = report.gateway
+    block["client"] = report.client
     return block
 
 
@@ -156,6 +186,10 @@ def measure_gate(num_requests: int = 300, overload_requests: int = 300) -> dict:
         "crash_storm_n300": bench_fault_scenario("crash_storm", num_requests),
         "slow_worker_n300": bench_fault_scenario("slow_worker_brownout", num_requests),
         "overload_shed_n300": bench_overload(overload_requests),
+        "flaky_network_n300": bench_network_scenario("flaky_network", num_requests),
+        "gateway_partition_n300": bench_network_scenario(
+            "gateway_partition", num_requests
+        ),
     }
 
 
@@ -174,6 +208,10 @@ def _gate_ok(results: dict) -> bool:
         and results["slow_worker_n300"]["completion_rate"] == 1.0
         and results["slow_worker_n300"]["invariants_ok"] == 1.0
         and results["overload_shed_n300"]["criterion_ok"] == 1.0
+        and results["flaky_network_n300"]["completion_rate"] == 1.0
+        and results["flaky_network_n300"]["invariants_ok"] == 1.0
+        and results["gateway_partition_n300"]["completion_rate"] == 1.0
+        and results["gateway_partition_n300"]["invariants_ok"] == 1.0
     )
 
 
@@ -185,6 +223,14 @@ def main(argv=None) -> int:
         help="run the two n=300 fault scenarios only (the CI chaos-smoke "
         "job); exit nonzero unless every invariant holds with 100%% "
         "completion",
+    )
+    parser.add_argument(
+        "--network-smoke",
+        action="store_true",
+        help="run the two n=300 network scenarios over a localhost "
+        "gateway only (the CI network-chaos-smoke job); exit nonzero "
+        "unless every invariant holds with 100%% completion and zero "
+        "duplicate solves",
     )
     args = parser.parse_args(argv)
     _warm()
@@ -200,6 +246,23 @@ def main(argv=None) -> int:
                 f"{block['completed']}/{block['accepted']} completed, "
                 f"{block['replay_mismatches']} replay mismatches, "
                 f"pool {'healthy' if block['pool_healthy'] else 'UNHEALTHY'} -> "
+                f"{'OK' if good else 'FAIL'}"
+            )
+        return 0 if ok else 1
+
+    if args.network_smoke:
+        ok = True
+        for name in ("flaky_network", "gateway_partition"):
+            block = bench_network_scenario(name)
+            good = block["completion_rate"] == 1.0 and block["invariants_ok"] == 1.0
+            ok = ok and good
+            print(
+                f"{name} n={block['num_requests']}: "
+                f"{block['completed']}/{block['accepted']} completed, "
+                f"{block['client'].get('retries', 0)} retries, "
+                f"{block['gateway'].get('journal_hits', 0)} journal hits, "
+                f"{block['gateway'].get('duplicate_solves', 0)} duplicate "
+                f"solves, fired {block['fired']} -> "
                 f"{'OK' if good else 'FAIL'}"
             )
         return 0 if ok else 1
@@ -226,6 +289,18 @@ def main(argv=None) -> int:
         f"{'OK' if overload['criterion_ok'] else 'FAIL'}",
         flush=True,
     )
+    for key, label in (
+        ("flaky_network_n300", "flaky network"),
+        ("gateway_partition_n300", "gateway partition"),
+    ):
+        net = results[key]
+        print(
+            f"{label} n=300: {net['completed']}/{net['accepted']} completed, "
+            f"{net['client'].get('retries', 0)} retries, "
+            f"{net['gateway'].get('journal_hits', 0)} journal hits, "
+            f"{net['gateway'].get('duplicate_solves', 0)} duplicate solves",
+            flush=True,
+        )
 
     results["config"] = {
         "python": platform.python_version(),
@@ -238,11 +313,22 @@ def main(argv=None) -> int:
             "seeded crash+slow plan on n=300: 100% of accepted requests "
             "complete bit-identically to a fault-free replay; overload "
             "sheds typed with accepted p99 within "
-            f"{OVERLOAD_P99_FACTOR}x of unloaded"
+            f"{OVERLOAD_P99_FACTOR}x of unloaded; the network scenarios "
+            "complete 100% bit-identically over a faulted localhost "
+            "gateway with zero duplicate solves"
         ),
         "crash_storm_completion_rate": storm["completion_rate"],
         "crash_storm_replay_identical": storm["invariants"]["replay_identical"],
         "overload_p99_ratio": overload["p99_ratio"],
+        "flaky_network_completion_rate": results["flaky_network_n300"][
+            "completion_rate"
+        ],
+        "flaky_network_duplicate_solves": results["flaky_network_n300"]["gateway"].get(
+            "duplicate_solves", 0
+        ),
+        "gateway_partition_completion_rate": results["gateway_partition_n300"][
+            "completion_rate"
+        ],
         "met": _gate_ok(results),
     }
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")

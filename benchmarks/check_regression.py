@@ -137,6 +137,19 @@ CHECKS = [
     Check("chaos", "slow_worker_n300.completion_rate", "rate", tol=1.0),
     Check("chaos", "slow_worker_n300.invariants_ok", "rate", tol=1.0),
     Check("chaos", "overload_shed_n300.criterion_ok", "rate", tol=1.0),
+    # network-chaos family: the resilient-edge contract over a real
+    # localhost gateway — completion, invariant verdicts, and the
+    # exactly-once pin (no duplicate solves) are all exact booleans
+    Check("chaos", "flaky_network_n300.completion_rate", "rate", tol=1.0),
+    Check("chaos", "flaky_network_n300.invariants_ok", "rate", tol=1.0),
+    Check(
+        "chaos",
+        "flaky_network_n300.invariants.no_duplicate_solves",
+        "rate",
+        tol=1.0,
+    ),
+    Check("chaos", "gateway_partition_n300.completion_rate", "rate", tol=1.0),
+    Check("chaos", "gateway_partition_n300.invariants_ok", "rate", tol=1.0),
     # gateway family: HTTP serving-edge smoke — replay parity over the wire
     # is an exact pin, throughput rides the wall-clock tolerance
     Check("gateway", "smoke_n300.replay_identical", "rate", tol=1.0),

@@ -62,6 +62,10 @@ class AnalysisConfig:
     # (re-raise, log, record a metric, or fail a future) — the serving
     # layer's typed-resolution contract makes swallowed exceptions bugs
     silent_except_modules: tuple[str, ...] = ("service/*.py",)
+    # modules where a constant-true loop around socket/HTTP calls is
+    # flagged: network retries must be bounded with backoff (the
+    # resilient-edge contract), never `while True`
+    unbounded_retry_modules: tuple[str, ...] = ("service/*.py",)
     # extra per-rule path exemptions: rule id -> glob tuple
     exempt: dict[str, tuple[str, ...]] = field(default_factory=dict)
 

@@ -16,7 +16,7 @@ from repro.analysis.rules.determinism import (
     WallClockRule,
 )
 from repro.analysis.rules.parity import FloatEqRule, KernelMutationRule
-from repro.analysis.rules.robustness import SilentExceptRule
+from repro.analysis.rules.robustness import SilentExceptRule, UnboundedRetryRule
 
 __all__ = ["ALL_RULES", "Finding", "Rule", "rule_index"]
 
@@ -32,6 +32,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FloatEqRule(),
     KernelMutationRule(),
     SilentExceptRule(),
+    UnboundedRetryRule(),
 )
 
 

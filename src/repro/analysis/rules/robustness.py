@@ -20,7 +20,7 @@ if TYPE_CHECKING:
     from repro.analysis.config import AnalysisConfig
     from repro.analysis.engine import FileContext
 
-__all__ = ["SilentExceptRule"]
+__all__ = ["SilentExceptRule", "UnboundedRetryRule"]
 
 # call names (last dotted segment) that count as visibly handling the
 # caught exception: failing a future, logging, or bumping a metric
@@ -55,6 +55,65 @@ def _handler_is_silent(handler: ast.ExceptHandler) -> bool:
         if isinstance(node, ast.Call) and _call_handles(node):
             return False
     return True
+
+
+# call names (last dotted segment) that reach the network: opening
+# connections, HTTP exchanges, and the stream reads/writes under them
+_NETWORK_CALLS = {
+    "open_connection",
+    "create_connection",
+    "connect",
+    "connect_ex",
+    "urlopen",
+    "getresponse",
+    "request",
+    "sendall",
+    "readuntil",
+    "readexactly",
+    "_exchange",
+}
+
+
+def _constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _network_call_in(node: ast.While) -> ast.Call | None:
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        name = dotted_name(child.func)
+        if name is not None and name.rsplit(".", 1)[-1] in _NETWORK_CALLS:
+            return child
+    return None
+
+
+class UnboundedRetryRule(Rule):
+    rule_id = "unbounded-retry"
+    family = "robustness"
+    invariant = (
+        "network retries in the serving layer must be bounded with "
+        "backoff (RetryPolicy): a constant-true loop around a socket or "
+        "HTTP call retries forever, hammering a struggling peer and "
+        "hanging the caller instead of failing typed"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        if not config.matches(ctx.rel, config.unbounded_retry_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While) or not _constant_true(node.test):
+                continue
+            call = _network_call_in(node)
+            if call is not None:
+                name = dotted_name(call.func) or "a network call"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"constant-true loop wraps {name}: bound the retries "
+                    "and back off (see RetryPolicy) instead of looping "
+                    "forever",
+                )
 
 
 class SilentExceptRule(Rule):

@@ -24,9 +24,11 @@ chaos", and "The serving edge"):
   stdlib-asyncio HTTP/1.1 front-end serving the wire schema over
   localhost sockets (plus :class:`GatewayServer`, its sync wrapper);
 * :mod:`repro.service.client` — :class:`GatewayClient` (asyncio,
-  pooled keep-alive connections, typed-error reconstruction) and
-  :class:`SyncGatewayClient` (future-based ``submit``, mirroring the
-  in-process service);
+  pooled keep-alive connections, typed-error reconstruction,
+  :class:`RetryPolicy` retries + hedging), :class:`ReplicaSet`
+  (multi-replica failover with probe-driven eviction), and their sync
+  facades :class:`SyncGatewayClient` / :class:`SyncReplicaClient`
+  (future-based ``submit``, mirroring the in-process service);
 * :mod:`repro.service.traffic` — open-loop Poisson/burst/replay traffic
   over the metro workload family;
 * :mod:`repro.service.metrics` — throughput, latency percentiles, cache
@@ -41,7 +43,13 @@ chaos", and "The serving edge"):
 """
 
 from repro.service.chaos import ChaosReport, run_matrix, run_scenario
-from repro.service.client import GatewayClient, SyncGatewayClient
+from repro.service.client import (
+    GatewayClient,
+    ReplicaSet,
+    RetryPolicy,
+    SyncGatewayClient,
+    SyncReplicaClient,
+)
 from repro.service.errors import (
     DeadlineExceeded,
     InjectedFaultError,
@@ -69,6 +77,7 @@ from repro.service.wire import (
     AuctionRequest,
     AuctionResponse,
     decode_valuation,
+    default_idempotency_key,
     encode_valuation,
     error_from_wire,
     error_to_wire,
@@ -90,10 +99,14 @@ __all__ = [
     "error_to_wire",
     "error_from_wire",
     "http_status_for",
+    "default_idempotency_key",
     "AuctionGateway",
     "GatewayServer",
     "GatewayClient",
+    "RetryPolicy",
+    "ReplicaSet",
     "SyncGatewayClient",
+    "SyncReplicaClient",
     "ProcessShardPool",
     "WorkerCrashError",
     "SceneRegistry",

@@ -13,7 +13,11 @@ chaos"):
    bit-identical to a fault-free serial replay of the same trace (the
    per-request seeds make this checkable at all);
 3. **end-state health** — after draining, the pool (if any) holds only
-   live workers: crashes were absorbed by respawn, not papered over.
+   live workers: crashes were absorbed by respawn, not papered over;
+4. **no duplicate solves** (gateway transport) — retried and hedged
+   requests were deduplicated by the gateway's idempotency journal: the
+   ``duplicate_solves`` counter stayed zero, so at-least-once delivery
+   still produced exactly-once results.
 
 Degraded results (greedy fallback, flagged ``details["degraded"]``) are
 exempt from invariant 2 by construction — they deliberately serve a
@@ -31,7 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.service.client import SyncGatewayClient
+from repro.service.client import RetryPolicy, SyncGatewayClient
 from repro.service.errors import ServiceFaultError, ShedError
 from repro.service.faults import FaultPlan
 from repro.service.gateway import GatewayServer
@@ -63,6 +67,8 @@ class ChaosReport:
     p99_seconds: float | None
     transport: str = "in-process"
     fired: dict[str, int] = field(default_factory=dict)
+    gateway: dict[str, int] = field(default_factory=dict)
+    client: dict[str, int] = field(default_factory=dict)
     invariants: dict[str, bool] = field(default_factory=dict)
 
     @property
@@ -89,6 +95,8 @@ class ChaosReport:
             "pool_healthy": self.pool_healthy,
             "p99_seconds": self.p99_seconds,
             "fired": self.fired,
+            "gateway": self.gateway,
+            "client": self.client,
             "invariants": self.invariants,
         }
 
@@ -148,6 +156,10 @@ def run_scenario(
     localhost HTTP gateway (:class:`~repro.service.gateway.GatewayServer`
     + :class:`~repro.service.client.SyncGatewayClient`) instead of
     in-process ``submit``: the invariants must hold across the wire too.
+    The client arms the scenario's ``client["retry"]`` policy and the
+    same fault plan (for ``client.connect`` sites), so network scenarios
+    exercise refuse/drop/truncate/reset against a retrying client whose
+    lost responses replay from the gateway's idempotency journal.
     Two accounting consequences are inherent to the network boundary —
     admission-control sheds arrive asynchronously as
     :class:`~repro.service.errors.ShedError`-failed futures (and are
@@ -171,7 +183,14 @@ def run_scenario(
     try:
         if transport == "gateway":
             server = GatewayServer(service).start()
-            client = SyncGatewayClient(port=server.port)
+            retry = (
+                RetryPolicy(**scenario.client["retry"])
+                if "retry" in scenario.client
+                else None
+            )
+            client = SyncGatewayClient(
+                port=server.port, retry=retry, fault_plan=plan
+            )
         submit = service.submit if client is None else client.submit
         if warmup_profiles:
             _warm_profiles(service, trace)
@@ -194,6 +213,8 @@ def run_scenario(
         service.drain()
         pool_healthy = service.healthy()
         snapshot = service.metrics_snapshot()
+        gateway_counters = {} if server is None else server.gateway.counters()
+        client_stats = {} if client is None else client.stats()
     finally:
         if client is not None:
             client.close()
@@ -261,6 +282,8 @@ def run_scenario(
         p99_seconds=latency.get("p99"),
         transport=transport,
         fired={} if plan is None else plan.fired_counts(),
+        gateway=gateway_counters,
+        client=client_stats,
     )
     report.invariants = {
         "all_resolved": unresolved == 0,
@@ -268,6 +291,9 @@ def run_scenario(
         "accounted": accepted == completed + failed_typed + failed_untyped,
         "replay_identical": mismatches == 0,
         "pool_healthy": pool_healthy,
+        # trivially true in-process: only a gateway journal can dedupe,
+        # and only the gateway transport can duplicate in the first place
+        "no_duplicate_solves": gateway_counters.get("duplicate_solves", 0) == 0,
     }
     return report
 

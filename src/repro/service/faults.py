@@ -29,6 +29,20 @@ configurations simply carry no plan, so every hook is a cheap
   worker's service is built.  ``"crash"`` exits immediately: a worker
   that *fails to spawn*, the respawn-storm scenario the pool's backoff
   cap and circuit breaker exist for.
+* ``"gateway.accept"`` — evaluated in the gateway before a ``/v1/solve``
+  request is admitted.  ``"refuse"`` closes the connection without a
+  response — a partitioned or overloaded edge refusing whole
+  connections, which only a retrying client survives.
+* ``"gateway.response"`` — evaluated in the gateway *after* the solve
+  completed and was journaled.  ``"drop"`` closes the connection before
+  any response byte; ``"truncate"`` writes a header promising the full
+  body and then cuts it mid-body.  Either way the client saw the
+  request accepted and the response lost — the at-least-once delivery
+  case the idempotency journal exists for.
+* ``"client.connect"`` — evaluated in the client per solve attempt.
+  ``"latency"`` sleeps ``delay`` before the exchange (a congested
+  path); ``"reset"`` raises :class:`ConnectionResetError` — the
+  connection died under the request.
 
 **Determinism.**  Chaos runs must replay bit-identically, so every
 probabilistic decision is drawn from RNG streams derived from the plan's
@@ -36,10 +50,15 @@ seed.  Sites evaluated with a ``key`` (the request seed at solve sites,
 the batch head's seed at worker sites) draw *statelessly* from
 ``SeedSequence([seed, site, spec, key])`` — the decision depends only on
 the plan and the request, never on batching, thread interleaving, or
-which worker got the batch.  Sites evaluated without a key fall back to
-a per-spec counter stream (deterministic per plan instance).  Plans
-pickle cleanly — each pool worker arms its own copy — and serialize to
-plain dicts for the scenario library's JSON format.
+which worker got the batch.  Network sites pass a *tuple* key
+``(request seed, attempt ordinal)``: each entry extends the
+``SeedSequence`` entropy, so a fault that fired on attempt 1 draws
+fresh on attempt 2 — without the attempt in the key, a deterministic
+drop would refire on every retry and the request could never be
+served.  Sites evaluated without a key fall back to a per-spec counter
+stream (deterministic per plan instance).  Plans pickle cleanly — each
+pool worker arms its own copy — and serialize to plain dicts for the
+scenario library's JSON format.
 """
 
 from __future__ import annotations
@@ -51,14 +70,21 @@ from typing import Any, Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["FAULT_SITES", "FaultSpec", "FaultPlan", "legacy_crash_fires"]
+__all__ = ["FAULT_SITES", "FaultKey", "FaultSpec", "FaultPlan", "legacy_crash_fires"]
 
 # the registry of named injection sites and the fault kinds each supports
 FAULT_SITES: dict[str, tuple[str, ...]] = {
     "service.solve": ("slow", "error"),
     "pool.worker.batch": ("crash", "slow"),
     "pool.worker.spawn": ("crash",),
+    "gateway.accept": ("refuse",),
+    "gateway.response": ("drop", "truncate"),
+    "client.connect": ("latency", "reset"),
 }
+
+#: a ``key`` passed to :meth:`FaultPlan.actions` — a single request seed
+#: or a (seed, attempt, ...) tuple for per-attempt network-site draws
+FaultKey = int | tuple[int, ...]
 
 _KEY_MASK = (1 << 63) - 1
 
@@ -157,13 +183,14 @@ class FaultPlan:
     # evaluation
     # ------------------------------------------------------------------
     def actions(
-        self, site: str, *, generation: int | None = None, key: int | None = None
+        self, site: str, *, generation: int | None = None, key: FaultKey | None = None
     ) -> list[FaultSpec]:
         """Every spec that fires at ``site`` for this evaluation.
 
         ``generation`` filters worker-incarnation-scoped specs; ``key``
-        (a request seed) selects the stateless draw so the decision is
-        independent of batching and placement.
+        (a request seed, or a ``(seed, attempt)`` tuple at network
+        sites) selects the stateless draw so the decision is independent
+        of batching and placement.
         """
         if site not in FAULT_SITES:
             raise ValueError(f"unknown fault site {site!r}")
@@ -179,16 +206,20 @@ class FaultPlan:
         return fired
 
     def fires(
-        self, site: str, *, generation: int | None = None, key: int | None = None
+        self, site: str, *, generation: int | None = None, key: FaultKey | None = None
     ) -> FaultSpec | None:
         """The first spec firing at ``site``, or ``None``."""
         actions = self.actions(site, generation=generation, key=key)
         return actions[0] if actions else None
 
-    def _draw(self, index: int, site: str, key: int | None) -> float:
+    def _draw(self, index: int, site: str, key: FaultKey | None) -> float:
         if key is not None:
+            # a tuple key extends the entropy list entry-by-entry, so the
+            # single-int form keeps its historical stream unchanged
+            parts = key if isinstance(key, tuple) else (key,)
             seq = np.random.SeedSequence(
-                [self.seed, _site_token(site), index, int(key) & _KEY_MASK]
+                [self.seed, _site_token(site), index]
+                + [int(part) & _KEY_MASK for part in parts]
             )
             return float(np.random.default_rng(seq).random())
         with self._lock:

@@ -39,7 +39,10 @@ class Scenario:
     ``num_requests`` is the trace length (the "n" of the chaos
     acceptance scenarios); ``scene_size`` is the per-scene bidder count.
     ``service`` holds :class:`AuctionService` keyword overrides
-    (executor, queue bound, retries, …) and ``fault_plan`` the armed
+    (executor, queue bound, retries, …), ``client`` holds gateway-client
+    overrides for ``transport="gateway"`` runs (a ``"retry"`` entry is
+    :class:`~repro.service.client.RetryPolicy` keywords — how the
+    network scenarios arm bounded retries), and ``fault_plan`` the armed
     faults — ``None`` runs fault-free, which is also how the chaos
     runner builds the replay reference.
     """
@@ -62,6 +65,7 @@ class Scenario:
     deadline: float | None = None
     traffic_seed: int = 7
     service: dict[str, Any] = field(default_factory=dict)
+    client: dict[str, Any] = field(default_factory=dict)
     fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
@@ -236,6 +240,60 @@ def scenario_library() -> dict[str, Scenario]:
                     ),
                 ],
                 seed=11,
+            ),
+        ),
+        Scenario(
+            name="flaky_network",
+            description=(
+                "network-layer chaos on the HTTP edge: connection resets, "
+                "dropped and truncated responses, injected path latency — "
+                "retrying clients replay lost responses from the "
+                "idempotency journal, so every accepted request resolves "
+                "bit-identically and nothing solves twice"
+            ),
+            num_requests=300,
+            rate=600.0,
+            service={"executor": "serial", "coalesce_window": 0.002},
+            client={"retry": {"max_attempts": 4, "backoff_base": 0.01}},
+            fault_plan=FaultPlan(
+                [
+                    FaultSpec(
+                        site="gateway.response", kind="drop", probability=0.03
+                    ),
+                    FaultSpec(
+                        site="gateway.response", kind="truncate", probability=0.03
+                    ),
+                    FaultSpec(
+                        site="client.connect", kind="reset", probability=0.04
+                    ),
+                    FaultSpec(
+                        site="client.connect",
+                        kind="latency",
+                        probability=0.05,
+                        delay=0.002,
+                    ),
+                ],
+                seed=17,
+            ),
+        ),
+        Scenario(
+            name="gateway_partition",
+            description=(
+                "a partitioned edge refusing whole connections before "
+                "admission: ~30% of attempts are refused; bounded retries "
+                "with backoff land every request on a later attempt"
+            ),
+            num_requests=300,
+            rate=600.0,
+            service={"executor": "serial", "coalesce_window": 0.002},
+            client={"retry": {"max_attempts": 8, "backoff_base": 0.005}},
+            fault_plan=FaultPlan(
+                [
+                    FaultSpec(
+                        site="gateway.accept", kind="refuse", probability=0.3
+                    )
+                ],
+                seed=19,
             ),
         ),
         Scenario(

@@ -39,16 +39,23 @@ Design rules, in decreasing order of importance:
 :class:`AuctionResponse` — a :class:`~repro.core.result.SolverResult`
 subclass carrying the wire envelope (schema version, scene id, request
 seed, per-request timing) — is the canonical result of the service's
-``solve_batch``/gateway paths; :meth:`AuctionResponse.as_solver_result`
-is the deprecated compatibility shim for callers that still want the
-bare base record.
+``solve_batch``/gateway paths.
+
+Every request also carries an **idempotency key**: a stable string
+naming the logical request, derived by :func:`default_idempotency_key`
+from ``(scene_id, k, seed, mode, profile)`` unless the caller supplies
+its own.  The gateway journals completed responses under this key, so a
+request retried after a lost response returns the journaled bytes
+instead of re-solving — exactly-once results under at-least-once
+delivery (DESIGN.md → "Resilient edge").  The field is additive and
+optional on decode, so ``schema_version`` stays 1.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -75,6 +82,7 @@ __all__ = [
     "AuctionResponse",
     "encode_valuation",
     "decode_valuation",
+    "default_idempotency_key",
     "request_to_wire",
     "request_from_wire",
     "error_to_wire",
@@ -177,6 +185,16 @@ class AuctionRequest:
     gateway the budget arrives in the request body or the
     ``X-Auction-Deadline`` header (the header wins) and is enforced by
     the same server-side EWMA triage.
+
+    ``idempotency_key`` names the *logical* request for the gateway's
+    result journal: two submissions carrying the same key are the same
+    request, and the second returns the first's journaled response
+    byte-identically instead of re-solving.  ``None`` (the default)
+    means "derive it" — the gateway falls back to
+    :func:`default_idempotency_key`, which is correct whenever the
+    request is fully determined by ``(scene, k, seed, mode, profile)``.
+    Callers whose requests differ in ways the derivation cannot see
+    (same seed + profile, different meaning) must supply their own key.
     """
 
     scene_id: str
@@ -187,6 +205,32 @@ class AuctionRequest:
     mode: str = "allocate"
     deadline: float | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
+    idempotency_key: str | None = None
+
+
+def default_idempotency_key(request: AuctionRequest) -> str:
+    """The derived idempotency key: a digest of what determines the result.
+
+    Hashes ``(scene_id, k, seed, mode, profile_key)`` — the coordinates
+    that pin a request's outcome bit-for-bit (the engine is
+    deterministic given scene, valuations, and seed).  When
+    ``profile_key`` is ``None`` the valuations are not named by any
+    coordinate, so their order-preserving wire encoding is folded into
+    the digest instead — two distinct one-off profiles sharing a seed
+    must not collide.  Deadlines and metadata are deliberately excluded:
+    they change *how* the request is served, never *what* the result is.
+    """
+    material: list[Any] = [
+        request.scene_id,
+        request.k,
+        request.seed,
+        request.mode,
+        request.profile_key,
+    ]
+    if request.profile_key is None:
+        material.append([encode_valuation(v) for v in request.valuations])
+    digest = hashlib.sha256(json.dumps(material).encode("utf-8")).hexdigest()
+    return digest[:32]
 
 
 def request_to_wire(request: AuctionRequest) -> dict[str, Any]:
@@ -201,6 +245,7 @@ def request_to_wire(request: AuctionRequest) -> dict[str, Any]:
         "mode": request.mode,
         "deadline": request.deadline,
         "metadata": dict(request.metadata),
+        "idempotency_key": request.idempotency_key,
     }
 
 
@@ -218,6 +263,11 @@ def request_from_wire(data: dict[str, Any]) -> AuctionRequest:
             None if data.get("deadline") is None else float(data["deadline"])
         ),
         metadata=dict(data.get("metadata") or {}),
+        idempotency_key=(
+            None
+            if data.get("idempotency_key") is None
+            else str(data["idempotency_key"])
+        ),
     )
 
 
@@ -273,33 +323,6 @@ class AuctionResponse(SolverResult):
             scene_id=scene_id,
             seed=seed,
             timing=dict(timing or {}),
-        )
-
-    def as_solver_result(self) -> SolverResult:
-        """Deprecated: downcast to the bare pre-wire :class:`SolverResult`.
-
-        Every :class:`AuctionResponse` *is* a :class:`SolverResult`;
-        callers that still materialize the base record should read the
-        response directly instead.  Kept one deprecation cycle for code
-        written against the pre-gateway API.
-        """
-        warnings.warn(
-            "AuctionResponse.as_solver_result() is deprecated: "
-            "AuctionResponse is a SolverResult — use the response directly",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return SolverResult(
-            allocation=self.allocation,
-            welfare=self.welfare,
-            lp_value=self.lp_value,
-            feasible=self.feasible,
-            guarantee=self.guarantee,
-            rounds_algorithm3=self.rounds_algorithm3,
-            lp_iterations=self.lp_iterations,
-            channel_powers=self.channel_powers,
-            sinr_feasible=self.sinr_feasible,
-            details=self.details,
         )
 
     # ------------------------------------------------------------------
@@ -393,6 +416,8 @@ _GATEWAY_CODES: dict[str, int] = {
     "bad-request": 400,
     "unknown-scene": 404,
     "not-found": 404,
+    "payload-too-large": 413,
+    "header-too-large": 431,
     "internal": 500,
 }
 
@@ -439,7 +464,7 @@ def error_from_wire(data: dict[str, Any]) -> Exception:
         return entry[0](message)
     if code == "unknown-scene":
         return KeyError(message)
-    if code == "bad-request":
+    if code in ("bad-request", "payload-too-large", "header-too-large"):
         return ValueError(message)
     return RuntimeError(f"[{code}] {message}")
 

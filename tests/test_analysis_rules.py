@@ -46,6 +46,7 @@ def test_rule_registry_is_complete():
         "float-eq",
         "kernel-mutation",
         "silent-except",
+        "unbounded-retry",
     }
     assert len(ids) >= 8  # the acceptance floor, with margin
     assert set(rule_index()) == ids
@@ -612,6 +613,86 @@ def test_silent_except_pragma_suppresses_with_reason(tmp_path):
         filename="service/feed.py",
     )
     assert sum(f.rule == "silent-except" for f in findings) == 1
+
+
+def test_unbounded_retry_positive_while_true_around_network_call(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import asyncio
+
+        async def reconnect(host, port):
+            while True:
+                try:
+                    return await asyncio.open_connection(host, port)
+                except OSError:
+                    raise
+
+        def hammer(sock):
+            while 1:
+                sock.sendall(b"x")
+        """,
+        filename="service/feed.py",
+    )
+    flagged = [f for f in findings if f.rule == "unbounded-retry"]
+    assert len(flagged) == 2
+    assert "asyncio.open_connection" in flagged[0].message
+    assert "sock.sendall" in flagged[1].message
+
+
+def test_unbounded_retry_negative_bounded_conditioned_or_non_network(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def bounded(client):
+            for _attempt in range(3):
+                try:
+                    return client._exchange("GET", "/v1/health")
+                except OSError:
+                    raise
+            raise RuntimeError("out of attempts")
+
+        def conditioned(self, sock):
+            while not self._closed:
+                sock.sendall(b"x")
+
+        def non_network(step):
+            while True:
+                if step():
+                    break
+        """,
+        filename="service/feed.py",
+    )
+    assert "unbounded-retry" not in rules_fired(findings)
+
+
+def test_unbounded_retry_scoped_to_service_modules(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def hammer(sock):
+            while True:
+                sock.sendall(b"x")
+        """,
+    )  # DEFAULT_CONFIG: "snippet.py" is outside service/*
+    assert "unbounded-retry" not in rules_fired(findings)
+
+
+def test_unbounded_retry_pragma_suppresses_with_reason(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        def pump(sock):
+            while True:  # repro: allow[unbounded-retry] -- lifetime of the connection, not a retry
+                sock.sendall(b"x")
+
+        def pump2(sock):
+            while True:
+                sock.sendall(b"x")
+        """,
+        filename="service/feed.py",
+    )
+    assert sum(f.rule == "unbounded-retry" for f in findings) == 1
 
 
 # ----------------------------------------------------------------------

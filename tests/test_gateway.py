@@ -164,6 +164,13 @@ class TestEndpoints:
             "requests",
             "responses_ok",
             "responses_error",
+            "refused_connections",
+            "dropped_responses",
+            "journal_hits",
+            "journal_coalesced",
+            "journal_misses",
+            "journal_evictions",
+            "duplicate_solves",
         }
 
     def test_keep_alive_serves_many_requests_per_connection(self, served):
@@ -251,6 +258,62 @@ class TestErrorStatuses:
         )
         assert status == 400
         assert payload["error_code"] == "bad-request"
+
+
+class TestSizeCaps:
+    """Oversized requests produce typed 413/431 wire errors over raw
+    HTTP — never a bare connection close."""
+
+    @pytest.fixture()
+    def capped(self, scene):
+        service = AuctionService(executor="serial", coalesce_window=0.0)
+        scene_id = service.register_scene(scene)
+        with GatewayServer(
+            service, max_header_bytes=2048, max_body_bytes=8192
+        ) as server:
+            yield server, scene_id
+        service.close()
+
+    def test_oversized_body_is_typed_413(self, capped):
+        server, scene_id = capped
+        wire = request_to_wire(make_request(scene_id))
+        wire["metadata"] = {"padding": "x" * 16384}
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+        try:
+            conn.request("POST", "/v1/solve", body=json.dumps(wire))
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 413
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+        assert payload["error_code"] == "payload-too-large"
+        assert payload["status"] == "error"
+        assert "8192" in payload["message"]
+
+    def test_oversized_header_section_is_typed_431(self, capped):
+        server, _ = capped
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+        try:
+            conn.putrequest("GET", "/v1/health")
+            conn.putheader("X-Padding", "p" * 4096)
+            conn.endheaders()
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 431
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+        assert payload["error_code"] == "header-too-large"
+        assert payload["status"] == "error"
+
+    def test_within_caps_still_serves(self, capped):
+        server, scene_id = capped
+        status, payload = http_request(
+            server, "POST", "/v1/solve", request_to_wire(make_request(scene_id))
+        )
+        assert status == 200
+        assert payload["status"] == "ok"
 
 
 class TestDeadlinePropagation:

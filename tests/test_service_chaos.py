@@ -59,6 +59,8 @@ class TestScenarioSchema:
             "flash_crowd_burst",
             "distinct_adversarial",
             "crash_storm",
+            "flaky_network",
+            "gateway_partition",
             "slow_worker_brownout",
         }
         assert library["flash_crowd_burst"].service["max_queue"] == 64

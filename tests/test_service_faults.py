@@ -28,9 +28,15 @@ class TestFaultSpecValidation:
             "service.solve",
             "pool.worker.batch",
             "pool.worker.spawn",
+            "gateway.accept",
+            "gateway.response",
+            "client.connect",
         }
         assert "error" in FAULT_SITES["service.solve"]
         assert "crash" in FAULT_SITES["pool.worker.spawn"]
+        assert set(FAULT_SITES["gateway.response"]) == {"drop", "truncate"}
+        assert set(FAULT_SITES["client.connect"]) == {"latency", "reset"}
+        assert FAULT_SITES["gateway.accept"] == ("refuse",)
 
     def test_unknown_site_rejected(self):
         with pytest.raises(ValueError, match="unknown fault site"):

@@ -23,6 +23,7 @@ from repro.service.wire import (
     AuctionRequest,
     AuctionResponse,
     decode_valuation,
+    default_idempotency_key,
     encode_valuation,
     error_from_wire,
     error_to_wire,
@@ -111,6 +112,7 @@ class TestRequestRoundTrip:
         assert decoded.mode == request.mode
         assert decoded.deadline == request.deadline
         assert decoded.metadata == request.metadata
+        assert decoded.idempotency_key == request.idempotency_key
         assert [encode_valuation(v) for v in decoded.valuations] == [
             encode_valuation(v) for v in request.valuations
         ]
@@ -135,6 +137,7 @@ class TestRequestRoundTrip:
         assert decoded.mode == "allocate"
         assert decoded.deadline is None
         assert decoded.metadata == {}
+        assert decoded.idempotency_key is None  # additive: old payloads decode
 
     def test_unknown_schema_version_rejected(self):
         wire = request_to_wire(make_request())
@@ -146,6 +149,43 @@ class TestRequestRoundTrip:
         wire = request_to_wire(make_request())
         resorted = json.loads(json.dumps(wire, sort_keys=True))
         assert request_to_wire(request_from_wire(resorted)) == wire
+
+    def test_idempotency_key_round_trips(self):
+        request = make_request(idempotency_key="renewal:42:7")
+        wire = request_to_wire(request)
+        assert wire["idempotency_key"] == "renewal:42:7"
+        assert request_from_wire(wire).idempotency_key == "renewal:42:7"
+
+
+class TestIdempotencyKeyDerivation:
+    def test_deterministic_across_calls_and_instances(self):
+        assert default_idempotency_key(make_request()) == default_idempotency_key(
+            make_request()
+        )
+
+    def test_sensitive_to_the_result_coordinates(self):
+        base = default_idempotency_key(make_request())
+        assert default_idempotency_key(make_request(seed=8)) != base
+        assert default_idempotency_key(make_request(scene_id="b" * 16)) != base
+        assert default_idempotency_key(make_request(profile_key="other")) != base
+        assert default_idempotency_key(make_request(mode="truthful")) != base
+
+    def test_insensitive_to_serving_hints(self):
+        base = default_idempotency_key(make_request())
+        assert default_idempotency_key(make_request(deadline=None)) == base
+        assert (
+            default_idempotency_key(make_request(metadata={"trace": "x"})) == base
+        )
+
+    def test_profileless_requests_fold_in_the_valuations(self):
+        """Two one-off profiles sharing a seed must not collide."""
+        a = make_request(profile_key=None)
+        b = make_request(profile_key=None, valuations=make_valuations()[:1])
+        assert default_idempotency_key(a) != default_idempotency_key(b)
+        # and the derivation stays deterministic for the profileless form
+        assert default_idempotency_key(a) == default_idempotency_key(
+            make_request(profile_key=None)
+        )
 
 
 class TestResponseRoundTrip:
@@ -225,13 +265,14 @@ class TestResultShim:
         assert merged.scene_id == "a" * 16  # original envelope wins
         assert merged.timing == {"solve_seconds": 0.012, "queue_seconds": 0.2}
 
-    def test_as_solver_result_warns_deprecation(self):
+    def test_as_solver_result_shim_is_gone(self):
+        """PR 9 deprecated the downcast shim for exactly one cycle; the
+        attribute must no longer exist (an AuctionResponse *is* a
+        SolverResult — use it directly)."""
         response = make_response(channel_powers={})
-        with pytest.warns(DeprecationWarning, match="as_solver_result"):
-            bare = response.as_solver_result()
-        assert type(bare) is SolverResult
-        assert bare.allocation == response.allocation
-        assert bare.welfare == response.welfare
+        assert not hasattr(response, "as_solver_result")
+        assert not hasattr(AuctionResponse, "as_solver_result")
+        assert isinstance(response, SolverResult)
 
 
 def all_typed_errors():
